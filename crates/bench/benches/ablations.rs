@@ -1,0 +1,91 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! best-match vs first-match table search, transition-phase min counts,
+//! signature resolution (bits per dimension), and adaptive thresholds.
+//! Each group measures the runtime cost of the choice on the same replayed
+//! trace; the *quality* impact of the same knobs is reported by the
+//! `repro` binary (Figures 2–6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tpcp_core::{AdaptiveConfig, ClassifierConfig, PhaseClassifier};
+use tpcp_trace::{IntervalSource, PhaseSpec, RecordedTrace, SyntheticTrace};
+
+fn trace() -> RecordedTrace {
+    SyntheticTrace::new(50_000)
+        .phase(PhaseSpec::uniform(0x10_0000, 12, 1.0))
+        .phase(PhaseSpec::uniform(0x90_0000, 12, 2.5))
+        .phase(PhaseSpec::uniform(0x50_0000, 12, 4.0))
+        .schedule(&[(0, 30), (1, 8), (2, 4), (0, 30), (1, 8), (2, 4), (0, 30)])
+        .generate()
+}
+
+fn classify_all(trace: &RecordedTrace, cfg: ClassifierConfig) -> u64 {
+    let mut classifier = PhaseClassifier::new(cfg);
+    let mut replay = trace.replay();
+    while let Some(s) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
+        black_box(classifier.end_interval(s.cpi()));
+    }
+    classifier.phases_created()
+}
+
+fn bench_match_policy(c: &mut Criterion) {
+    let trace = trace();
+    let mut group = c.benchmark_group("ablation/match_policy");
+    for (name, best) in [("best_match", true), ("first_match", false)] {
+        let cfg = ClassifierConfig::builder().best_match(best).build();
+        group.bench_function(name, |b| b.iter(|| classify_all(&trace, cfg)));
+    }
+    group.finish();
+}
+
+fn bench_min_count(c: &mut Criterion) {
+    let trace = trace();
+    let mut group = c.benchmark_group("ablation/min_count");
+    for min in [0u8, 4, 8] {
+        let cfg = ClassifierConfig::builder().min_count(min).build();
+        group.bench_with_input(BenchmarkId::from_parameter(min), &cfg, |b, &cfg| {
+            b.iter(|| classify_all(&trace, cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bits_per_dim(c: &mut Criterion) {
+    let trace = trace();
+    let mut group = c.benchmark_group("ablation/bits_per_dim");
+    for bits in [4u32, 6, 8] {
+        let cfg = ClassifierConfig::builder().bits_per_dim(bits).build();
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &cfg, |b, &cfg| {
+            b.iter(|| classify_all(&trace, cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let trace = trace();
+    let mut group = c.benchmark_group("ablation/adaptive");
+    for (name, adaptive) in [
+        ("static", None),
+        (
+            "dynamic_25dev",
+            Some(AdaptiveConfig {
+                deviation_threshold: 0.25,
+            }),
+        ),
+    ] {
+        let cfg = ClassifierConfig::builder().adaptive(adaptive).build();
+        group.bench_function(name, |b| b.iter(|| classify_all(&trace, cfg)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_match_policy,
+    bench_min_count,
+    bench_bits_per_dim,
+    bench_adaptive
+);
+criterion_main!(benches);

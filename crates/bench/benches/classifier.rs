@@ -1,0 +1,101 @@
+//! Benchmarks of the online classification architecture: the per-branch
+//! fast path and the per-interval classification step, across the design
+//! knobs of Figures 2 and 3 (table size, dimensionality).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tpcp_core::{AccumulatorTable, ClassifierConfig, PhaseClassifier, Signature};
+use tpcp_trace::{BranchEvent, IntervalSource, PhaseSpec, RecordedTrace, SyntheticTrace};
+
+fn synthetic_trace() -> RecordedTrace {
+    SyntheticTrace::new(100_000)
+        .phase(PhaseSpec::uniform(0x10_0000, 8, 1.0))
+        .phase(PhaseSpec::uniform(0x90_0000, 8, 2.0))
+        .phase(PhaseSpec::uniform(0x50_0000, 8, 3.0))
+        .schedule(&[(0, 20), (1, 10), (2, 5), (0, 20), (1, 10)])
+        .generate()
+}
+
+/// The per-branch fast path: hash + saturating accumulate.
+fn bench_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classifier/observe");
+    let events: Vec<BranchEvent> = (0..4096u64)
+        .map(|i| BranchEvent::new(0x40_0000 + (i % 64) * 0x80, 50))
+        .collect();
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("16dim", |b| {
+        let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
+        b.iter(|| {
+            for &ev in &events {
+                classifier.observe(black_box(ev));
+            }
+        });
+    });
+    group.finish();
+}
+
+/// Per-interval classification (signature formation + table search) as the
+/// Figure 2 table-size knob varies.
+fn bench_end_interval_table_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classifier/end_interval/table");
+    let trace = synthetic_trace();
+    for entries in [16usize, 32, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &entries| {
+            let cfg = ClassifierConfig::builder()
+                .table_entries(Some(entries))
+                .build();
+            b.iter(|| {
+                let mut classifier = PhaseClassifier::new(cfg);
+                let mut replay = trace.replay();
+                while let Some(s) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
+                    black_box(classifier.end_interval(s.cpi()));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The Figure 3 dimensionality knob.
+fn bench_end_interval_dims(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classifier/end_interval/dims");
+    let trace = synthetic_trace();
+    for dims in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, &dims| {
+            let cfg = ClassifierConfig::builder().accumulators(dims).build();
+            b.iter(|| {
+                let mut classifier = PhaseClassifier::new(cfg);
+                let mut replay = trace.replay();
+                while let Some(s) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
+                    black_box(classifier.end_interval(s.cpi()));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Raw signature distance computation.
+fn bench_signature_distance(c: &mut Criterion) {
+    let mut acc_a = AccumulatorTable::new(16);
+    let mut acc_b = AccumulatorTable::new(16);
+    for i in 0..64u64 {
+        acc_a.observe(BranchEvent::new(i * 0x40, 100));
+        acc_b.observe(BranchEvent::new(i * 0x48, 100));
+    }
+    let a = Signature::from_accumulator(&acc_a, 6);
+    let b = Signature::from_accumulator(&acc_b, 6);
+    c.bench_function("signature/normalized_distance", |bench| {
+        bench.iter(|| black_box(a.normalized_distance(black_box(&b))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_observe,
+    bench_end_interval_table_sizes,
+    bench_end_interval_dims,
+    bench_signature_distance
+);
+criterion_main!(benches);

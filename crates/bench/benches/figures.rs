@@ -1,0 +1,60 @@
+//! One benchmark group per reproduced table/figure: each runs the figure's
+//! measurement kernel on a reduced-scale suite, so `cargo bench` exercises
+//! the exact code paths that regenerate the paper's evaluation. (Full-scale
+//! tables come from `cargo run --release -p tpcp-experiments --bin repro`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tpcp_experiments::figures;
+use tpcp_experiments::{SuiteParams, TraceCache};
+
+/// Shared reduced-scale suite; traces are cached on first use, so the
+/// per-iteration cost is classification/prediction, not simulation.
+fn setup() -> (TraceCache, SuiteParams) {
+    let params = SuiteParams::quick();
+    let cache = TraceCache::new("target/tpcp-traces-bench");
+    // Warm the cache once outside the timed region.
+    for kind in tpcp_workloads::BenchmarkKind::ALL {
+        let _ = cache.load_or_simulate(kind, &params);
+    }
+    (cache, params)
+}
+
+macro_rules! figure_bench {
+    ($fn_name:ident, $module:ident, $label:literal) => {
+        fn $fn_name(c: &mut Criterion) {
+            let (cache, params) = setup();
+            let mut group = c.benchmark_group("figures");
+            group.sample_size(10);
+            group.bench_function($label, |b| {
+                b.iter(|| black_box(figures::$module::run(&cache, &params)))
+            });
+            group.finish();
+        }
+    };
+}
+
+figure_bench!(bench_fig2, fig2, "fig2_table_sizes");
+figure_bench!(bench_fig3, fig3, "fig3_dimensions");
+figure_bench!(bench_fig4, fig4, "fig4_transition_phase");
+figure_bench!(bench_fig5, fig5, "fig5_phase_lengths");
+figure_bench!(bench_fig6, fig6, "fig6_adaptive_thresholds");
+figure_bench!(bench_fig7, fig7, "fig7_next_phase_prediction");
+figure_bench!(bench_fig8, fig8, "fig8_change_prediction");
+figure_bench!(bench_fig9, fig9, "fig9_length_prediction");
+figure_bench!(bench_simpoint, simpoint_cmp, "simpoint_comparison");
+
+criterion_group!(
+    benches,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_simpoint
+);
+criterion_main!(benches);

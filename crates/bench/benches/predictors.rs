@@ -1,0 +1,160 @@
+//! Benchmarks of the prediction architectures over phase ID streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tpcp_core::PhaseId;
+use tpcp_predict::{
+    ChangeEvaluator, ChangePolicy, EwmaMetric, HistoryKind, LastValueMetric, LengthClassPredictor,
+    MetricPredictor, NextPhasePredictor, OutlookPredictor, PerfectMarkov, PhaseChangePredictor,
+    PhaseIndexedMetric, PredictorKind,
+};
+
+/// A phase stream with realistic structure: stable runs with periodic
+/// changes and occasional noise.
+fn stream(len: usize) -> Vec<PhaseId> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = 0x1234_5678u64;
+    while out.len() < len {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let phase = PhaseId::new((x >> 60) as u32 % 5 + 1);
+        let run = 1 + (x >> 32) as usize % 20;
+        for _ in 0..run.min(len - out.len()) {
+            out.push(phase);
+        }
+    }
+    out
+}
+
+fn bench_next_phase(c: &mut Criterion) {
+    let ids = stream(10_000);
+    let mut group = c.benchmark_group("predict/next_phase");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    for (name, kind) in [
+        ("last_value", PredictorKind::last_value()),
+        ("markov2", PredictorKind::markov(2)),
+        ("rle2", PredictorKind::rle(2)),
+        ("last4_rle2", PredictorKind::rle(2).with_last4()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = NextPhasePredictor::new(kind);
+                for &id in &ids {
+                    black_box(p.observe(id));
+                }
+                p.breakdown()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_change_evaluation(c: &mut Criterion) {
+    let ids = stream(10_000);
+    let mut group = c.benchmark_group("predict/change");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    for (name, kind, policy) in [
+        ("markov2", HistoryKind::Markov(2), ChangePolicy::MostRecent),
+        ("top4_markov1", HistoryKind::Markov(1), ChangePolicy::TopK(4)),
+        ("rle2", HistoryKind::Rle(2), ChangePolicy::MostRecent),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut e =
+                    ChangeEvaluator::new(PhaseChangePredictor::new(kind, policy, true, 32, 4));
+                for &id in &ids {
+                    black_box(e.observe(id));
+                }
+                e.breakdown()
+            });
+        });
+    }
+    group.bench_function("perfect_markov1", |b| {
+        b.iter(|| {
+            let mut p = PerfectMarkov::new(HistoryKind::Markov(1));
+            for &id in &ids {
+                black_box(p.observe(id));
+            }
+            p.correct_fraction()
+        });
+    });
+    group.finish();
+}
+
+fn bench_length_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict/length");
+    for len in [1_000usize, 10_000] {
+        let ids = stream(len);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &ids, |b, ids| {
+            b.iter(|| {
+                let mut p = LengthClassPredictor::new(32, 4);
+                for &id in ids {
+                    black_box(p.observe(id));
+                }
+                p.misprediction_rate()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_outlook(c: &mut Criterion) {
+    let ids = stream(10_000);
+    let mut group = c.benchmark_group("predict/outlook");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    group.bench_function("hpca2005", |b| {
+        b.iter(|| {
+            let mut p = OutlookPredictor::hpca2005();
+            for &id in &ids {
+                black_box(p.observe(id));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_metric_predictors(c: &mut Criterion) {
+    let ids = stream(10_000);
+    let cpis: Vec<f64> = ids.iter().map(|id| 1.0 + f64::from(id.value())).collect();
+    let mut group = c.benchmark_group("predict/metric");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    group.bench_function("last_value", |b| {
+        b.iter(|| {
+            let mut p = LastValueMetric::new();
+            for (&id, &cpi) in ids.iter().zip(&cpis) {
+                black_box(p.predict());
+                p.observe(id, cpi);
+            }
+        });
+    });
+    group.bench_function("ewma", |b| {
+        b.iter(|| {
+            let mut p = EwmaMetric::new(0.5);
+            for (&id, &cpi) in ids.iter().zip(&cpis) {
+                black_box(p.predict());
+                p.observe(id, cpi);
+            }
+        });
+    });
+    group.bench_function("phase_indexed", |b| {
+        b.iter(|| {
+            let mut p = PhaseIndexedMetric::new();
+            for (&id, &cpi) in ids.iter().zip(&cpis) {
+                black_box(p.predict());
+                p.observe(id, cpi);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_next_phase,
+    bench_change_evaluation,
+    bench_length_prediction,
+    bench_outlook,
+    bench_metric_predictors
+);
+criterion_main!(benches);

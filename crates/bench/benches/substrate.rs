@@ -1,0 +1,123 @@
+//! Benchmarks of the microarchitecture substrate: caches, branch
+//! predictors, TLB, and end-to-end workload simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tpcp_trace::IntervalSource;
+use tpcp_uarch::stream::{AddressStream, PointerChaseStream, RandomStream, StridedStream};
+use tpcp_uarch::{AccessKind, Cache, CacheConfig, HybridPredictor, MachineConfig, MemoryHierarchy, Tlb};
+use tpcp_workloads::{BenchmarkKind, WorkloadParams};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uarch/cache");
+    const N: u64 = 16_384;
+    group.throughput(Throughput::Elements(N));
+    let streams: Vec<(&str, Box<dyn AddressStream>)> = vec![
+        (
+            "strided_l1_resident",
+            Box::new(StridedStream::new(0, 32, 8 * 1024)) as Box<dyn AddressStream>,
+        ),
+        (
+            "random_l2_spill",
+            Box::new(RandomStream::new(0, 1 << 20, 7)),
+        ),
+        (
+            "pointer_chase",
+            Box::new(PointerChaseStream::new(0, 1 << 16, 64)),
+        ),
+    ];
+    for (name, mut stream) in streams {
+        group.bench_function(name, |b| {
+            let mut cache = Cache::new(CacheConfig::new(16 * 1024, 4, 32));
+            b.iter(|| {
+                for _ in 0..N {
+                    black_box(cache.access(stream.next_addr(), AccessKind::Read));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_branch_predictor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uarch/branch");
+    const N: u64 = 16_384;
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("hybrid_biased", |b| {
+        let mut bp = HybridPredictor::hpca2005();
+        b.iter(|| {
+            for i in 0..N {
+                black_box(bp.observe(0x1000 + (i % 16) * 4, i % 10 != 0));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    const N: u64 = 16_384;
+    let mut group = c.benchmark_group("uarch/tlb");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("sequential_pages", |b| {
+        let mut tlb = Tlb::hpca2005();
+        b.iter(|| {
+            for i in 0..N {
+                black_box(tlb.access((i % 128) * 8192));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    const N: u64 = 8_192;
+    let mut group = c.benchmark_group("uarch/hierarchy");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("mixed_traffic", |b| {
+        let mut mem = MemoryHierarchy::new(&MachineConfig::hpca2005());
+        let mut data = RandomStream::new(0, 1 << 22, 3);
+        b.iter(|| {
+            for i in 0..N {
+                black_box(mem.fetch_instruction(0x40_0000 + (i % 512) * 32));
+                black_box(mem.access_data(data.next_addr(), i % 4 == 0));
+            }
+        });
+    });
+    group.finish();
+}
+
+/// End-to-end workload simulation: intervals per second for two extremes
+/// of the model suite.
+fn bench_workload_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/simulate");
+    group.sample_size(10);
+    for kind in [BenchmarkKind::GzipGraphic, BenchmarkKind::GccScilab] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label().replace('/', "_")),
+            &kind,
+            |b, &kind| {
+                let params = WorkloadParams {
+                    length_scale: 0.005,
+                    ..Default::default()
+                };
+                let benchmark = kind.build(&params);
+                b.iter(|| {
+                    let mut sim = benchmark.simulate(&params);
+                    black_box(sim.drain_summaries().len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_branch_predictor,
+    bench_tlb,
+    bench_hierarchy,
+    bench_workload_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Benchmark-only crate; all content lives in `benches/`. See each bench
+//! target (`classifier`, `predictors`, `figures`, `substrate`,
+//! `ablations`) for what it measures.

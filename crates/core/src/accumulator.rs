@@ -1,0 +1,190 @@
+//! The accumulator table — step 2 of the tracking architecture.
+
+use serde::{Deserialize, Serialize};
+
+use tpcp_trace::BranchEvent;
+
+/// Saturation ceiling for each accumulator: 24 bits, as in the paper
+/// ("each entry in the accumulator table is 24 bits, so it will never
+/// overflow with 10 million instruction intervals").
+pub(crate) const COUNTER_MAX: u64 = (1 << 24) - 1;
+
+/// An array of N saturating counters holding the signature of the current
+/// interval (the paper's Figure 1).
+///
+/// Each committed branch PC is hashed into one of the N counters, and the
+/// counter is incremented by the number of instructions committed since the
+/// previous branch — tracking the *proportion* of the interval's execution
+/// attributable to each bucket of static code.
+///
+/// # Example
+///
+/// ```
+/// use tpcp_core::AccumulatorTable;
+/// use tpcp_trace::BranchEvent;
+///
+/// let mut acc = AccumulatorTable::new(16);
+/// acc.observe(BranchEvent::new(0x4000, 100));
+/// acc.observe(BranchEvent::new(0x4000, 50));
+/// assert_eq!(acc.total(), 150);
+/// assert_eq!(acc.counters().iter().sum::<u64>(), 150);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccumulatorTable {
+    counters: Vec<u64>,
+    total: u64,
+    index_mask: u64,
+}
+
+impl AccumulatorTable {
+    /// Creates a table of `n` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two (the paper's dynamic bit
+    /// selection divides by the counter count with a shift, which requires
+    /// a power-of-two table).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "accumulator count must be a power of two"
+        );
+        Self {
+            counters: vec![0; n],
+            total: 0,
+            index_mask: n as u64 - 1,
+        }
+    }
+
+    /// Number of counters (the dimensionality of the projected signature).
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the table has observed nothing since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The counter values.
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// Total instruction count accumulated since the last reset (used for
+    /// the dynamic bit selection's average).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Average counter value — `total / n`, computed with a shift exactly
+    /// as the hardware would.
+    pub fn average(&self) -> u64 {
+        self.total >> self.index_mask.count_ones()
+    }
+
+    /// Hashes a branch PC into a counter index.
+    ///
+    /// A 64-bit finalizer (SplitMix64's mixing function) decorrelates the
+    /// low bits of instruction addresses, which are strongly structured.
+    #[inline]
+    pub fn index_of(&self, pc: u64) -> usize {
+        let mut z = pc;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z & self.index_mask) as usize
+    }
+
+    /// Records one committed branch: hashes the PC and increments the
+    /// selected counter by the block's instruction count (saturating at
+    /// 24 bits).
+    #[inline]
+    pub fn observe(&mut self, ev: BranchEvent) {
+        let idx = self.index_of(ev.pc);
+        let c = &mut self.counters[idx];
+        *c = (*c + u64::from(ev.insns)).min(COUNTER_MAX);
+        self.total += u64::from(ev.insns);
+    }
+
+    /// Clears all counters for the next interval.
+    pub fn reset(&mut self) {
+        self.counters.fill(0);
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        AccumulatorTable::new(12);
+    }
+
+    #[test]
+    fn observe_accumulates_by_hash_bucket() {
+        let mut acc = AccumulatorTable::new(8);
+        let idx = acc.index_of(0x1234);
+        acc.observe(BranchEvent::new(0x1234, 10));
+        acc.observe(BranchEvent::new(0x1234, 5));
+        assert_eq!(acc.counters()[idx], 15);
+    }
+
+    #[test]
+    fn same_pc_same_bucket() {
+        let acc = AccumulatorTable::new(16);
+        assert_eq!(acc.index_of(0xABCD), acc.index_of(0xABCD));
+    }
+
+    #[test]
+    fn hash_spreads_sequential_pcs() {
+        // Sequential branch addresses should not all collapse into a couple
+        // of buckets.
+        let acc = AccumulatorTable::new(16);
+        let mut used = std::collections::BTreeSet::new();
+        for i in 0..64u64 {
+            used.insert(acc.index_of(0x40_0000 + i * 4));
+        }
+        assert!(used.len() >= 12, "used {} of 16 buckets", used.len());
+    }
+
+    #[test]
+    fn counters_saturate_at_24_bits() {
+        let mut acc = AccumulatorTable::new(2);
+        // Find a PC for bucket 0 and hammer it.
+        let pc = (0..100u64).find(|&p| acc.index_of(p) == 0).unwrap();
+        for _ in 0..10_000 {
+            acc.observe(BranchEvent::new(pc, u32::MAX));
+        }
+        assert_eq!(acc.counters()[0], COUNTER_MAX);
+    }
+
+    #[test]
+    fn average_uses_shift_semantics() {
+        let mut acc = AccumulatorTable::new(4);
+        acc.observe(BranchEvent::new(0, 103));
+        assert_eq!(acc.average(), 103 / 4);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut acc = AccumulatorTable::new(4);
+        acc.observe(BranchEvent::new(7, 9));
+        acc.reset();
+        assert!(acc.is_empty());
+        assert!(acc.counters().iter().all(|&c| c == 0));
+        assert_eq!(acc.total(), 0);
+    }
+
+    #[test]
+    fn total_tracks_all_increments() {
+        let mut acc = AccumulatorTable::new(4);
+        for i in 0..10 {
+            acc.observe(BranchEvent::new(i, 100));
+        }
+        assert_eq!(acc.total(), 1000);
+    }
+}

@@ -1,0 +1,496 @@
+//! The online phase classifier: ties the accumulator, signatures, and the
+//! signature table together with the paper's transition-phase and
+//! adaptive-threshold logic.
+
+use serde::{Deserialize, Serialize};
+
+use tpcp_trace::BranchEvent;
+
+use crate::accumulator::AccumulatorTable;
+use crate::config::ClassifierConfig;
+use crate::phase_id::PhaseId;
+use crate::signature::Signature;
+use crate::table::{MatchOutcome, SignatureTable};
+
+/// Detailed result of classifying one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Classification {
+    /// The phase the interval was classified into.
+    pub phase_id: PhaseId,
+    /// Normalized distance to the matched signature, or `None` when the
+    /// signature was new (inserted).
+    pub distance: Option<f64>,
+    /// Whether the signature missed the table and was inserted.
+    pub new_signature: bool,
+    /// Whether the matched entry crossed the Min Counter threshold on this
+    /// interval and was promoted to a real phase ID.
+    pub promoted: bool,
+    /// Whether adaptive feedback halved the matched phase's similarity
+    /// threshold on this interval.
+    pub threshold_tightened: bool,
+}
+
+/// The complete online phase classification architecture.
+///
+/// Feed it every committed branch with [`observe`](Self::observe); at each
+/// interval boundary call [`end_interval`](Self::end_interval) with the
+/// interval's CPI (the adaptive feedback metric) to receive the interval's
+/// [`PhaseId`].
+///
+/// # Example
+///
+/// ```
+/// use tpcp_core::{ClassifierConfig, PhaseClassifier, PhaseId};
+/// use tpcp_trace::BranchEvent;
+///
+/// // Disable the transition phase to mimic the prior work's classifier.
+/// let cfg = ClassifierConfig::builder().min_count(0).adaptive(None).build();
+/// let mut c = PhaseClassifier::new(cfg);
+/// c.observe(BranchEvent::new(0x1000, 500));
+/// let id = c.end_interval(1.2);
+/// assert!(!id.is_transition(), "min_count 0 assigns real IDs immediately");
+/// assert_eq!(c.phases_created(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseClassifier {
+    config: ClassifierConfig,
+    accumulator: AccumulatorTable,
+    table: SignatureTable,
+    next_phase_id: u32,
+    intervals_seen: u64,
+    transition_intervals: u64,
+}
+
+impl PhaseClassifier {
+    /// Builds a classifier from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`ClassifierConfig::validate`]).
+    pub fn new(config: ClassifierConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            accumulator: AccumulatorTable::new(config.accumulators),
+            table: SignatureTable::new(config.table_entries, config.similarity_threshold),
+            next_phase_id: 1,
+            intervals_seen: 0,
+            transition_intervals: 0,
+        }
+    }
+
+    /// The classifier's configuration.
+    pub fn config(&self) -> &ClassifierConfig {
+        &self.config
+    }
+
+    /// Records one committed branch of the current interval.
+    ///
+    /// This is the per-branch fast path of the architecture (a hash and a
+    /// saturating add), pipelined in hardware.
+    #[inline]
+    pub fn observe(&mut self, ev: BranchEvent) {
+        self.accumulator.observe(ev);
+    }
+
+    /// Ends the current interval and classifies it, returning its phase ID.
+    ///
+    /// `cpi` is the interval's measured cycles-per-instruction; it is used
+    /// *only* for the adaptive threshold feedback (classification itself is
+    /// purely code-signature based, so phase IDs remain stable across
+    /// hardware reconfigurations).
+    pub fn end_interval(&mut self, cpi: f64) -> PhaseId {
+        self.end_interval_detailed(cpi).phase_id
+    }
+
+    /// [`end_interval`](Self::end_interval) with full diagnostics.
+    pub fn end_interval_detailed(&mut self, cpi: f64) -> Classification {
+        let sig = match self.config.bit_selection {
+            crate::config::BitSelectionMode::Dynamic => {
+                Signature::from_accumulator(&self.accumulator, self.config.bits_per_dim)
+            }
+            crate::config::BitSelectionMode::Static { low_bit } => Signature::with_selection(
+                &self.accumulator,
+                crate::signature::BitSelection::fixed(low_bit, self.config.bits_per_dim),
+            ),
+        };
+        self.accumulator.reset();
+        self.intervals_seen += 1;
+
+        let outcome = if self.config.best_match {
+            self.table.find_best_match(&sig)
+        } else {
+            self.table.find_first_match(&sig)
+        };
+
+        let classification = match outcome {
+            MatchOutcome::Matched { index, distance } => {
+                self.table.touch(index, sig);
+                let min_count = self.config.min_count;
+                let adaptive = self.config.adaptive;
+                let mut promoted = false;
+                let mut tightened = false;
+
+                let next_id = &mut self.next_phase_id;
+                let entry = self.table.entry_mut(index);
+                entry.min_counter = entry.min_counter.saturating_add(1);
+
+                // Promotion out of the transition phase (Section 4.4): the
+                // entry earns a real phase ID once its signature has
+                // appeared more than `min_count` times.
+                if entry.phase_id.is_none() && u32::from(entry.min_counter) > u32::from(min_count) {
+                    entry.phase_id = Some(PhaseId::new(*next_id));
+                    *next_id += 1;
+                    promoted = true;
+                }
+
+                let phase_id = entry.phase_id.unwrap_or(PhaseId::TRANSITION);
+
+                // Adaptive feedback (Section 4.6): only stable phases track
+                // CPI; a large deviation halves the threshold and clears
+                // the statistics.
+                if let (Some(adaptive), Some(_)) = (adaptive, entry.phase_id) {
+                    if entry.cpi_samples > 0 {
+                        let mean = entry.cpi_mean;
+                        if mean > 0.0 && ((cpi - mean).abs() / mean) > adaptive.deviation_threshold
+                        {
+                            entry.threshold /= 2.0;
+                            entry.clear_cpi();
+                            tightened = true;
+                        }
+                    }
+                    entry.record_cpi(cpi);
+                }
+
+                Classification {
+                    phase_id,
+                    distance: Some(distance),
+                    new_signature: false,
+                    promoted,
+                    threshold_tightened: tightened,
+                }
+            }
+            MatchOutcome::NoMatch => {
+                let index = self.table.insert(sig);
+                let entry = self.table.entry_mut(index);
+                // With the transition phase disabled (min_count 0), new
+                // signatures receive a real phase ID immediately, as in the
+                // prior work.
+                let phase_id = if self.config.min_count == 0 {
+                    let id = PhaseId::new(self.next_phase_id);
+                    self.next_phase_id += 1;
+                    entry.phase_id = Some(id);
+                    if self.config.adaptive.is_some() {
+                        entry.record_cpi(cpi);
+                    }
+                    id
+                } else {
+                    PhaseId::TRANSITION
+                };
+                Classification {
+                    phase_id,
+                    distance: None,
+                    new_signature: true,
+                    promoted: self.config.min_count == 0,
+                    threshold_tightened: false,
+                }
+            }
+        };
+
+        if classification.phase_id.is_transition() {
+            self.transition_intervals += 1;
+        }
+        classification
+    }
+
+    /// Convenience: classify a whole interval from an event iterator.
+    pub fn classify_interval<I>(&mut self, events: I, cpi: f64) -> PhaseId
+    where
+        I: IntoIterator<Item = BranchEvent>,
+    {
+        for ev in events {
+            self.observe(ev);
+        }
+        self.end_interval(cpi)
+    }
+
+    /// Number of *real* (stable) phase IDs created so far. This is the
+    /// "number of phases detected" metric of Figures 2–4.
+    pub fn phases_created(&self) -> u64 {
+        u64::from(self.next_phase_id) - 1
+    }
+
+    /// Total intervals classified.
+    pub fn intervals_seen(&self) -> u64 {
+        self.intervals_seen
+    }
+
+    /// Intervals classified into the transition phase.
+    pub fn transition_intervals(&self) -> u64 {
+        self.transition_intervals
+    }
+
+    /// Fraction of intervals classified into the transition phase
+    /// (the "transition time" metric of Figure 4).
+    pub fn transition_fraction(&self) -> f64 {
+        if self.intervals_seen == 0 {
+            0.0
+        } else {
+            self.transition_intervals as f64 / self.intervals_seen as f64
+        }
+    }
+
+    /// Read access to the signature table (for experiments and tests).
+    pub fn table(&self) -> &SignatureTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An interval that executes blocks from a PC bank deterministically.
+    fn run_interval(c: &mut PhaseClassifier, base_pc: u64, cpi: f64) -> PhaseId {
+        for i in 0..200u64 {
+            c.observe(BranchEvent::new(base_pc + (i % 8) * 0x40, 50));
+        }
+        c.end_interval(cpi)
+    }
+
+    fn paper_classifier() -> PhaseClassifier {
+        PhaseClassifier::new(ClassifierConfig::hpca2005())
+    }
+
+    #[test]
+    fn first_occurrences_are_transition() {
+        let mut c = paper_classifier();
+        // min_count 8: the first 8 appearances stay in transition.
+        for i in 0..8 {
+            let id = run_interval(&mut c, 0x1000, 1.0);
+            assert!(id.is_transition(), "appearance {i} should be transition");
+        }
+        let id = run_interval(&mut c, 0x1000, 1.0);
+        assert!(!id.is_transition(), "9th appearance is stable");
+        assert_eq!(c.phases_created(), 1);
+    }
+
+    #[test]
+    fn min_count_zero_assigns_ids_immediately() {
+        let cfg = ClassifierConfig::builder().min_count(0).build();
+        let mut c = PhaseClassifier::new(cfg);
+        assert!(!run_interval(&mut c, 0x1000, 1.0).is_transition());
+        assert_eq!(c.transition_intervals(), 0);
+    }
+
+    #[test]
+    fn recurring_phase_keeps_its_id() {
+        let mut c = paper_classifier();
+        let mut ids = Vec::new();
+        for _ in 0..20 {
+            ids.push(run_interval(&mut c, 0x1000, 1.0));
+        }
+        let stable: Vec<_> = ids.iter().filter(|id| !id.is_transition()).collect();
+        assert!(!stable.is_empty());
+        assert!(stable.windows(2).all(|w| w[0] == w[1]), "one stable ID");
+    }
+
+    #[test]
+    fn different_code_different_phase() {
+        let mut c = paper_classifier();
+        for _ in 0..12 {
+            run_interval(&mut c, 0x1000, 1.0);
+        }
+        for _ in 0..12 {
+            run_interval(&mut c, 0x90_0000, 3.0);
+        }
+        assert_eq!(c.phases_created(), 2);
+        let a = run_interval(&mut c, 0x1000, 1.0);
+        let b = run_interval(&mut c, 0x90_0000, 3.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn alternating_phases_both_promoted() {
+        let mut c = paper_classifier();
+        for _ in 0..10 {
+            run_interval(&mut c, 0x1000, 1.0);
+            run_interval(&mut c, 0x90_0000, 3.0);
+        }
+        assert_eq!(c.phases_created(), 2);
+    }
+
+    #[test]
+    fn transition_fraction_counts_unstable_intervals() {
+        let mut c = paper_classifier();
+        for _ in 0..16 {
+            run_interval(&mut c, 0x1000, 1.0);
+        }
+        // 8 transition + 8 stable.
+        assert_eq!(c.transition_intervals(), 8);
+        assert!((c.transition_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_feedback_tightens_threshold() {
+        let cfg = ClassifierConfig::builder()
+            .min_count(0)
+            .adaptive(Some(crate::config::AdaptiveConfig {
+                deviation_threshold: 0.25,
+            }))
+            .build();
+        let mut c = PhaseClassifier::new(cfg);
+        run_interval(&mut c, 0x1000, 1.0);
+        run_interval(&mut c, 0x1000, 1.0);
+        // CPI jumps by 3x: far over the 25% deviation threshold.
+        let mut got_tightened = false;
+        for i in 0..400u64 {
+            c.observe(BranchEvent::new(0x1000 + (i % 8) * 0x40, 50));
+            if i == 399 {
+                let detail = c.end_interval_detailed(3.0);
+                got_tightened = detail.threshold_tightened;
+            }
+        }
+        c.end_interval(3.0); // flush leftover events from loop structure
+        assert!(got_tightened, "large CPI deviation must halve the threshold");
+    }
+
+    #[test]
+    fn static_config_never_tightens() {
+        let cfg = ClassifierConfig::builder().min_count(0).adaptive(None).build();
+        let mut c = PhaseClassifier::new(cfg);
+        for cpi in [1.0, 5.0, 0.2, 9.0] {
+            for i in 0..200u64 {
+                c.observe(BranchEvent::new(0x1000 + (i % 8) * 0x40, 50));
+            }
+            let d = c.end_interval_detailed(cpi);
+            assert!(!d.threshold_tightened);
+        }
+        let base = c.table().base_threshold();
+        assert!(c.table().iter().all(|e| (e.threshold - base).abs() < 1e-12));
+    }
+
+    #[test]
+    fn small_table_recreates_lost_phases() {
+        // With a 1-entry table, alternating between two codes evicts
+        // constantly, so phase IDs keep being created (the Figure 2 effect).
+        let cfg = ClassifierConfig::builder()
+            .table_entries(Some(1))
+            .min_count(0)
+            .build();
+        let mut c = PhaseClassifier::new(cfg);
+        for _ in 0..5 {
+            run_interval(&mut c, 0x1000, 1.0);
+            run_interval(&mut c, 0x90_0000, 3.0);
+        }
+        assert!(
+            c.phases_created() >= 8,
+            "thrashing table inflates phase count: {}",
+            c.phases_created()
+        );
+    }
+
+    #[test]
+    fn empty_interval_is_classified_consistently() {
+        let mut c = paper_classifier();
+        let first = c.end_interval(0.0);
+        assert!(first.is_transition(), "a brand-new empty signature is unstable");
+        // Repeating the empty interval eventually promotes it like any
+        // other signature.
+        for _ in 0..10 {
+            c.end_interval(0.0);
+        }
+        assert_eq!(c.phases_created(), 1);
+    }
+
+    #[test]
+    fn classify_interval_convenience_matches_manual() {
+        let mut manual = paper_classifier();
+        let mut auto = paper_classifier();
+        let events: Vec<_> = (0..100u64)
+            .map(|i| BranchEvent::new(0x2000 + (i % 4) * 0x10, 25))
+            .collect();
+        for ev in &events {
+            manual.observe(*ev);
+        }
+        let a = manual.end_interval(1.5);
+        let b = auto.classify_interval(events, 1.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn classifier_state_is_serializable() {
+        // The paper's 10M-instruction granularity is "at the level of
+        // context switching": an OS integrating this architecture must be
+        // able to save and restore per-process phase state. Compile-time
+        // check that the whole classifier state is (de)serializable.
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<PhaseClassifier>();
+        assert_serde::<SignatureTable>();
+        assert_serde::<Classification>();
+    }
+
+    #[test]
+    fn suspended_and_resumed_classifier_continues_identically() {
+        // Clone mid-stream (the state snapshot a suspend would serialize)
+        // and check both copies evolve identically.
+        let mut c = paper_classifier();
+        for _ in 0..10 {
+            run_interval(&mut c, 0x1000, 1.0);
+            run_interval(&mut c, 0x9_0000, 3.0);
+        }
+        let mut resumed = c.clone();
+        for _ in 0..10 {
+            let a = run_interval(&mut c, 0x1000, 1.0);
+            let b = run_interval(&mut resumed, 0x1000, 1.0);
+            assert_eq!(a, b);
+        }
+        assert_eq!(c.phases_created(), resumed.phases_created());
+    }
+
+    #[test]
+    fn static_bit_selection_misscal_can_zero_signatures() {
+        // A static selection aimed at bits 14..19 sees nothing when the
+        // counters only ever reach a few hundred — every signature is
+        // all-zero and everything collapses into a single phase. This is
+        // the failure mode the paper's dynamic selection removes.
+        let cfg = ClassifierConfig::builder()
+            .min_count(0)
+            .adaptive(None)
+            .bit_selection(crate::config::BitSelectionMode::Static { low_bit: 14 })
+            .build();
+        let mut c = PhaseClassifier::new(cfg);
+        // Two very different (tiny) intervals.
+        c.observe(BranchEvent::new(0x1000, 200));
+        let a = c.end_interval(1.0);
+        c.observe(BranchEvent::new(0x9_0000, 200));
+        let b = c.end_interval(3.0);
+        assert_eq!(a, b, "mis-scaled static selection cannot distinguish them");
+
+        // Dynamic selection separates the same two intervals.
+        let mut d = PhaseClassifier::new(
+            ClassifierConfig::builder().min_count(0).adaptive(None).build(),
+        );
+        d.observe(BranchEvent::new(0x1000, 200));
+        let a = d.end_interval(1.0);
+        d.observe(BranchEvent::new(0x9_0000, 200));
+        let b = d.end_interval(3.0);
+        assert_ne!(a, b, "dynamic selection adapts to the interval scale");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut c = paper_classifier();
+            let mut ids = Vec::new();
+            for pc in [0x1000u64, 0x2000, 0x1000, 0x3000, 0x1000] {
+                for _ in 0..6 {
+                    ids.push(run_interval(&mut c, pc, 1.0));
+                }
+            }
+            ids
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,291 @@
+//! Compressed signatures with dynamic bit selection (Section 4.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::accumulator::AccumulatorTable;
+
+/// Which bits to copy out of each accumulator when forming a signature.
+///
+/// Computed per interval from the average counter value: if the average
+/// needs `b` bits, the hardware keeps two extra bits of headroom (values up
+/// to 4× the average remain representable), then copies the top
+/// `bits_per_dim` bits of that range. Counters with a set bit *above* the
+/// kept range saturate to the all-ones value.
+///
+/// # Example
+///
+/// ```
+/// use tpcp_core::BitSelection;
+///
+/// // Average counter value 1000 needs 10 bits; with 2 headroom bits the
+/// // MSB position is 11, and with 6-bit dims we copy bits 11..=6.
+/// let sel = BitSelection::for_average(1000, 6);
+/// assert_eq!(sel.compress(0), 0);
+/// assert_eq!(sel.compress(1 << 11), 0b100000);
+/// assert_eq!(sel.compress(u64::MAX), 0b111111); // saturates
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSelection {
+    /// Lowest bit position copied.
+    low_bit: u32,
+    /// Number of bits copied per counter.
+    bits_per_dim: u32,
+}
+
+impl BitSelection {
+    /// Chooses the selection for an interval whose average counter value is
+    /// `average`, copying `bits_per_dim` bits per counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_dim` is zero or greater than 16.
+    pub fn for_average(average: u64, bits_per_dim: u32) -> Self {
+        assert!(
+            (1..=16).contains(&bits_per_dim),
+            "bits per dimension must be in 1..=16"
+        );
+        // Bits needed to represent the average (at least 1).
+        let bits_needed = 64 - average.max(1).leading_zeros();
+        // Keep two more bits so counters 2-4x the average are representable.
+        let msb = bits_needed + 1; // highest kept bit position (0-indexed)
+        let low_bit = (msb + 1).saturating_sub(bits_per_dim);
+        Self {
+            low_bit,
+            bits_per_dim,
+        }
+    }
+
+    /// Builds a selection from explicit bit positions (used to model the
+    /// prior work's *static* choice of bits 14–21).
+    pub fn fixed(low_bit: u32, bits_per_dim: u32) -> Self {
+        assert!(
+            (1..=16).contains(&bits_per_dim),
+            "bits per dimension must be in 1..=16"
+        );
+        Self {
+            low_bit,
+            bits_per_dim,
+        }
+    }
+
+    /// Lowest copied bit position.
+    pub fn low_bit(&self) -> u32 {
+        self.low_bit
+    }
+
+    /// Bits copied per dimension.
+    pub fn bits_per_dim(&self) -> u32 {
+        self.bits_per_dim
+    }
+
+    /// Maximum representable dimension value (`2^bits_per_dim - 1`).
+    pub fn max_dim(&self) -> u16 {
+        ((1u32 << self.bits_per_dim) - 1) as u16
+    }
+
+    /// Compresses one 24-bit counter to a `bits_per_dim`-bit value,
+    /// saturating when a more significant bit is set above the selection.
+    #[inline]
+    pub fn compress(&self, counter: u64) -> u16 {
+        let top = self.low_bit + self.bits_per_dim; // first bit above range
+        if top < 64 && (counter >> top) != 0 {
+            return self.max_dim();
+        }
+        ((counter >> self.low_bit) as u32 & ((1 << self.bits_per_dim) - 1)) as u16
+    }
+}
+
+/// A compressed interval signature: one small value per accumulator.
+///
+/// Signatures are compared with the Manhattan distance, normalized by the
+/// total weight of both signatures so a similarity threshold is a fraction
+/// of "how different could they possibly be": 0 means identical code
+/// profiles, 1 means disjoint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    dims: Vec<u16>,
+    selection: BitSelection,
+}
+
+impl Signature {
+    /// Forms the signature of the current interval from the accumulator
+    /// table, choosing bits dynamically from the interval's average counter
+    /// value (Section 4.2).
+    pub fn from_accumulator(acc: &AccumulatorTable, bits_per_dim: u32) -> Self {
+        let selection = BitSelection::for_average(acc.average(), bits_per_dim);
+        Self::with_selection(acc, selection)
+    }
+
+    /// Forms a signature using an explicit bit selection (for modeling the
+    /// static selection of prior work and for ablation experiments).
+    pub fn with_selection(acc: &AccumulatorTable, selection: BitSelection) -> Self {
+        Self {
+            dims: acc.counters().iter().map(|&c| selection.compress(c)).collect(),
+            selection,
+        }
+    }
+
+    /// The compressed per-dimension values.
+    pub fn dims(&self) -> &[u16] {
+        &self.dims
+    }
+
+    /// The bit selection this signature was formed under.
+    pub fn selection(&self) -> BitSelection {
+        self.selection
+    }
+
+    /// Sum of all dimension values (the signature's "weight").
+    pub fn weight(&self) -> u64 {
+        self.dims.iter().map(|&d| u64::from(d)).sum()
+    }
+
+    /// Raw Manhattan distance between two signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signatures have different dimensionality.
+    pub fn manhattan_distance(&self, other: &Signature) -> u64 {
+        assert_eq!(
+            self.dims.len(),
+            other.dims.len(),
+            "signatures must have equal dimensionality"
+        );
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .map(|(&a, &b)| u64::from(a.abs_diff(b)))
+            .sum()
+    }
+
+    /// Normalized distance in `[0, 1]`: the Manhattan distance divided by
+    /// the combined weight of both signatures.
+    ///
+    /// Identical signatures score 0; signatures with disjoint non-zero
+    /// dimensions score 1. Two all-zero signatures are defined to be
+    /// identical (distance 0).
+    ///
+    /// A similarity threshold of 25% ("a signature can be no more than 25%
+    /// different", Figure 4) is `normalized_distance < 0.25`.
+    pub fn normalized_distance(&self, other: &Signature) -> f64 {
+        let denom = self.weight() + other.weight();
+        if denom == 0 {
+            return 0.0;
+        }
+        self.manhattan_distance(other) as f64 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcp_trace::BranchEvent;
+
+    fn acc_from(pairs: &[(u64, u32)], n: usize) -> AccumulatorTable {
+        let mut acc = AccumulatorTable::new(n);
+        for &(pc, insns) in pairs {
+            acc.observe(BranchEvent::new(pc, insns));
+        }
+        acc
+    }
+
+    #[test]
+    fn selection_tracks_average_magnitude() {
+        // Larger averages select higher bits.
+        let small = BitSelection::for_average(100, 6);
+        let large = BitSelection::for_average(100_000, 6);
+        assert!(large.low_bit() > small.low_bit());
+    }
+
+    #[test]
+    fn selection_handles_zero_average() {
+        let sel = BitSelection::for_average(0, 6);
+        assert_eq!(sel.compress(0), 0);
+        assert_eq!(sel.compress(3), 3);
+    }
+
+    #[test]
+    fn compress_saturates_above_range() {
+        let sel = BitSelection::for_average(1 << 10, 6);
+        // Selection spans bits 12..=7. Bit 13 set => saturate.
+        assert_eq!(sel.compress(1 << 20), sel.max_dim());
+    }
+
+    #[test]
+    fn compress_extracts_selected_bits() {
+        let sel = BitSelection::fixed(4, 6);
+        assert_eq!(sel.compress(0b11_1111_0000), 0b11_1111);
+        assert_eq!(sel.compress(0b01_0101_1111), 0b01_0101);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits per dimension")]
+    fn zero_bits_rejected() {
+        BitSelection::for_average(10, 0);
+    }
+
+    #[test]
+    fn identical_accumulators_zero_distance() {
+        let a = Signature::from_accumulator(&acc_from(&[(1, 100), (2, 200)], 8), 6);
+        let b = Signature::from_accumulator(&acc_from(&[(1, 100), (2, 200)], 8), 6);
+        assert_eq!(a.manhattan_distance(&b), 0);
+        assert_eq!(a.normalized_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_code_has_distance_one() {
+        // Two intervals executing completely different code.
+        let a = Signature::from_accumulator(&acc_from(&[(0x111, 1000)], 8), 6);
+        let b = Signature::from_accumulator(&acc_from(&[(0x999, 1000)], 8), 6);
+        // (Guard against unlucky hash collision of the two PCs.)
+        let acc = AccumulatorTable::new(8);
+        if acc.index_of(0x111) != acc.index_of(0x999) {
+            assert!((a.normalized_distance(&b) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Signature::from_accumulator(&acc_from(&[(1, 10), (5, 300)], 8), 6);
+        let b = Signature::from_accumulator(&acc_from(&[(5, 100), (9, 42)], 8), 6);
+        assert_eq!(a.manhattan_distance(&b), b.manhattan_distance(&a));
+    }
+
+    #[test]
+    fn empty_signatures_are_identical() {
+        let a = Signature::from_accumulator(&AccumulatorTable::new(8), 6);
+        let b = Signature::from_accumulator(&AccumulatorTable::new(8), 6);
+        assert_eq!(a.normalized_distance(&b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn mismatched_dims_panic() {
+        let a = Signature::from_accumulator(&AccumulatorTable::new(8), 6);
+        let b = Signature::from_accumulator(&AccumulatorTable::new(16), 6);
+        let _ = a.manhattan_distance(&b);
+    }
+
+    #[test]
+    fn similar_intervals_have_small_distance() {
+        // Same dominant code, slightly different proportions.
+        let a = Signature::from_accumulator(
+            &acc_from(&[(1, 10_000), (2, 5_000), (3, 100)], 16),
+            6,
+        );
+        let b = Signature::from_accumulator(
+            &acc_from(&[(1, 9_500), (2, 5_400), (3, 150)], 16),
+            6,
+        );
+        let d = a.normalized_distance(&b);
+        assert!(d < 0.125, "similar intervals should be within 12.5%: {d}");
+    }
+
+    #[test]
+    fn six_bits_is_default_resolution() {
+        let acc = acc_from(&[(1, 1000)], 8);
+        let sig = Signature::from_accumulator(&acc, 6);
+        assert!(sig.dims().iter().all(|&d| d <= 63));
+        assert_eq!(sig.selection().bits_per_dim(), 6);
+    }
+}

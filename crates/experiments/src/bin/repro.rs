@@ -1,0 +1,148 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--csv-dir DIR] [fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|simpoint|all]...
+//! repro timeline <benchmark-label>     # per-interval phase/CPI dump
+//! ```
+//!
+//! Run with `--release`; the full-scale suite simulates ~13 billion
+//! instructions' worth of interval structure. Traces are cached under
+//! `target/tpcp-traces` after the first run.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tpcp_experiments::figures;
+use tpcp_experiments::{SuiteParams, Table, TraceCache};
+
+const FIGURES: [&str; 17] = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "simpoint",
+    "metric-pred",
+    "multi-metric",
+    "simpoint-estimate",
+    "ablation-bits",
+    "ablation-match",
+    "ablation-selection",
+    "ablation-confidence",
+    "ablation-interval",
+];
+
+fn run_figure(name: &str, cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
+    match name {
+        "fig2" => figures::fig2::run(cache, params),
+        "fig3" => figures::fig3::run(cache, params),
+        "fig4" => figures::fig4::run(cache, params),
+        "fig5" => figures::fig5::run(cache, params),
+        "fig6" => figures::fig6::run(cache, params),
+        "fig7" => figures::fig7::run(cache, params),
+        "fig8" => figures::fig8::run(cache, params),
+        "fig9" => figures::fig9::run(cache, params),
+        "simpoint" => figures::simpoint_cmp::run(cache, params),
+        "metric-pred" => figures::metric_pred::run(cache, params),
+        "multi-metric" => figures::multi_metric::run(cache, params),
+        "simpoint-estimate" => figures::simpoint_cmp::estimate(cache, params),
+        "ablation-bits" => figures::ablations::bits_sweep(cache, params),
+        "ablation-match" => figures::ablations::match_policy(cache, params),
+        "ablation-selection" => figures::ablations::selection_mode(cache, params),
+        "ablation-confidence" => figures::ablations::confidence_sweep(cache, params),
+        "ablation-interval" => figures::ablations::interval_sweep(cache, params),
+        other => {
+            eprintln!("unknown figure '{other}'; known: {FIGURES:?} or 'all'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut bars = false;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--bars" => bars = true,
+            "--csv-dir" => {
+                let dir = iter.next().unwrap_or_else(|| {
+                    eprintln!("--csv-dir requires a directory argument");
+                    std::process::exit(2);
+                });
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "all" => targets.extend(FIGURES.iter().map(|s| s.to_string())),
+            other => targets.push(other.to_owned()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("usage: repro [--quick] [--csv-dir DIR] <fig2..fig9|simpoint|all>...");
+        std::process::exit(2);
+    }
+
+    let params = if quick {
+        SuiteParams::quick()
+    } else {
+        SuiteParams::default()
+    };
+    let cache = TraceCache::default_location();
+    eprintln!(
+        "# suite: {} (interval = {} instructions, scale = {})",
+        params.fingerprint(),
+        params.workload.interval_size,
+        params.workload.length_scale
+    );
+
+    // `timeline <bench>` consumes the next target as its argument.
+    if targets.first().map(String::as_str) == Some("timeline") {
+        let label = targets.get(1).cloned().unwrap_or_else(|| {
+            eprintln!("usage: repro timeline <benchmark-label>");
+            std::process::exit(2);
+        });
+        print_timeline(&label, &cache, &params);
+        return;
+    }
+
+    for name in targets {
+        let start = Instant::now();
+        let tables = run_figure(&name, &cache, &params);
+        for table in &tables {
+            println!("{}", table.render());
+            if bars {
+                println!("{}", table.render_bars());
+            }
+        }
+        if let Some(dir) = &csv_dir {
+            fs::create_dir_all(dir).expect("create csv dir");
+            for (i, table) in tables.iter().enumerate() {
+                let path = dir.join(format!("{name}-{i}.csv"));
+                fs::write(&path, table.to_csv()).expect("write csv");
+            }
+        }
+        eprintln!("# {name} took {:.1}s", start.elapsed().as_secs_f64());
+    }
+}
+
+/// Dumps `interval,phase,cpi` CSV for one benchmark under the paper's
+/// classifier configuration.
+fn print_timeline(label: &str, cache: &TraceCache, params: &SuiteParams) {
+    let kind: tpcp_workloads::BenchmarkKind = label.parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let trace = cache.load_or_simulate(kind, params);
+    let run = tpcp_experiments::run_classifier(&trace, tpcp_core::ClassifierConfig::hpca2005());
+    println!("interval,phase,cpi");
+    for (i, (id, cpi)) in run.ids.iter().zip(&run.cpis).enumerate() {
+        println!("{i},{},{cpi:.4}", id.value());
+    }
+}

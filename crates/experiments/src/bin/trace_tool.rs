@@ -1,0 +1,115 @@
+//! Trace interchange tool.
+//!
+//! The paper's methodology generates basic-block profiles externally (with
+//! SimpleScalar) and analyzes them offline. This tool provides the same
+//! boundary for this workspace: traces can be exported to files, inspected,
+//! converted to SimPoint's classic text BBV format (`T:pc:count` per
+//! interval), and arbitrary `.tpcptrc` files — including ones produced by
+//! external tracers — can be classified.
+//!
+//! ```text
+//! trace-tool export <benchmark> <path> [--quick]   # simulate -> .tpcptrc
+//! trace-tool info <path>                           # summary statistics
+//! trace-tool bbv <path>                            # SimPoint text BBVs on stdout
+//! trace-tool classify <path>                       # phase timeline CSV on stdout
+//! ```
+
+use std::fs;
+use std::process::exit;
+
+use tpcp_core::{ClassifierConfig, PhaseClassifier};
+use tpcp_trace::{decode_trace, encode_trace, IntervalSource, RecordedTrace, TraceStats};
+use tpcp_workloads::{BenchmarkKind, WorkloadParams};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace-tool export <benchmark> <path> [--quick]\n       \
+         trace-tool info <path>\n       \
+         trace-tool bbv <path>\n       \
+         trace-tool classify <path>"
+    );
+    exit(2);
+}
+
+fn load(path: &str) -> RecordedTrace {
+    let bytes = fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read '{path}': {e}");
+        exit(1);
+    });
+    decode_trace(bytes.into()).unwrap_or_else(|e| {
+        eprintln!("cannot decode '{path}': {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("export") => {
+            let (Some(label), Some(path)) = (args.get(1), args.get(2)) else {
+                usage();
+            };
+            let kind: BenchmarkKind = label.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(2);
+            });
+            let params = WorkloadParams {
+                length_scale: if args.iter().any(|a| a == "--quick") {
+                    0.05
+                } else {
+                    1.0
+                },
+                ..Default::default()
+            };
+            eprintln!("simulating {} ...", kind.label());
+            let trace = RecordedTrace::record(kind.build(&params).simulate(&params));
+            fs::write(path, encode_trace(&trace)).unwrap_or_else(|e| {
+                eprintln!("cannot write '{path}': {e}");
+                exit(1);
+            });
+            eprintln!("wrote {path}: {}", TraceStats::of(&trace));
+        }
+        Some("info") => {
+            let Some(path) = args.get(1) else { usage() };
+            println!("{}", TraceStats::of(&load(path)));
+        }
+        Some("bbv") => {
+            // SimPoint's classic text format: one line per interval,
+            // "T" followed by ":pc:count" pairs (instruction counts
+            // attributed to the block ending at pc).
+            let Some(path) = args.get(1) else { usage() };
+            let trace = load(path);
+            for interval in &trace.intervals {
+                let mut counts = std::collections::BTreeMap::new();
+                for ev in &interval.events {
+                    *counts.entry(ev.pc).or_insert(0u64) += u64::from(ev.insns);
+                }
+                let mut line = String::from("T");
+                for (pc, count) in counts {
+                    line.push_str(&format!(":{pc}:{count}"));
+                }
+                println!("{line}");
+            }
+        }
+        Some("classify") => {
+            let Some(path) = args.get(1) else { usage() };
+            let trace = load(path);
+            let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
+            let mut replay = trace.replay();
+            println!("interval,phase,cpi");
+            let mut i = 0usize;
+            while let Some(s) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
+                let id = classifier.end_interval(s.cpi());
+                println!("{i},{},{:.4}", id.value(), s.cpi());
+                i += 1;
+            }
+            eprintln!(
+                "{} intervals, {} stable phases, {:.1}% transition",
+                classifier.intervals_seen(),
+                classifier.phases_created(),
+                classifier.transition_fraction() * 100.0
+            );
+        }
+        _ => usage(),
+    }
+}

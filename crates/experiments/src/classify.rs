@@ -1,0 +1,108 @@
+//! Shared classification driver: replay a trace through a classifier.
+
+use tpcp_core::{ClassifierConfig, PhaseClassifier, PhaseId};
+use tpcp_metrics::{CovAccumulator, CovSummary, RunAccumulator, RunLengthStats};
+use tpcp_trace::{IntervalSource, RecordedTrace};
+
+/// The result of classifying one benchmark trace under one configuration.
+#[derive(Debug, Clone)]
+pub struct ClassifiedRun {
+    /// Phase ID per interval, in execution order.
+    pub ids: Vec<PhaseId>,
+    /// CPI per interval (parallel to `ids`).
+    pub cpis: Vec<f64>,
+    /// Number of real (stable) phase IDs the classifier created.
+    pub phases_created: u64,
+    /// Fraction of intervals classified into the transition phase.
+    pub transition_fraction: f64,
+    /// CoV summary of the classification.
+    pub cov: CovSummary,
+    /// Run-length statistics of the phase ID stream.
+    pub runs: RunLengthStats,
+}
+
+/// Replays `trace` through a fresh classifier with `config`.
+///
+/// # Example
+///
+/// ```
+/// use tpcp_core::ClassifierConfig;
+/// use tpcp_experiments::run_classifier;
+/// use tpcp_trace::{PhaseSpec, RecordedTrace, SyntheticTrace};
+///
+/// let trace = SyntheticTrace::new(10_000)
+///     .phase(PhaseSpec::uniform(0x1000, 4, 1.0))
+///     .schedule(&[(0, 20)])
+///     .generate();
+/// let run = run_classifier(&trace, ClassifierConfig::hpca2005());
+/// assert_eq!(run.ids.len(), 20);
+/// ```
+pub fn run_classifier(trace: &RecordedTrace, config: ClassifierConfig) -> ClassifiedRun {
+    let mut classifier = PhaseClassifier::new(config);
+    let mut replay = trace.replay();
+    let mut ids = Vec::with_capacity(trace.len());
+    let mut cpis = Vec::with_capacity(trace.len());
+    let mut cov = CovAccumulator::new();
+    let mut runs = RunAccumulator::new();
+    while let Some(summary) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
+        let cpi = summary.cpi();
+        let id = classifier.end_interval(cpi);
+        ids.push(id);
+        cpis.push(cpi);
+        cov.observe(id, cpi);
+        runs.observe(id);
+    }
+    ClassifiedRun {
+        ids,
+        cpis,
+        phases_created: classifier.phases_created(),
+        transition_fraction: classifier.transition_fraction(),
+        cov: cov.finish(),
+        runs: runs.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcp_trace::{PhaseSpec, SyntheticTrace};
+
+    fn two_phase_trace() -> RecordedTrace {
+        SyntheticTrace::new(10_000)
+            .phase(PhaseSpec::uniform(0x1000, 4, 1.0))
+            .phase(PhaseSpec::uniform(0x9000, 4, 3.0))
+            .schedule(&[(0, 30), (1, 30), (0, 30)])
+            .generate()
+    }
+
+    #[test]
+    fn classification_covers_every_interval() {
+        let run = run_classifier(&two_phase_trace(), ClassifierConfig::hpca2005());
+        assert_eq!(run.ids.len(), 90);
+        assert_eq!(run.cpis.len(), 90);
+    }
+
+    #[test]
+    fn scripted_phases_are_separated() {
+        let run = run_classifier(&two_phase_trace(), ClassifierConfig::hpca2005());
+        assert_eq!(run.phases_created, 2);
+        // Reappearing phase 0 keeps its ID.
+        assert_eq!(run.ids[25], run.ids[85]);
+        assert_ne!(run.ids[25], run.ids[45]);
+    }
+
+    #[test]
+    fn cov_is_low_for_clean_phases() {
+        let run = run_classifier(&two_phase_trace(), ClassifierConfig::hpca2005());
+        assert!(run.cov.weighted_cov() < 0.05, "{}", run.cov.weighted_cov());
+        assert!(run.cov.whole_program_cov() > 0.3);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let trace = two_phase_trace();
+        let a = run_classifier(&trace, ClassifierConfig::hpca2005());
+        let b = run_classifier(&trace, ClassifierConfig::hpca2005());
+        assert_eq!(a.ids, b.ids);
+    }
+}

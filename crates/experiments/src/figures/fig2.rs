@@ -1,0 +1,87 @@
+//! Figure 2: CPI CoV and number of phases vs. signature table size.
+//!
+//! Paper setup: 32 accumulators, 12.5% similarity threshold, no transition
+//! phase, table sizes 16 / 32 / 64 / unbounded with LRU replacement.
+//! Expected shape: the number of phases detected decreases dramatically
+//! with more table entries (evictions lose signatures, and re-discovery
+//! allocates fresh phase IDs); CPI CoV increases slightly with more
+//! entries because fewer, larger phases are less specialized.
+
+use tpcp_core::ClassifierConfig;
+
+use crate::classify::run_classifier;
+use crate::figures::{avg, benchmarks};
+use crate::report::{pct, Table};
+use crate::suite::{SuiteParams, TraceCache};
+
+/// Table sizes evaluated by the figure (`None` = unbounded).
+pub const TABLE_SIZES: [Option<usize>; 4] = [Some(16), Some(32), Some(64), None];
+
+fn config_for(entries: Option<usize>) -> ClassifierConfig {
+    ClassifierConfig::builder()
+        .accumulators(32)
+        .table_entries(entries)
+        .similarity_threshold(0.125)
+        .min_count(0)
+        .adaptive(None)
+        .build()
+}
+
+fn size_label(entries: Option<usize>) -> String {
+    match entries {
+        Some(n) => format!("{n} entry"),
+        None => "inf entry".to_owned(),
+    }
+}
+
+/// Runs the experiment and renders the figure's two panels as tables.
+pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
+    let mut header = vec!["bench".to_owned()];
+    header.extend(TABLE_SIZES.iter().map(|&s| size_label(s)));
+    let mut cov_table = Table::new("Figure 2 (left): CPI CoV (%) vs signature table entries", header.clone());
+    let mut phases_table = Table::new("Figure 2 (right): number of phases vs table entries", header);
+
+    let mut cov_cols: Vec<Vec<f64>> = vec![Vec::new(); TABLE_SIZES.len()];
+    let mut phase_cols: Vec<Vec<f64>> = vec![Vec::new(); TABLE_SIZES.len()];
+
+    for kind in benchmarks() {
+        let trace = cache.load_or_simulate(kind, params);
+        let mut cov_row = vec![kind.label().to_owned()];
+        let mut phase_row = vec![kind.label().to_owned()];
+        for (i, &entries) in TABLE_SIZES.iter().enumerate() {
+            let run = run_classifier(&trace, config_for(entries));
+            let cov = run.cov.weighted_cov();
+            cov_cols[i].push(cov);
+            phase_cols[i].push(run.phases_created as f64);
+            cov_row.push(pct(cov));
+            phase_row.push(run.phases_created.to_string());
+        }
+        cov_table.row(cov_row);
+        phases_table.row(phase_row);
+    }
+
+    let mut cov_avg = vec!["avg".to_owned()];
+    let mut phase_avg = vec!["avg".to_owned()];
+    for i in 0..TABLE_SIZES.len() {
+        cov_avg.push(pct(avg(&cov_cols[i])));
+        phase_avg.push(format!("{:.0}", avg(&phase_cols[i])));
+    }
+    cov_table.row(cov_avg);
+    phases_table.row(phase_avg);
+
+    vec![cov_table, phases_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_both_panels() {
+        let cache = crate::suite::test_cache();
+        let params = SuiteParams::quick();
+        let tables = run(&cache, &params);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 12, "11 benchmarks + avg");
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 5: average stable and transition phase lengths (in intervals),
+//! with standard deviations.
+//!
+//! Paper setup: 16 accumulators, 32-entry table, 25% similarity, min-count
+//! 8. Expected shape: stable runs are much longer than transition runs and
+//! have far larger variability; gcc is the exception with short stable
+//! runs; perl/diffmail and gzip/graphic have exceptionally long stable
+//! phases.
+
+use tpcp_core::ClassifierConfig;
+
+use crate::classify::run_classifier;
+use crate::figures::{avg, benchmarks};
+use crate::report::{f2, Table};
+use crate::suite::{SuiteParams, TraceCache};
+
+fn config() -> ClassifierConfig {
+    ClassifierConfig::builder()
+        .accumulators(16)
+        .table_entries(Some(32))
+        .similarity_threshold(0.25)
+        .min_count(8)
+        .adaptive(None)
+        .build()
+}
+
+/// Runs the experiment and renders the phase length table.
+pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
+    let mut table = Table::new(
+        "Figure 5: average phase lengths in intervals (std dev)",
+        vec![
+            "bench".to_owned(),
+            "stable len".to_owned(),
+            "stable dev".to_owned(),
+            "trans len".to_owned(),
+            "trans dev".to_owned(),
+        ],
+    );
+    let mut stable_means = Vec::new();
+    let mut trans_means = Vec::new();
+    for kind in benchmarks() {
+        let trace = cache.load_or_simulate(kind, params);
+        let run = run_classifier(&trace, config());
+        stable_means.push(run.runs.stable_mean());
+        trans_means.push(run.runs.transition_mean());
+        table.row(vec![
+            kind.label().to_owned(),
+            f2(run.runs.stable_mean()),
+            f2(run.runs.stable_std_dev()),
+            f2(run.runs.transition_mean()),
+            f2(run.runs.transition_std_dev()),
+        ]);
+    }
+    table.row(vec![
+        "average".to_owned(),
+        f2(avg(&stable_means)),
+        String::new(),
+        f2(avg(&trans_means)),
+        String::new(),
+    ]);
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_length_table() {
+        let cache = crate::suite::test_cache();
+        let tables = run(&cache, &SuiteParams::quick());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 6: static vs. dynamic (adaptive) similarity thresholds — CPI
+//! CoV, number of phases, and transition time for static 25% / 12.5%
+//! thresholds and dynamic 25% thresholds with 50% / 25% / 12.5%
+//! performance deviation thresholds.
+//!
+//! Expected shape: dynamic thresholds lower the CoV for benchmarks whose
+//! phases hide heterogeneous behaviour behind similar signatures (mcf,
+//! perl/splitmail) at a modest cost in extra phases and transition time,
+//! while leaving already-homogeneous benchmarks (gzip/graphic, galgel)
+//! essentially unchanged.
+
+use tpcp_core::{AdaptiveConfig, ClassifierConfig};
+
+use crate::classify::run_classifier;
+use crate::figures::{avg, benchmarks};
+use crate::report::{pct, Table};
+use crate::suite::{SuiteParams, TraceCache};
+
+/// The figure's configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6Config {
+    /// Display label.
+    pub label: &'static str,
+    /// Base similarity threshold.
+    pub similarity: f64,
+    /// Deviation threshold for dynamic configs; `None` = static.
+    pub deviation: Option<f64>,
+}
+
+/// The five configurations the figure compares.
+pub const CONFIGS: [Fig6Config; 5] = [
+    Fig6Config { label: "25% static", similarity: 0.25, deviation: None },
+    Fig6Config { label: "12.5% static", similarity: 0.125, deviation: None },
+    Fig6Config { label: "25% dyn+50% dev", similarity: 0.25, deviation: Some(0.50) },
+    Fig6Config { label: "25% dyn+25% dev", similarity: 0.25, deviation: Some(0.25) },
+    Fig6Config { label: "25% dyn+12.5% dev", similarity: 0.25, deviation: Some(0.125) },
+];
+
+fn config_for(c: &Fig6Config) -> ClassifierConfig {
+    ClassifierConfig::builder()
+        .accumulators(16)
+        .table_entries(Some(32))
+        .similarity_threshold(c.similarity)
+        .min_count(8)
+        .adaptive(c.deviation.map(|deviation_threshold| AdaptiveConfig {
+            deviation_threshold,
+        }))
+        .build()
+}
+
+/// Runs the experiment and renders the figure's three panels.
+pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
+    let mut header = vec!["bench".to_owned()];
+    header.extend(CONFIGS.iter().map(|c| c.label.to_owned()));
+    let mut cov_table = Table::new("Figure 6 (top): CPI CoV (%)", header.clone());
+    let mut phases_table = Table::new("Figure 6 (middle): number of phases", header.clone());
+    let mut trans_table = Table::new("Figure 6 (bottom): transition time (%)", header);
+
+    let n = CONFIGS.len();
+    let mut cov_cols = vec![Vec::new(); n];
+    let mut phase_cols = vec![Vec::new(); n];
+    let mut trans_cols = vec![Vec::new(); n];
+
+    for kind in benchmarks() {
+        let trace = cache.load_or_simulate(kind, params);
+        let mut cov_row = vec![kind.label().to_owned()];
+        let mut phase_row = vec![kind.label().to_owned()];
+        let mut trans_row = vec![kind.label().to_owned()];
+        for (i, c) in CONFIGS.iter().enumerate() {
+            let run = run_classifier(&trace, config_for(c));
+            cov_cols[i].push(run.cov.weighted_cov());
+            phase_cols[i].push(run.phases_created as f64);
+            trans_cols[i].push(run.transition_fraction);
+            cov_row.push(pct(run.cov.weighted_cov()));
+            phase_row.push(run.phases_created.to_string());
+            trans_row.push(pct(run.transition_fraction));
+        }
+        cov_table.row(cov_row);
+        phases_table.row(phase_row);
+        trans_table.row(trans_row);
+    }
+
+    let mut cov_avg = vec!["avg".to_owned()];
+    let mut phase_avg = vec!["avg".to_owned()];
+    let mut trans_avg = vec!["avg".to_owned()];
+    for i in 0..n {
+        cov_avg.push(pct(avg(&cov_cols[i])));
+        phase_avg.push(format!("{:.0}", avg(&phase_cols[i])));
+        trans_avg.push(pct(avg(&trans_cols[i])));
+    }
+    cov_table.row(cov_avg);
+    phases_table.row(phase_avg);
+    trans_table.row(trans_avg);
+
+    vec![cov_table, phases_table, trans_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_three_panels() {
+        let cache = crate::suite::test_cache();
+        let tables = run(&cache, &SuiteParams::quick());
+        assert_eq!(tables.len(), 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 7: next-phase prediction accuracy, stacked by prediction source
+//! and confidence.
+//!
+//! The classifier is the paper's final configuration (16 accumulators,
+//! 32 entries, 25% similarity, min-count 8, 25% deviation threshold); the
+//! phase ID stream it produces is fed to each predictor. Expected shape:
+//! last value is ~75% accurate (≈25% of interval transitions change
+//! phase); confidence trades coverage for accuracy; Markov/RLE variants
+//! add only a few percent.
+
+use tpcp_core::ClassifierConfig;
+use tpcp_predict::{NextPhaseBreakdown, NextPhasePredictor, PredictorKind};
+
+use crate::classify::run_classifier;
+use crate::figures::benchmarks;
+use crate::report::{pct, Table};
+use crate::suite::{SuiteParams, TraceCache};
+
+/// The classifier configuration used for all of Section 5 (and Figures
+/// 7–9).
+pub fn section5_classifier() -> ClassifierConfig {
+    ClassifierConfig::hpca2005()
+}
+
+/// The predictors the figure compares, in plotting order.
+pub fn predictor_lineup() -> Vec<(&'static str, PredictorKind)> {
+    vec![
+        ("Last Value", PredictorKind::last_value()),
+        ("Markov-1", PredictorKind::markov(1)),
+        ("Markov-2", PredictorKind::markov(2)),
+        ("Last4 Markov-1", PredictorKind::markov(1).with_last4()),
+        ("Last4 Markov-2", PredictorKind::markov(2).with_last4()),
+        (
+            "Markov-2 NoTableConf",
+            PredictorKind::markov(2).without_table_confidence(),
+        ),
+        ("RLE-1", PredictorKind::rle(1)),
+        ("RLE-2", PredictorKind::rle(2)),
+        ("Last4 RLE-1", PredictorKind::rle(1).with_last4()),
+        ("Last4 RLE-2", PredictorKind::rle(2).with_last4()),
+        (
+            "RLE-2 NoConf",
+            PredictorKind::rle(2).without_table_confidence(),
+        ),
+    ]
+}
+
+/// Runs every predictor over every benchmark's phase stream and averages
+/// the six stacked categories.
+pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
+    let lineup = predictor_lineup();
+    // Classify once per benchmark; reuse the ID stream for all predictors.
+    let mut totals: Vec<NextPhaseBreakdown> = vec![NextPhaseBreakdown::default(); lineup.len()];
+    for kind in benchmarks() {
+        let trace = cache.load_or_simulate(kind, params);
+        let run = run_classifier(&trace, section5_classifier());
+        for (slot, (_, pk)) in totals.iter_mut().zip(&lineup) {
+            let mut p = NextPhasePredictor::new(*pk);
+            for &id in &run.ids {
+                p.observe(id);
+            }
+            let b = p.breakdown();
+            slot.correct_table += b.correct_table;
+            slot.correct_lv_conf += b.correct_lv_conf;
+            slot.correct_lv_unconf += b.correct_lv_unconf;
+            slot.incorrect_lv_unconf += b.incorrect_lv_unconf;
+            slot.incorrect_lv_conf += b.incorrect_lv_conf;
+            slot.incorrect_table += b.incorrect_table;
+        }
+    }
+
+    let mut table = Table::new(
+        "Figure 7: next phase prediction (% of predictions, all benchmarks)",
+        vec![
+            "predictor".to_owned(),
+            "corr table".to_owned(),
+            "corr lv conf".to_owned(),
+            "corr lv unconf".to_owned(),
+            "incorr lv unconf".to_owned(),
+            "incorr lv conf".to_owned(),
+            "incorr table".to_owned(),
+            "accuracy".to_owned(),
+        ],
+    );
+    for ((name, _), b) in lineup.iter().zip(&totals) {
+        let t = b.total().max(1) as f64;
+        table.row(vec![
+            (*name).to_owned(),
+            pct(b.correct_table as f64 / t),
+            pct(b.correct_lv_conf as f64 / t),
+            pct(b.correct_lv_unconf as f64 / t),
+            pct(b.incorrect_lv_unconf as f64 / t),
+            pct(b.incorrect_lv_conf as f64 / t),
+            pct(b.incorrect_table as f64 / t),
+            pct(b.accuracy()),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_matches_paper_series() {
+        let names: Vec<_> = predictor_lineup().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 11);
+        assert!(names.contains(&"Last Value"));
+        assert!(names.contains(&"Markov-2 NoTableConf"));
+        assert!(names.contains(&"Last4 RLE-2"));
+    }
+
+    #[test]
+    fn quick_run_produces_table() {
+        let cache = crate::suite::test_cache();
+        let tables = run(&cache, &SuiteParams::quick());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 11);
+    }
+}

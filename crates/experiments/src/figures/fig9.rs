@@ -1,0 +1,82 @@
+//! Figure 9: run-length class distribution and length-class prediction.
+//!
+//! Left panel: for each benchmark, the fraction of phase runs falling into
+//! each length class (1–15 / 16–127 / 128–1023 / ≥1024 intervals),
+//! transition phase included. Right panel: the misprediction rate of the
+//! RLE-2 length-class predictor with hysteresis.
+//!
+//! Expected shape: most programs have ≥90% of their runs in the two
+//! smallest classes; gzip and perl transition into long phases much more
+//! often; overall misprediction rates are low (single digits).
+
+use tpcp_predict::{LengthClassPredictor, RunLengthClass};
+
+use crate::classify::run_classifier;
+use crate::figures::benchmarks;
+use crate::figures::fig7::section5_classifier;
+use crate::report::{pct, Table};
+use crate::suite::{SuiteParams, TraceCache};
+
+/// Runs the experiment and renders the figure's two panels.
+pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
+    let mut dist_header = vec!["bench".to_owned()];
+    dist_header.extend(RunLengthClass::ALL.iter().map(|c| c.label().to_owned()));
+    let mut dist_table = Table::new(
+        "Figure 9 (left): percentage of run lengths per class",
+        dist_header,
+    );
+    let mut misp_table = Table::new(
+        "Figure 9 (right): length-class misprediction rate (%)",
+        vec!["bench".to_owned(), "misprediction".to_owned()],
+    );
+
+    let mut misp_sum = 0.0;
+    for kind in benchmarks() {
+        let trace = cache.load_or_simulate(kind, params);
+        let run = run_classifier(&trace, section5_classifier());
+
+        // Left panel: class histogram over all runs.
+        let hist = run
+            .runs
+            .class_histogram(&RunLengthClass::ALL, RunLengthClass::from_length);
+        let total: u64 = hist.iter().sum();
+        let mut row = vec![kind.label().to_owned()];
+        for &count in &hist {
+            row.push(pct(count as f64 / total.max(1) as f64));
+        }
+        dist_table.row(row);
+
+        // Right panel: the RLE-2 length-class predictor.
+        let mut predictor = LengthClassPredictor::new(32, 4);
+        for &id in &run.ids {
+            predictor.observe(id);
+        }
+        let rate = predictor.misprediction_rate();
+        misp_sum += rate;
+        misp_table.row(vec![kind.label().to_owned(), pct(rate)]);
+    }
+    misp_table.row(vec!["avg".to_owned(), pct(misp_sum / 11.0)]);
+
+    vec![dist_table, misp_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_both_panels() {
+        let cache = crate::suite::test_cache();
+        let tables = run(&cache, &SuiteParams::quick());
+        assert_eq!(tables.len(), 2);
+        // Distribution rows sum to ~100%.
+        let csv = tables[0].to_csv();
+        let line = csv.lines().nth(1).unwrap();
+        let sum: f64 = line
+            .split(',')
+            .skip(1)
+            .map(|v| v.parse::<f64>().unwrap())
+            .sum();
+        assert!((sum - 100.0).abs() < 0.5, "row sums to {sum}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Phase-ID-based vs direct metric prediction — the related-work
+//! comparison of Section 2 (Duesterwald et al., PACT'03).
+//!
+//! Duesterwald et al. predict the next value of a hardware metric
+//! directly; this paper predicts a phase ID from which any per-phase
+//! metric can be looked up. This experiment predicts next-interval CPI
+//! three ways — last value, EWMA, and phase-indexed (per-phase running
+//! mean selected by the predicted phase) — and reports the relative mean
+//! absolute error of each.
+
+use tpcp_predict::{
+    EwmaMetric, LastValueMetric, MetricError, MetricPredictor, PhaseIndexedMetric,
+};
+
+use crate::classify::run_classifier;
+use crate::figures::benchmarks;
+use crate::figures::fig7::section5_classifier;
+use crate::report::{pct, Table};
+use crate::suite::{SuiteParams, TraceCache};
+
+/// Runs the comparison and renders the error table.
+pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
+    let mut table = Table::new(
+        "Related work: next-interval CPI prediction, relative MAE (%)",
+        vec![
+            "bench".to_owned(),
+            "last value".to_owned(),
+            "ewma(0.5)".to_owned(),
+            "phase-indexed".to_owned(),
+        ],
+    );
+    let mut sums = [0.0f64; 3];
+    for kind in benchmarks() {
+        let trace = cache.load_or_simulate(kind, params);
+        let run = run_classifier(&trace, section5_classifier());
+
+        let mut lv = LastValueMetric::new();
+        let mut ewma = EwmaMetric::new(0.5);
+        let mut pi = PhaseIndexedMetric::new();
+        let mut errs = [MetricError::new(), MetricError::new(), MetricError::new()];
+        for (&phase, &cpi) in run.ids.iter().zip(&run.cpis) {
+            let preds = [lv.predict(), ewma.predict(), pi.predict()];
+            for (err, pred) in errs.iter_mut().zip(preds) {
+                if let Some(p) = pred {
+                    err.record(p, cpi);
+                }
+            }
+            lv.observe(phase, cpi);
+            ewma.observe(phase, cpi);
+            pi.observe(phase, cpi);
+        }
+        let rel: Vec<f64> = errs.iter().map(MetricError::relative_error).collect();
+        for (s, r) in sums.iter_mut().zip(&rel) {
+            *s += r;
+        }
+        table.row(vec![
+            kind.label().to_owned(),
+            pct(rel[0]),
+            pct(rel[1]),
+            pct(rel[2]),
+        ]);
+    }
+    table.row(vec![
+        "avg".to_owned(),
+        pct(sums[0] / 11.0),
+        pct(sums[1] / 11.0),
+        pct(sums[2] / 11.0),
+    ]);
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reports_three_predictors() {
+        let cache = crate::suite::test_cache();
+        let tables = run(&cache, &SuiteParams::quick());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 12);
+        assert!(tables[0].render().contains("phase-indexed"));
+    }
+}

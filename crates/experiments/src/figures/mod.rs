@@ -1,0 +1,32 @@
+//! One module per reproduced figure. Each exposes
+//! `run(&TraceCache, &SuiteParams) -> Vec<Table>`; the `repro` binary
+//! dispatches on figure name and prints/saves the tables.
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod metric_pred;
+pub mod multi_metric;
+pub mod simpoint_cmp;
+
+use tpcp_workloads::BenchmarkKind;
+
+/// Average of a per-benchmark metric column.
+pub(crate) fn avg(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// The benchmark list shared by every figure.
+pub(crate) fn benchmarks() -> [BenchmarkKind; 11] {
+    BenchmarkKind::ALL
+}

@@ -1,0 +1,74 @@
+//! Multi-metric homogeneity: the claim behind code-signature phase
+//! classification (Section 2: intervals in the same phase "had similar
+//! behavior across all architectural metrics examined") checked on our
+//! substrate — per-phase CoV vs whole-program CoV for CPI and five
+//! microarchitectural event rates.
+
+use tpcp_core::{PhaseClassifier, PhaseId};
+use tpcp_metrics::VectorCovAccumulator;
+use tpcp_trace::{IntervalSource, MetricCounts};
+
+use crate::figures::benchmarks;
+use crate::figures::fig7::section5_classifier;
+use crate::report::{pct, Table};
+use crate::suite::{SuiteParams, TraceCache};
+
+/// Runs the experiment: one table of weighted per-phase CoV per metric and
+/// one of whole-program CoV per metric.
+pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
+    let mut labels = vec!["cpi".to_owned()];
+    labels.extend(MetricCounts::LABELS.iter().map(|l| format!("{l} mpki")));
+
+    let mut header = vec!["bench".to_owned()];
+    header.extend(labels.iter().cloned());
+    let mut phase_table = Table::new(
+        "Multi-metric: per-phase weighted CoV (%) under the hpca2005 classifier",
+        header.clone(),
+    );
+    let mut whole_table = Table::new("Multi-metric: whole-program CoV (%)", header);
+
+    for kind in benchmarks() {
+        let trace = cache.load_or_simulate(kind, params);
+        let mut classifier = PhaseClassifier::new(section5_classifier());
+        let mut acc = VectorCovAccumulator::new(labels.clone());
+        let mut replay = trace.replay();
+        while let Some(summary) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
+            let phase: PhaseId = classifier.end_interval(summary.cpi());
+            let mut values = vec![summary.cpi()];
+            values.extend(summary.mpki());
+            acc.observe(phase, &values);
+        }
+        let s = acc.finish();
+        let mut phase_row = vec![kind.label().to_owned()];
+        let mut whole_row = vec![kind.label().to_owned()];
+        for m in 0..labels.len() {
+            // CoV of a low rate is counting noise (a handful of stray
+            // misses yields hundreds of percent); mask metrics this
+            // benchmark exercises below ~2 events per kilo-instruction.
+            if m > 0 && s.whole_program_mean(m) < 2.0 {
+                phase_row.push("-".to_owned());
+                whole_row.push("-".to_owned());
+            } else {
+                phase_row.push(pct(s.weighted_cov(m)));
+                whole_row.push(pct(s.whole_program_cov(m)));
+            }
+        }
+        phase_table.row(phase_row);
+        whole_table.row(whole_row);
+    }
+    vec![phase_table, whole_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_covers_six_metrics() {
+        let cache = crate::suite::test_cache();
+        let tables = run(&cache, &SuiteParams::quick());
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].render().contains("dl1 miss mpki"));
+        assert_eq!(tables[0].len(), 11);
+    }
+}

@@ -1,0 +1,24 @@
+//! Reproduction harness for the paper's evaluation (Figures 2–9).
+//!
+//! Each `figN` module reproduces one figure: it runs the figure's
+//! classifier/predictor configurations over the eleven benchmark models,
+//! collects the same metrics the paper plots, and renders a table with the
+//! same rows and series. `cargo run --release -p tpcp-experiments --bin
+//! repro -- all` regenerates everything; EXPERIMENTS.md records
+//! paper-vs-measured values.
+//!
+//! Benchmark traces are simulated once per [`SuiteParams`] and cached on
+//! disk (see [`TraceCache`]), mirroring the paper's methodology of
+//! profiling with SimpleScalar once and sweeping architectures offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod figures;
+pub mod report;
+pub mod suite;
+
+pub use classify::{run_classifier, ClassifiedRun};
+pub use report::Table;
+pub use suite::{SuiteParams, TraceCache};

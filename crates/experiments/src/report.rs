@@ -1,0 +1,216 @@
+//! Plain-text and CSV table rendering for experiment results.
+
+/// A simple column-aligned table with a title, header, and rows.
+///
+/// # Example
+///
+/// ```
+/// use tpcp_experiments::Table;
+///
+/// let mut t = Table::new("Demo", vec!["bench".into(), "value".into()]);
+/// t.row(vec!["mcf".into(), "3.14".into()]);
+/// let text = t.render();
+/// assert!(text.contains("mcf"));
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("bench,value"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: Vec<String>) -> Self {
+        Self {
+            title: title.to_owned(),
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders a column-aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table's numeric columns as horizontal bar charts — a
+    /// terminal rendition of the paper's bar figures. Non-numeric cells
+    /// (and the label column) are skipped.
+    pub fn render_bars(&self) -> String {
+        const WIDTH: f64 = 40.0;
+        let mut out = String::new();
+        out.push_str(&format!("== {} (bars) ==\n", self.title));
+        let label_width = self
+            .rows
+            .iter()
+            .map(|r| r[0].len())
+            .chain(std::iter::once(5))
+            .max()
+            .unwrap_or(5);
+        for (col, name) in self.header.iter().enumerate().skip(1) {
+            let values: Vec<Option<f64>> = self
+                .rows
+                .iter()
+                .map(|r| r[col].parse::<f64>().ok())
+                .collect();
+            let max = values
+                .iter()
+                .flatten()
+                .fold(0.0f64, |a, &b| a.max(b.abs()));
+            if max <= 0.0 {
+                continue;
+            }
+            out.push_str(&format!("-- {name} --\n"));
+            for (row, value) in self.rows.iter().zip(&values) {
+                match value {
+                    Some(v) => {
+                        let n = ((v.abs() / max) * WIDTH).round() as usize;
+                        out.push_str(&format!(
+                            "{:>label_width$} {} {v}\n",
+                            row[0],
+                            "#".repeat(n)
+                        ));
+                    }
+                    None => out.push_str(&format!("{:>label_width$} -\n", row[0])),
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (fields containing commas are quoted).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("T", vec!["a".into(), "bbbb".into()]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let text = t.render();
+        assert!(text.contains("xxxxx"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new("T", vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("T", vec!["name".into(), "v".into()]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn bars_scale_to_the_column_max() {
+        let mut t = Table::new("B", vec!["bench".into(), "v".into()]);
+        t.row(vec!["a".into(), "10".into()]);
+        t.row(vec!["b".into(), "5".into()]);
+        t.row(vec!["c".into(), "-".into()]);
+        let bars = t.render_bars();
+        assert!(bars.contains(&"#".repeat(40)), "max value gets full width");
+        assert!(bars.contains(&format!("{} 5", "#".repeat(20))), "half scale");
+        assert!(bars.contains("c -"), "non-numeric cells are dashes");
+    }
+
+    #[test]
+    fn bars_skip_all_zero_columns() {
+        let mut t = Table::new("Z", vec!["bench".into(), "zero".into()]);
+        t.row(vec!["a".into(), "0".into()]);
+        let bars = t.render_bars();
+        assert!(!bars.contains("-- zero --"));
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(pct(0.1234), "12.3");
+        assert_eq!(f2(3.14159), "3.14");
+    }
+}

@@ -1,0 +1,188 @@
+//! Suite simulation and on-disk trace caching.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tpcp_trace::{decode_trace, encode_trace, RecordedTrace};
+use tpcp_workloads::{BenchmarkKind, WorkloadParams};
+
+/// Parameters of one suite simulation (everything that affects the traces).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteParams {
+    /// The workload parameters shared by all benchmarks.
+    pub workload: WorkloadParams,
+}
+
+impl Default for SuiteParams {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadParams::default(),
+        }
+    }
+}
+
+impl SuiteParams {
+    /// A reduced-scale suite for tests and quick iterations.
+    pub fn quick() -> Self {
+        Self {
+            workload: WorkloadParams {
+                length_scale: 0.05,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// A stable fingerprint of the parameters (and the workload model
+    /// version), used in cache file names.
+    pub fn fingerprint(&self) -> String {
+        let w = &self.workload;
+        format!(
+            "v{}-i{}-s{}-seed{:x}",
+            tpcp_workloads::MODEL_VERSION,
+            w.interval_size,
+            (w.length_scale * 10_000.0).round() as u64,
+            w.seed
+        )
+    }
+}
+
+/// An on-disk cache of simulated benchmark traces.
+///
+/// Simulating the full suite takes minutes; every figure replays the same
+/// traces. The cache stores each benchmark's [`RecordedTrace`] in the
+/// compact `tpcp-trace` codec under
+/// `<dir>/<benchmark>-<fingerprint>.tpcptrc`.
+///
+/// # Example
+///
+/// ```no_run
+/// use tpcp_experiments::{SuiteParams, TraceCache};
+/// use tpcp_workloads::BenchmarkKind;
+///
+/// let cache = TraceCache::new("target/tpcp-traces");
+/// let trace = cache.load_or_simulate(BenchmarkKind::Mcf, &SuiteParams::default());
+/// assert!(!trace.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    dir: PathBuf,
+}
+
+impl TraceCache {
+    /// Creates a cache rooted at `dir` (created on first write).
+    pub fn new<P: AsRef<Path>>(dir: P) -> Self {
+        Self {
+            dir: dir.as_ref().to_owned(),
+        }
+    }
+
+    /// The default cache location inside the workspace target directory.
+    pub fn default_location() -> Self {
+        Self::new("target/tpcp-traces")
+    }
+
+    fn path_for(&self, kind: BenchmarkKind, params: &SuiteParams) -> PathBuf {
+        let safe_name = kind.label().replace('/', "_");
+        self.dir
+            .join(format!("{safe_name}-{}.tpcptrc", params.fingerprint()))
+    }
+
+    /// Loads the benchmark's trace from the cache, simulating and storing
+    /// it on a miss.
+    pub fn load_or_simulate(&self, kind: BenchmarkKind, params: &SuiteParams) -> RecordedTrace {
+        let path = self.path_for(kind, params);
+        if let Ok(bytes) = fs::read(&path) {
+            if let Ok(trace) = decode_trace(bytes.into()) {
+                return trace;
+            }
+            // Corrupt cache entry: fall through and re-simulate.
+        }
+        let trace = simulate_one(kind, params);
+        if fs::create_dir_all(&self.dir).is_ok() {
+            // Cache writes are best-effort; a read-only target dir only
+            // costs re-simulation.
+            let _ = fs::write(&path, encode_trace(&trace));
+        }
+        trace
+    }
+
+    /// Loads or simulates all eleven benchmarks, in parallel (one thread
+    /// per benchmark).
+    pub fn load_suite(&self, params: &SuiteParams) -> Vec<(BenchmarkKind, RecordedTrace)> {
+        let kinds = BenchmarkKind::ALL;
+        let mut results: Vec<Option<(BenchmarkKind, RecordedTrace)>> =
+            (0..kinds.len()).map(|_| None).collect();
+        crossbeam::scope(|scope| {
+            for (slot, &kind) in results.iter_mut().zip(kinds.iter()) {
+                scope.spawn(move |_| {
+                    *slot = Some((kind, self.load_or_simulate(kind, params)));
+                });
+            }
+        })
+        .expect("suite simulation threads do not panic");
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot was filled"))
+            .collect()
+    }
+}
+
+/// Simulates one benchmark to completion.
+pub fn simulate_one(kind: BenchmarkKind, params: &SuiteParams) -> RecordedTrace {
+    let benchmark = kind.build(&params.workload);
+    RecordedTrace::record(benchmark.simulate(&params.workload))
+}
+
+/// A process-shared cache location for tests: all figure tests reuse the
+/// same quick-suite traces instead of re-simulating per test. Safe because
+/// cache file names embed the full parameter fingerprint and simulation is
+/// deterministic (concurrent writers produce identical bytes).
+pub fn test_cache() -> TraceCache {
+    TraceCache::new(std::env::temp_dir().join("tpcp-shared-test-cache"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> SuiteParams {
+        SuiteParams {
+            workload: WorkloadParams {
+                length_scale: 0.01,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_params() {
+        let a = SuiteParams::default();
+        let b = SuiteParams::quick();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn cache_round_trips() {
+        let dir = std::env::temp_dir().join(format!("tpcp-cache-test-{}", std::process::id()));
+        let cache = TraceCache::new(&dir);
+        let params = tiny_params();
+        let first = cache.load_or_simulate(BenchmarkKind::GzipGraphic, &params);
+        let second = cache.load_or_simulate(BenchmarkKind::GzipGraphic, &params);
+        assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_is_resimulated() {
+        let dir = std::env::temp_dir().join(format!("tpcp-cache-corrupt-{}", std::process::id()));
+        let cache = TraceCache::new(&dir);
+        let params = tiny_params();
+        let good = cache.load_or_simulate(BenchmarkKind::PerlDiffmail, &params);
+        // Corrupt the file.
+        let path = cache.path_for(BenchmarkKind::PerlDiffmail, &params);
+        std::fs::write(&path, b"garbage").unwrap();
+        let again = cache.load_or_simulate(BenchmarkKind::PerlDiffmail, &params);
+        assert_eq!(good, again);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,137 @@
+//! Agreement between two phase classifications (e.g. the online classifier
+//! vs. a scripted ground truth, or vs. an offline SimPoint clustering).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Cluster purity of `predicted` against `truth`: for each predicted
+/// cluster, the fraction of its members sharing the cluster's majority
+/// truth label, weighted by cluster size. 1.0 means every predicted
+/// cluster is label-pure; assigning every interval its own cluster also
+/// scores 1.0, so read purity together with the cluster count.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use tpcp_metrics::purity;
+///
+/// let truth = ["a", "a", "b", "b"];
+/// assert_eq!(purity(&[1, 1, 2, 2], &truth), 1.0);
+/// assert_eq!(purity(&[1, 1, 1, 1], &truth), 0.5);
+/// ```
+pub fn purity<P, T>(predicted: &[P], truth: &[T]) -> f64
+where
+    P: Eq + Hash,
+    T: Eq + Hash,
+{
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "classifications must cover the same intervals"
+    );
+    if predicted.is_empty() {
+        return 1.0;
+    }
+    let mut clusters: HashMap<&P, HashMap<&T, usize>> = HashMap::new();
+    for (p, t) in predicted.iter().zip(truth) {
+        *clusters.entry(p).or_default().entry(t).or_insert(0) += 1;
+    }
+    let majority_sum: usize = clusters
+        .values()
+        .map(|labels| labels.values().copied().max().unwrap_or(0))
+        .sum();
+    majority_sum as f64 / predicted.len() as f64
+}
+
+/// The Rand index between two classifications: the fraction of interval
+/// pairs on which the two agree (both same-cluster or both
+/// different-cluster). 1.0 is perfect agreement; independent random
+/// labelings score well below 1.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use tpcp_metrics::rand_index;
+///
+/// assert_eq!(rand_index(&[1, 1, 2], &["x", "x", "y"]), 1.0);
+/// ```
+pub fn rand_index<P, T>(a: &[P], b: &[T]) -> f64
+where
+    P: Eq,
+    T: Eq,
+{
+    assert_eq!(a.len(), b.len(), "classifications must cover the same intervals");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0usize;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs += 1;
+            if (a[i] == a[j]) == (b[i] == b[j]) {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_classifications_are_perfect() {
+        let xs = [1, 2, 3, 1, 2, 3];
+        assert_eq!(purity(&xs, &xs), 1.0);
+        assert_eq!(rand_index(&xs, &xs), 1.0);
+    }
+
+    #[test]
+    fn relabeling_does_not_matter() {
+        let a = [1, 1, 2, 2, 3];
+        let b = ["z", "z", "x", "x", "y"];
+        assert_eq!(purity(&a, &b), 1.0);
+        assert_eq!(rand_index(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn merged_clusters_lose_purity() {
+        let truth = [1, 1, 2, 2];
+        let merged = [7, 7, 7, 7];
+        assert_eq!(purity(&merged, &truth), 0.5);
+        assert!(rand_index(&merged, &truth) < 1.0);
+    }
+
+    #[test]
+    fn oversplit_clusters_keep_purity_but_lose_rand() {
+        let truth = [1, 1, 1, 1];
+        let split = [1, 2, 3, 4];
+        assert_eq!(purity(&split, &truth), 1.0);
+        assert!(rand_index(&split, &truth) < 0.5);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let empty: [u32; 0] = [];
+        assert_eq!(purity(&empty, &empty), 1.0);
+        assert_eq!(rand_index(&empty, &empty), 1.0);
+        assert_eq!(rand_index(&[1], &[9]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same intervals")]
+    fn mismatched_lengths_rejected() {
+        purity(&[1, 2], &[1]);
+    }
+}

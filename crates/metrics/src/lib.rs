@@ -1,0 +1,40 @@
+//! Evaluation metrics for phase classifications and predictions
+//! (the paper's Section 3.1 and the measurements behind Figures 2–9).
+//!
+//! - [`CovAccumulator`] → [`CovSummary`]: per-phase Coefficient of
+//!   Variation of CPI, the execution-weighted overall CoV, and the
+//!   whole-program CoV baseline.
+//! - [`RunAccumulator`] → [`RunLengthStats`]: stable and transition phase
+//!   run lengths with standard deviations (Figure 5) and the run-length
+//!   class histogram (Figure 9, left).
+//! - [`Welford`]: numerically stable streaming mean/variance, used by both.
+//!
+//! # Example
+//!
+//! ```
+//! use tpcp_core::PhaseId;
+//! use tpcp_metrics::CovAccumulator;
+//!
+//! let mut acc = CovAccumulator::new();
+//! // Two phases with perfectly homogeneous CPI -> overall CoV 0.
+//! for _ in 0..10 { acc.observe(PhaseId::new(1), 1.0); }
+//! for _ in 0..10 { acc.observe(PhaseId::new(2), 3.0); }
+//! let summary = acc.finish();
+//! assert!(summary.weighted_cov() < 1e-12);
+//! assert!(summary.whole_program_cov() > 0.3, "program-wide CPI varies");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agreement;
+mod cov;
+mod multi;
+mod runs;
+mod stats;
+
+pub use agreement::{purity, rand_index};
+pub use cov::{CovAccumulator, CovSummary, PhaseCov};
+pub use multi::{VectorCovAccumulator, VectorCovSummary};
+pub use runs::{RunAccumulator, RunLengthStats};
+pub use stats::Welford;

@@ -1,0 +1,232 @@
+//! A small set-associative table with per-set LRU — the storage organization
+//! shared by the Markov, RLE, and length predictors (32-entry, 4-way in the
+//! paper).
+
+/// A set-associative table mapping `u64` keys to values.
+///
+/// Keys are hashed to a set; the full key is stored as the tag. Within a
+/// set, replacement is LRU. This mirrors a hardware prediction table: small,
+/// fixed-capacity, and lossy.
+///
+/// # Example
+///
+/// ```
+/// use tpcp_predict::AssocTable;
+///
+/// let mut t: AssocTable<&str> = AssocTable::new(32, 4);
+/// t.insert(7, "seven");
+/// assert_eq!(t.get(7), Some(&"seven"));
+/// assert_eq!(t.get(8), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AssocTable<V> {
+    sets: Vec<Vec<Slot<V>>>,
+    ways: usize,
+    set_mask: u64,
+    clock: u64,
+    evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    key: u64,
+    value: V,
+    stamp: u64,
+}
+
+fn mix(key: u64) -> u64 {
+    // SplitMix64 finalizer: decorrelates structured keys before set
+    // selection.
+    let mut z = key;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<V> AssocTable<V> {
+    /// Creates a table with `entries` total slots organized as
+    /// `entries / ways` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero, `entries` is not a multiple of `ways`, or
+    /// the resulting set count is not a power of two.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0, "ways must be positive");
+        assert!(
+            entries % ways == 0 && entries > 0,
+            "entries must be a positive multiple of ways"
+        );
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            set_mask: sets as u64 - 1,
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        (mix(key) & self.set_mask) as usize
+    }
+
+    /// Looks up `key` without updating recency.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let set = &self.sets[self.set_of(key)];
+        set.iter().find(|s| s.key == key).map(|s| &s.value)
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used on hit.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.set_of(key);
+        let set = &mut self.sets[set_idx];
+        set.iter_mut().find(|s| s.key == key).map(|s| {
+            s.stamp = clock;
+            &mut s.value
+        })
+    }
+
+    /// Inserts or replaces the value for `key`, evicting the set's LRU
+    /// entry if the set is full. Returns the evicted `(key, value)` if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.set_of(key);
+        let ways = self.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(slot) = set.iter_mut().find(|s| s.key == key) {
+            slot.value = value;
+            slot.stamp = clock;
+            return None;
+        }
+        let evicted = if set.len() >= ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(i, _)| i)
+                .expect("set is full, hence non-empty");
+            self.evictions += 1;
+            let old = set.swap_remove(lru);
+            Some((old.key, old.value))
+        } else {
+            None
+        };
+        set.push(Slot { key, value, stamp: clock });
+        evicted
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let set_idx = self.set_of(key);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|s| s.key == key)?;
+        Some(set.swap_remove(pos).value)
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.sets.iter().flatten().map(|s| (s.key, &s.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t: AssocTable<u32> = AssocTable::new(8, 2);
+        assert!(t.insert(1, 10).is_none());
+        assert_eq!(t.get(1), Some(&10));
+        assert_eq!(t.remove(1), Some(10));
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.remove(1), None);
+    }
+
+    #[test]
+    fn insert_same_key_replaces() {
+        let mut t: AssocTable<u32> = AssocTable::new(8, 2);
+        t.insert(1, 10);
+        t.insert(1, 20);
+        assert_eq!(t.get(1), Some(&20));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn set_lru_eviction() {
+        let mut t: AssocTable<u64> = AssocTable::new(4, 4); // one set
+        for k in 0..4u64 {
+            t.insert(k, k);
+        }
+        t.get_mut(0); // 0 becomes MRU; 1 is LRU
+        let evicted = t.insert(99, 99).expect("full set must evict");
+        assert_eq!(evicted.0, 1);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.evictions(), 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut t: AssocTable<u64> = AssocTable::new(32, 4);
+        for k in 0..1000u64 {
+            t.insert(k, k);
+        }
+        assert!(t.len() <= 32);
+    }
+
+    #[test]
+    fn get_does_not_touch_lru() {
+        let mut t: AssocTable<u64> = AssocTable::new(2, 2); // one set of 2
+        t.insert(1, 1);
+        t.insert(2, 2);
+        // Plain get of 1 must NOT protect it from eviction.
+        let _ = t.get(1);
+        let evicted = t.insert(3, 3).unwrap();
+        assert_eq!(evicted.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _: AssocTable<u8> = AssocTable::new(24, 4); // 6 sets
+    }
+
+    #[test]
+    fn iter_sees_all_entries() {
+        let mut t: AssocTable<u64> = AssocTable::new(16, 4);
+        for k in 0..10u64 {
+            t.insert(k, k * 2);
+        }
+        // Some sets may overflow (keys hash unevenly), but every surviving
+        // entry is intact and accounting balances.
+        let pairs: Vec<_> = t.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(pairs.len(), t.len());
+        assert_eq!(t.len() as u64 + t.evictions(), 10);
+        assert!(pairs.iter().all(|&(k, v)| v == k * 2));
+    }
+}

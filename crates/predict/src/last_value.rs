@@ -1,0 +1,187 @@
+//! Last-value phase prediction with per-phase confidence (Sections 5.1,
+//! 5.2.1).
+
+use std::collections::HashMap;
+
+use tpcp_core::PhaseId;
+
+use crate::confidence::ConfidenceCounter;
+
+/// Predicts that the next interval's phase equals the current one.
+///
+/// One confidence counter is kept per phase ID (3-bit, threshold 6 by
+/// default): stable phases quickly earn confident status, rapidly changing
+/// ones stay unconfident — exactly the property the paper exploits to trade
+/// a little coverage for a much lower misprediction rate.
+///
+/// # Example
+///
+/// ```
+/// use tpcp_core::PhaseId;
+/// use tpcp_predict::LastValuePredictor;
+///
+/// let mut lv = LastValuePredictor::new();
+/// let a = PhaseId::new(1);
+/// for _ in 0..8 { lv.observe(a); }
+/// let (pred, confident) = lv.prediction().unwrap();
+/// assert_eq!(pred, a);
+/// assert!(confident, "a long run builds confidence");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LastValuePredictor {
+    current: Option<PhaseId>,
+    confidence: HashMap<PhaseId, ConfidenceCounter>,
+    template: Option<ConfidenceCounter>,
+}
+
+impl LastValuePredictor {
+    /// Creates a predictor with the paper's 3-bit/threshold-6 confidence.
+    pub fn new() -> Self {
+        Self {
+            current: None,
+            confidence: HashMap::new(),
+            template: Some(ConfidenceCounter::last_value_default()),
+        }
+    }
+
+    /// Creates a predictor without confidence counters (always confident).
+    pub fn without_confidence() -> Self {
+        Self {
+            current: None,
+            confidence: HashMap::new(),
+            template: None,
+        }
+    }
+
+    /// Creates a predictor whose per-phase counters are clones of
+    /// `template` — used to sweep counter width and threshold (the paper's
+    /// "we experimented with a variety of confidence counter
+    /// configurations").
+    pub fn with_confidence(template: ConfidenceCounter) -> Self {
+        Self {
+            current: None,
+            confidence: HashMap::new(),
+            template: Some(template),
+        }
+    }
+
+    /// The current prediction for the next interval: `(phase, confident)`.
+    /// `None` before the first observation.
+    pub fn prediction(&self) -> Option<(PhaseId, bool)> {
+        let phase = self.current?;
+        let confident = match self.template {
+            None => true,
+            Some(_) => self
+                .confidence
+                .get(&phase)
+                .is_some_and(ConfidenceCounter::is_confident),
+        };
+        Some((phase, confident))
+    }
+
+    /// Observes the next interval's actual phase: trains the previous
+    /// phase's confidence counter and advances the last value. Returns the
+    /// resolved prediction `(predicted, confident, correct)` if one existed.
+    pub fn observe(&mut self, actual: PhaseId) -> Option<(PhaseId, bool, bool)> {
+        let resolved = self.prediction().map(|(pred, conf)| {
+            let correct = pred == actual;
+            if let Some(template) = self.template {
+                let counter = self.confidence.entry(pred).or_insert(template);
+                if correct {
+                    counter.correct();
+                } else {
+                    counter.incorrect();
+                }
+            }
+            (pred, conf, correct)
+        });
+        // A brand-new phase starts with a reset confidence counter, as when
+        // a new signature-table entry is allocated.
+        if let Some(template) = self.template {
+            self.confidence.entry(actual).or_insert(template);
+        }
+        self.current = Some(actual);
+        resolved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u32) -> PhaseId {
+        PhaseId::new(v)
+    }
+
+    #[test]
+    fn no_prediction_before_first_observation() {
+        let lv = LastValuePredictor::new();
+        assert!(lv.prediction().is_none());
+    }
+
+    #[test]
+    fn predicts_last_seen_phase() {
+        let mut lv = LastValuePredictor::new();
+        lv.observe(id(3));
+        assert_eq!(lv.prediction().unwrap().0, id(3));
+        lv.observe(id(4));
+        assert_eq!(lv.prediction().unwrap().0, id(4));
+    }
+
+    #[test]
+    fn confidence_builds_over_stable_run() {
+        let mut lv = LastValuePredictor::new();
+        lv.observe(id(1));
+        assert!(!lv.prediction().unwrap().1, "fresh phase is unconfident");
+        for _ in 0..6 {
+            lv.observe(id(1));
+        }
+        assert!(lv.prediction().unwrap().1);
+    }
+
+    #[test]
+    fn mispredictions_drain_confidence() {
+        let mut lv = LastValuePredictor::new();
+        for _ in 0..10 {
+            lv.observe(id(1));
+        }
+        assert!(lv.prediction().unwrap().1);
+        // Alternate away and back twice: each wrong last-value prediction
+        // decrements phase 1's counter.
+        lv.observe(id(2));
+        lv.observe(id(1));
+        lv.observe(id(2));
+        lv.observe(id(1));
+        // Counter dropped from 7: 7-1(wrong as 1→2)+1(correct? no: 2→1 trains
+        // phase2) ... after two wrong predictions from phase 1 it is 5 < 6.
+        assert!(!lv.prediction().unwrap().1);
+    }
+
+    #[test]
+    fn without_confidence_is_always_confident() {
+        let mut lv = LastValuePredictor::without_confidence();
+        lv.observe(id(9));
+        assert_eq!(lv.prediction(), Some((id(9), true)));
+    }
+
+    #[test]
+    fn observe_resolves_previous_prediction() {
+        let mut lv = LastValuePredictor::new();
+        assert!(lv.observe(id(1)).is_none(), "nothing to resolve yet");
+        let (pred, _, correct) = lv.observe(id(1)).unwrap();
+        assert_eq!(pred, id(1));
+        assert!(correct);
+        let (pred, _, correct) = lv.observe(id(2)).unwrap();
+        assert_eq!(pred, id(1));
+        assert!(!correct);
+    }
+
+    #[test]
+    fn alternating_stream_is_never_confident() {
+        let mut lv = LastValuePredictor::new();
+        for i in 0..50 {
+            lv.observe(id(i % 2));
+        }
+        assert!(!lv.prediction().unwrap().1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Phase prediction architectures (the paper's Sections 5 and 6).
+//!
+//! Three prediction problems are covered, matching the paper's evaluation:
+//!
+//! 1. **Next phase prediction** (Figure 7): predict the [`PhaseId`] of the
+//!    next interval, for every interval. [`NextPhasePredictor`] composes a
+//!    [`LastValuePredictor`] (with per-phase confidence counters) and an
+//!    optional phase-change table ([`PhaseChangePredictor`]) whose
+//!    confident predictions override last-value.
+//! 2. **Phase change prediction** (Figure 8): predict the *outcome* of the
+//!    next phase change, evaluated only at change points.
+//!    [`ChangeEvaluator`] classifies each change as confident/unconfident ×
+//!    correct/incorrect or a tag miss; [`PerfectMarkov`] gives the
+//!    cold-start upper bound.
+//! 3. **Phase length prediction** (Figure 9): predict which
+//!    [`RunLengthClass`] the next phase's run length will fall into, with a
+//!    two-in-a-row hysteresis update ([`LengthClassPredictor`]).
+//!
+//! All table-based predictors use the paper's 32-entry 4-way set
+//! associative organization by default ([`AssocTable`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tpcp_core::PhaseId;
+//! use tpcp_predict::{NextPhasePredictor, PredictorKind};
+//!
+//! let mut p = NextPhasePredictor::new(PredictorKind::rle(2).with_confidence());
+//! // A stable run of phase 1: after warm-up, predictions are correct.
+//! let one = PhaseId::new(1);
+//! let mut correct = 0;
+//! for i in 0..100 {
+//!     if let Some(res) = p.observe(one) {
+//!         if res.correct() && i > 1 { correct += 1; }
+//!     }
+//! }
+//! assert!(correct >= 97);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assoc;
+mod change;
+mod confidence;
+mod history;
+mod last_value;
+mod length;
+mod metric;
+mod next_phase;
+mod outcome_set;
+mod outlook;
+
+pub use assoc::AssocTable;
+pub use change::{
+    ChangeBreakdown, ChangeEvaluator, ChangeJudgment, ChangePolicy, PerfectMarkov,
+    PhaseChangePredictor,
+};
+pub use confidence::ConfidenceCounter;
+pub use history::{HistoryKind, PhaseHistory};
+pub use last_value::LastValuePredictor;
+pub use length::{LengthClassPredictor, LengthJudgment, RunLengthClass};
+pub use metric::{
+    EwmaMetric, LastValueMetric, MetricError, MetricPredictor, PhaseIndexedMetric,
+};
+pub use next_phase::{
+    NextPhaseBreakdown, NextPhasePredictor, PredictionSource, PredictorKind, ResolvedPrediction,
+};
+pub use outlook::{Outlook, OutlookPredictor};
+
+pub use tpcp_core::PhaseId;

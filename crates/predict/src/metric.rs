@@ -1,0 +1,253 @@
+//! Direct metric-value prediction — the Duesterwald et al. (PACT'03)
+//! alternative the paper contrasts itself with.
+//!
+//! Instead of predicting a phase *ID* (from which any number of per-phase
+//! statistics can be looked up), these predictors forecast the next
+//! interval's value of one hardware metric (here CPI) directly. The
+//! paper's argument for phase IDs is that one ID prediction serves every
+//! metric at once and survives hardware reconfiguration; this module
+//! exists to make that comparison measurable (see the `metric-pred`
+//! experiment).
+
+use tpcp_core::PhaseId;
+
+/// A predictor of the next interval's value of a hardware metric.
+pub trait MetricPredictor {
+    /// Predicts the next interval's value (`None` until warmed up).
+    fn predict(&self) -> Option<f64>;
+
+    /// Observes the actual value of the interval that just completed,
+    /// together with its phase ID (ignored by phase-blind predictors).
+    fn observe(&mut self, phase: PhaseId, value: f64);
+}
+
+/// Predicts the next value equals the last value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LastValueMetric {
+    last: Option<f64>,
+}
+
+impl LastValueMetric {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MetricPredictor for LastValueMetric {
+    fn predict(&self) -> Option<f64> {
+        self.last
+    }
+
+    fn observe(&mut self, _phase: PhaseId, value: f64) {
+        self.last = Some(value);
+    }
+}
+
+/// Exponentially weighted moving average of the metric (Duesterwald et
+/// al.'s strongest simple predictor for slowly varying metrics).
+#[derive(Debug, Clone, Copy)]
+pub struct EwmaMetric {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl EwmaMetric {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`
+    /// (1 = last value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, state: None }
+    }
+}
+
+impl MetricPredictor for EwmaMetric {
+    fn predict(&self) -> Option<f64> {
+        self.state
+    }
+
+    fn observe(&mut self, _phase: PhaseId, value: f64) {
+        self.state = Some(match self.state {
+            None => value,
+            Some(s) => s + self.alpha * (value - s),
+        });
+    }
+}
+
+/// Phase-indexed metric prediction: the paper's approach. Maintains a
+/// running mean of the metric per phase ID and predicts the mean of the
+/// (last-value-predicted) next phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseIndexedMetric {
+    means: std::collections::HashMap<PhaseId, (f64, u64)>,
+    current: Option<PhaseId>,
+}
+
+impl PhaseIndexedMetric {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The learned mean for a phase, if any.
+    pub fn phase_mean(&self, phase: PhaseId) -> Option<f64> {
+        self.means.get(&phase).map(|&(m, _)| m)
+    }
+}
+
+impl MetricPredictor for PhaseIndexedMetric {
+    fn predict(&self) -> Option<f64> {
+        let phase = self.current?;
+        self.phase_mean(phase)
+    }
+
+    fn observe(&mut self, phase: PhaseId, value: f64) {
+        let (mean, count) = self.means.entry(phase).or_insert((0.0, 0));
+        *count += 1;
+        *mean += (value - *mean) / *count as f64;
+        self.current = Some(phase);
+    }
+}
+
+/// Streaming mean-absolute-error tracker for evaluating metric predictors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricError {
+    abs_sum: f64,
+    value_sum: f64,
+    count: u64,
+}
+
+impl MetricError {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one resolved prediction.
+    pub fn record(&mut self, predicted: f64, actual: f64) {
+        self.abs_sum += (predicted - actual).abs();
+        self.value_sum += actual.abs();
+        self.count += 1;
+    }
+
+    /// Mean absolute error.
+    pub fn mae(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.abs_sum / self.count as f64
+        }
+    }
+
+    /// MAE relative to the mean actual value (a scale-free error).
+    pub fn relative_error(&self) -> f64 {
+        if self.value_sum == 0.0 {
+            0.0
+        } else {
+            self.abs_sum / self.value_sum
+        }
+    }
+
+    /// Number of resolved predictions.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u32) -> PhaseId {
+        PhaseId::new(v)
+    }
+
+    #[test]
+    fn last_value_metric_tracks_input() {
+        let mut p = LastValueMetric::new();
+        assert_eq!(p.predict(), None);
+        p.observe(id(1), 2.5);
+        assert_eq!(p.predict(), Some(2.5));
+        p.observe(id(2), 7.0);
+        assert_eq!(p.predict(), Some(7.0));
+    }
+
+    #[test]
+    fn ewma_smooths() {
+        let mut p = EwmaMetric::new(0.5);
+        p.observe(id(1), 0.0);
+        p.observe(id(1), 4.0);
+        assert_eq!(p.predict(), Some(2.0));
+        p.observe(id(1), 4.0);
+        assert_eq!(p.predict(), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_validates_alpha() {
+        EwmaMetric::new(0.0);
+    }
+
+    #[test]
+    fn phase_indexed_remembers_each_phase() {
+        let mut p = PhaseIndexedMetric::new();
+        // Alternating phases with very different CPIs.
+        for _ in 0..5 {
+            p.observe(id(1), 1.0);
+            p.observe(id(2), 9.0);
+        }
+        assert_eq!(p.phase_mean(id(1)), Some(1.0));
+        assert_eq!(p.phase_mean(id(2)), Some(9.0));
+        // Currently in phase 2: predicting its mean.
+        assert_eq!(p.predict(), Some(9.0));
+    }
+
+    #[test]
+    fn phase_indexed_beats_last_value_on_alternation() {
+        // Phase pattern 1,2,1,2 with CPIs 1.0 / 9.0: last-value is always
+        // wrong by 8; the phase-indexed predictor is wrong only until the
+        // phase change (same as LV here) — but with a *phase change
+        // prediction* feeding it, it would be exact. Evaluate the simple
+        // in-phase case: runs of 3 intervals.
+        let mut lv = LastValueMetric::new();
+        let mut pi = PhaseIndexedMetric::new();
+        let mut lv_err = MetricError::new();
+        let mut pi_err = MetricError::new();
+        for rep in 0..20 {
+            for (phase, cpi) in [(1u32, 1.0f64), (2, 9.0)] {
+                for _ in 0..3 {
+                    if rep > 2 {
+                        if let Some(p) = lv.predict() {
+                            lv_err.record(p, cpi);
+                        }
+                        if let Some(p) = pi.predict() {
+                            pi_err.record(p, cpi);
+                        }
+                    }
+                    lv.observe(id(phase), cpi);
+                    pi.observe(id(phase), cpi);
+                }
+            }
+        }
+        assert!(
+            pi_err.mae() <= lv_err.mae(),
+            "phase indexing should not lose: {} vs {}",
+            pi_err.mae(),
+            lv_err.mae()
+        );
+    }
+
+    #[test]
+    fn error_tracker_math() {
+        let mut e = MetricError::new();
+        e.record(1.0, 2.0);
+        e.record(3.0, 2.0);
+        assert_eq!(e.count(), 2);
+        assert!((e.mae() - 1.0).abs() < 1e-12);
+        assert!((e.relative_error() - 0.5).abs() < 1e-12);
+    }
+}

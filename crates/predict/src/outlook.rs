@@ -1,0 +1,191 @@
+//! Composite phase outlook: next phase *and* its expected duration.
+//!
+//! The paper's motivating consumers (Section 1: DVS task scheduling,
+//! SMT co-scheduling, reconfiguration) need both halves of Section 6 at
+//! once: at each phase change, *which* behaviour comes next and *how long*
+//! it will last, so an optimization's cost can be amortized against the
+//! predicted benefit window. [`OutlookPredictor`] composes a
+//! [`PhaseChangePredictor`] with a [`LengthClassPredictor`] behind one
+//! `observe` call.
+
+use tpcp_core::PhaseId;
+
+use crate::change::{ChangePolicy, PhaseChangePredictor};
+use crate::history::HistoryKind;
+use crate::length::{LengthClassPredictor, RunLengthClass};
+
+/// A joint prediction issued when a phase change completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outlook {
+    /// The phase just entered.
+    pub entered: PhaseId,
+    /// Predicted run-length class for the phase just entered.
+    pub expected_length: RunLengthClass,
+    /// Predicted outcome of the *next* change (where execution goes after
+    /// the entered phase), if the change table has a confident entry.
+    pub next_phase: Option<PhaseId>,
+}
+
+impl Outlook {
+    /// Whether an optimization with break-even length `needed` is worth
+    /// applying for the entered phase.
+    pub fn amortizes(&self, needed: RunLengthClass) -> bool {
+        self.expected_length >= needed
+    }
+}
+
+/// Composes phase-change and length-class prediction; see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use tpcp_core::PhaseId;
+/// use tpcp_predict::{OutlookPredictor, RunLengthClass};
+///
+/// let mut p = OutlookPredictor::hpca2005();
+/// // Pattern: phase 1 for 20 intervals, phase 2 for 2, repeated.
+/// let mut last = None;
+/// for _ in 0..15 {
+///     for _ in 0..20 { if let Some(o) = p.observe(PhaseId::new(1)) { last = Some(o); } }
+///     for _ in 0..2  { p.observe(PhaseId::new(2)); }
+/// }
+/// let outlook = last.expect("changes occurred");
+/// assert_eq!(outlook.entered, PhaseId::new(1));
+/// assert_eq!(outlook.expected_length, RunLengthClass::Medium);
+/// assert!(outlook.amortizes(RunLengthClass::Medium));
+/// ```
+#[derive(Debug, Clone)]
+pub struct OutlookPredictor {
+    change: PhaseChangePredictor,
+    length: LengthClassPredictor,
+}
+
+impl OutlookPredictor {
+    /// Builds an outlook predictor from its two components.
+    pub fn new(change: PhaseChangePredictor, length: LengthClassPredictor) -> Self {
+        Self { change, length }
+    }
+
+    /// The paper-derived configuration: Markov-2 change prediction with
+    /// 1-bit confidence (Markov keys are stable for the whole run, so a
+    /// next-phase prediction is available immediately at phase entry —
+    /// RLE keys only fire once the run reaches its recorded length) and
+    /// the RLE-2 length-class predictor, both 32-entry 4-way.
+    pub fn hpca2005() -> Self {
+        Self::new(
+            PhaseChangePredictor::new(
+                HistoryKind::Markov(2),
+                ChangePolicy::MostRecent,
+                true,
+                32,
+                4,
+            ),
+            LengthClassPredictor::new(32, 4),
+        )
+    }
+
+    /// Observes the next interval's phase; at a phase change, returns the
+    /// joint outlook for the phase just entered.
+    pub fn observe(&mut self, phase: PhaseId) -> Option<Outlook> {
+        let was = self.change.current_phase();
+        self.length.observe(phase);
+        let changed = self.change.observe(phase);
+        if !changed || was.is_none() {
+            return None;
+        }
+        let expected_length = self
+            .length
+            .current_prediction()
+            .unwrap_or(RunLengthClass::Short);
+        // After observing the change, the change table's prediction is for
+        // the *next* change (away from `phase`).
+        let next_phase = self
+            .change
+            .predict()
+            .filter(|p| p.confident)
+            .map(|p| p.primary);
+        Some(Outlook {
+            entered: phase,
+            expected_length,
+            next_phase,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u32) -> PhaseId {
+        PhaseId::new(v)
+    }
+
+    #[test]
+    fn no_outlook_without_change() {
+        let mut p = OutlookPredictor::hpca2005();
+        p.observe(id(1));
+        assert!(p.observe(id(1)).is_none(), "stable interval issues nothing");
+    }
+
+    #[test]
+    fn first_interval_issues_nothing() {
+        let mut p = OutlookPredictor::hpca2005();
+        assert!(p.observe(id(1)).is_none());
+    }
+
+    #[test]
+    fn outlook_learns_periodic_lengths() {
+        let mut p = OutlookPredictor::hpca2005();
+        let mut outlooks = Vec::new();
+        for _ in 0..12 {
+            for _ in 0..30 {
+                if let Some(o) = p.observe(id(1)) {
+                    outlooks.push(o);
+                }
+            }
+            for _ in 0..3 {
+                if let Some(o) = p.observe(id(2)) {
+                    outlooks.push(o);
+                }
+            }
+        }
+        let late: Vec<_> = outlooks.iter().rev().take(4).collect();
+        for o in &late {
+            match o.entered.value() {
+                1 => assert_eq!(o.expected_length, RunLengthClass::Medium),
+                2 => assert_eq!(o.expected_length, RunLengthClass::Short),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn next_phase_prediction_appears_with_confidence() {
+        let mut p = OutlookPredictor::hpca2005();
+        let mut saw_next = false;
+        for _ in 0..20 {
+            for _ in 0..5 {
+                p.observe(id(1));
+            }
+            if let Some(o) = p.observe(id(2)) {
+                if o.next_phase == Some(id(1)) {
+                    saw_next = true;
+                }
+            }
+            p.observe(id(2));
+        }
+        assert!(saw_next, "the 2->1 transition should become confident");
+    }
+
+    #[test]
+    fn amortizes_orders_classes() {
+        let o = Outlook {
+            entered: id(1),
+            expected_length: RunLengthClass::Long,
+            next_phase: None,
+        };
+        assert!(o.amortizes(RunLengthClass::Short));
+        assert!(o.amortizes(RunLengthClass::Long));
+        assert!(!o.amortizes(RunLengthClass::VeryLong));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for predictor data structures.
+
+use proptest::prelude::*;
+use tpcp_core::PhaseId;
+use tpcp_predict::{
+    AssocTable, ConfidenceCounter, HistoryKind, PhaseHistory,
+};
+
+proptest! {
+    /// The associative table behaves like a (lossy) map: a `get` after
+    /// `insert` returns the inserted value unless a later insert to the
+    /// same set evicted it; capacity is never exceeded.
+    #[test]
+    fn assoc_table_is_bounded_map(ops in prop::collection::vec((0u64..64, 0u32..1000), 1..200)) {
+        let mut table: AssocTable<u32> = AssocTable::new(16, 4);
+        let mut last_inserted = std::collections::HashMap::new();
+        for &(k, v) in &ops {
+            table.insert(k, v);
+            last_inserted.insert(k, v);
+            prop_assert!(table.len() <= table.capacity());
+        }
+        // Everything still resident matches the most recent insert.
+        for (k, v) in table.iter() {
+            prop_assert_eq!(last_inserted[&k], *v);
+        }
+        // Accounting: live + evicted = distinct keys inserted... not exact
+        // (reinsertion of a present key is not an eviction), but evictions
+        // can never exceed total inserts.
+        prop_assert!(table.evictions() <= ops.len() as u64);
+    }
+
+    /// Removing a key always makes subsequent gets miss.
+    #[test]
+    fn assoc_remove_is_final(keys in prop::collection::vec(0u64..32, 1..50)) {
+        let mut table: AssocTable<u64> = AssocTable::new(32, 4);
+        for &k in &keys {
+            table.insert(k, k);
+        }
+        for &k in &keys {
+            table.remove(k);
+            prop_assert_eq!(table.get(k), None);
+        }
+        prop_assert!(table.is_empty());
+    }
+
+    /// Confidence counters stay within their bit width and confidence is
+    /// monotone in the counter value.
+    #[test]
+    fn confidence_counter_bounded(bits in 1u32..7, outcomes in prop::collection::vec(any::<bool>(), 0..200)) {
+        let max = (1u16 << bits) as u8 - 1;
+        let threshold = max / 2 + 1;
+        let mut c = ConfidenceCounter::new(bits, threshold);
+        for &correct in &outcomes {
+            if correct { c.correct() } else { c.incorrect() }
+            prop_assert!(c.value() <= max);
+            prop_assert_eq!(c.is_confident(), c.value() >= threshold);
+        }
+    }
+
+    /// History: the RLE view's lengths sum to the number of observed
+    /// intervals (up to the retained depth), and the unique view equals
+    /// the RLE view's phases.
+    #[test]
+    fn history_views_agree(stream in prop::collection::vec(0u32..5, 1..100)) {
+        let mut h = PhaseHistory::new(64);
+        for &p in &stream {
+            h.push(PhaseId::new(p));
+        }
+        // Depth 64 retains 64 completed runs plus the current one.
+        let rle = h.last_rle(65);
+        let unique = h.last_unique(65);
+        prop_assert_eq!(rle.len(), unique.len());
+        for ((p_rle, len), p_u) in rle.iter().zip(&unique) {
+            prop_assert_eq!(p_rle, p_u);
+            prop_assert!(*len >= 1);
+        }
+        let total: u64 = rle.iter().map(|&(_, n)| n).sum();
+        // The history retains 64 completed runs plus the current one; when
+        // the stream has more runs than that, the oldest fall out.
+        let n_runs = stream
+            .iter()
+            .zip(stream.iter().skip(1))
+            .filter(|(a, b)| a != b)
+            .count()
+            + 1;
+        if n_runs <= 65 {
+            prop_assert_eq!(total, stream.len() as u64);
+        } else {
+            prop_assert!(total <= stream.len() as u64);
+        }
+        // Consecutive RLE entries never share a phase (maximal runs).
+        for w in rle.windows(2) {
+            prop_assert_ne!(w[0].0, w[1].0);
+        }
+    }
+
+    /// Markov keys are insensitive to run lengths; RLE keys are not
+    /// (whenever the run structure actually differs).
+    #[test]
+    fn key_sensitivity(phases in prop::collection::vec(0u32..4, 2..10)) {
+        // Deduplicate consecutive phases so each is a distinct run.
+        let mut runs: Vec<u32> = Vec::new();
+        for &p in &phases {
+            if runs.last() != Some(&p) {
+                runs.push(p);
+            }
+        }
+        prop_assume!(runs.len() >= 2);
+
+        let mut short = PhaseHistory::new(16);
+        let mut long = PhaseHistory::new(16);
+        for &p in &runs {
+            short.push(PhaseId::new(p));
+            long.push(PhaseId::new(p));
+            long.push(PhaseId::new(p)); // double-length runs
+        }
+        prop_assert_eq!(
+            short.key(HistoryKind::Markov(3)),
+            long.key(HistoryKind::Markov(3))
+        );
+        prop_assert_ne!(
+            short.key(HistoryKind::Rle(3)),
+            long.key(HistoryKind::Rle(3))
+        );
+    }
+}

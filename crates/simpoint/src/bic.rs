@@ -1,0 +1,121 @@
+//! Bayesian Information Criterion scoring for clusterings.
+//!
+//! SimPoint picks its cluster count by scoring each k-means run with the
+//! BIC formulation of Pelleg & Moore (X-means, ICML 2000): the
+//! log-likelihood of the data under a spherical-Gaussian mixture fit to the
+//! clustering, minus a complexity penalty of `p/2 * log(R)` where `p` is
+//! the number of free parameters and `R` the number of points.
+
+use crate::kmeans::KmeansResult;
+
+/// Computes the BIC score of a clustering over `points`.
+///
+/// Higher is better. Scores are comparable across different `k` on the
+/// *same* data set, which is exactly how SimPoint uses them.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or assignments disagree with `points` in
+/// length.
+///
+/// # Example
+///
+/// ```
+/// use tpcp_simpoint::{bic_score, kmeans};
+///
+/// let mut points: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i % 2) * 10.0]).collect();
+/// points[0][0] += 0.01; // break exact degeneracy
+/// let good = kmeans(&points, 2, 50, 1);
+/// let poor = kmeans(&points, 1, 50, 1);
+/// assert!(bic_score(&points, &good) > bic_score(&points, &poor));
+/// ```
+pub fn bic_score(points: &[Vec<f64>], clustering: &KmeansResult) -> f64 {
+    assert!(!points.is_empty(), "BIC needs at least one point");
+    assert_eq!(
+        points.len(),
+        clustering.assignments.len(),
+        "assignments must cover all points"
+    );
+    let r = points.len() as f64;
+    let dims = points[0].len() as f64;
+    let k = clustering.centroids.len() as f64;
+
+    // Maximum-likelihood spherical variance estimate, floored to avoid a
+    // degenerate (infinite-likelihood) fit when all points coincide.
+    let variance = (clustering.distortion / (dims * (r - k).max(1.0))).max(1e-12);
+
+    let mut cluster_sizes = vec![0u64; clustering.centroids.len()];
+    for &a in &clustering.assignments {
+        cluster_sizes[a] += 1;
+    }
+
+    // Log-likelihood under the fitted mixture.
+    let mut log_likelihood = 0.0;
+    for &rn in &cluster_sizes {
+        if rn == 0 {
+            continue;
+        }
+        let rn = rn as f64;
+        log_likelihood += rn * (rn / r).ln()
+            - (rn * dims / 2.0) * (2.0 * std::f64::consts::PI * variance).ln()
+            - (rn - 1.0) * dims / 2.0;
+    }
+
+    // Free parameters: k-1 mixing weights, k*dims centroid coordinates, one
+    // shared variance.
+    let params = (k - 1.0) + k * dims + 1.0;
+    log_likelihood - params / 2.0 * r.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::kmeans;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut v: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 5) as f64 * 0.1, (i % 3) as f64 * 0.1])
+            .collect();
+        v.extend((0..30).map(|i| vec![20.0 + (i % 5) as f64 * 0.1, 20.0 + (i % 3) as f64 * 0.1]));
+        v
+    }
+
+    #[test]
+    fn true_k_scores_best() {
+        let points = two_blobs();
+        let scores: Vec<f64> = (1..=5)
+            .map(|k| bic_score(&points, &kmeans(&points, k, 100, 3)))
+            .collect();
+        let best_k = scores
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .map(|(i, _)| i + 1)
+            .unwrap();
+        assert_eq!(best_k, 2, "scores: {scores:?}");
+    }
+
+    #[test]
+    fn overfitting_is_penalized() {
+        let points = two_blobs();
+        let k2 = bic_score(&points, &kmeans(&points, 2, 100, 3));
+        let k5 = bic_score(&points, &kmeans(&points, 5, 100, 3));
+        assert!(k2 > k5, "k=2 ({k2}) should beat k=5 ({k5})");
+    }
+
+    #[test]
+    fn score_is_finite_on_degenerate_data() {
+        let points = vec![vec![1.0, 2.0]; 10];
+        let score = bic_score(&points, &kmeans(&points, 2, 50, 0));
+        assert!(score.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all points")]
+    fn mismatched_assignments_rejected() {
+        let points = vec![vec![0.0], vec![1.0]];
+        let mut clustering = kmeans(&points, 1, 10, 0);
+        clustering.assignments.pop();
+        bic_score(&points, &clustering);
+    }
+}

@@ -1,0 +1,50 @@
+//! Offline SimPoint-style phase classification.
+//!
+//! The paper repeatedly compares its *online* classifier against the
+//! *offline* classification produced by SimPoint (Sherwood et al.,
+//! ASPLOS'02): "the resulting CPI CoV and number of phases produced are
+//! comparable to the results of the offline phase classification algorithm
+//! used in SimPoint" (Section 4.4). This crate implements that baseline:
+//!
+//! 1. project each interval's basic block vector to a low dimension with a
+//!    deterministic random projection ([`RandomProjection`], 15 dimensions
+//!    by default, the count the paper cites from ASPLOS'02);
+//! 2. run k-means ([`kmeans`]) for a range of `k`;
+//! 3. score each clustering with the Bayesian Information Criterion
+//!    ([`bic_score`]) and pick the smallest `k` whose score reaches a set
+//!    fraction of the best observed score (SimPoint's selection rule).
+//!
+//! # Example
+//!
+//! ```
+//! use tpcp_simpoint::{SimPointConfig, SimPointClassifier};
+//! use tpcp_trace::{BbvTrace, PhaseSpec, SyntheticTrace};
+//!
+//! let trace = SyntheticTrace::new(10_000)
+//!     .phase(PhaseSpec::uniform(0x1000, 6, 1.0))
+//!     .phase(PhaseSpec::uniform(0x9000, 6, 3.0))
+//!     .schedule(&[(0, 20), (1, 20), (0, 20)])
+//!     .generate();
+//! let bbvs = BbvTrace::collect(trace.replay());
+//!
+//! let result = SimPointClassifier::new(SimPointConfig::default()).classify(&bbvs);
+//! assert_eq!(result.assignments.len(), 60);
+//! // The two scripted phases are separated.
+//! assert_ne!(result.assignments[0], result.assignments[30]);
+//! assert_eq!(result.assignments[0], result.assignments[50]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bic;
+mod classify;
+mod kmeans;
+mod points;
+mod projection;
+
+pub use bic::bic_score;
+pub use classify::{SimPointClassifier, SimPointConfig, SimPointResult};
+pub use kmeans::{kmeans, KmeansResult};
+pub use points::{SimPoint, SimPoints};
+pub use projection::RandomProjection;

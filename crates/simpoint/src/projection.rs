@@ -1,0 +1,155 @@
+//! Deterministic random projection of sparse BBVs.
+
+use tpcp_trace::Bbv;
+
+/// Projects sparse basic block vectors into a dense low-dimensional space.
+///
+/// Instead of materializing a projection matrix over the (unbounded) space
+/// of branch PCs, the coefficient for `(pc, dim)` is derived on the fly
+/// from a hash of the pair and the seed — deterministic, storage-free, and
+/// equivalent in distribution to the uniform random matrix SimPoint uses.
+///
+/// # Example
+///
+/// ```
+/// use tpcp_simpoint::RandomProjection;
+/// use tpcp_trace::{BbvBuilder, BranchEvent};
+///
+/// let proj = RandomProjection::new(15, 42);
+/// let mut b = BbvBuilder::new();
+/// b.observe(BranchEvent::new(0x1000, 100));
+/// let v = proj.project(&b.finish());
+/// assert_eq!(v.len(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomProjection {
+    dims: usize,
+    seed: u64,
+}
+
+impl RandomProjection {
+    /// Creates a projection to `dims` dimensions with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is zero.
+    pub fn new(dims: usize, seed: u64) -> Self {
+        assert!(dims > 0, "projection dimension must be positive");
+        Self { dims, seed }
+    }
+
+    /// Output dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn coefficient(&self, pc: u64, dim: usize) -> f64 {
+        // SplitMix64-style hash of (seed, pc, dim) -> uniform [0, 1).
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(pc)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(dim as u64 + 1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Projects one normalized BBV to a dense vector.
+    pub fn project(&self, bbv: &Bbv) -> Vec<f64> {
+        let mut out = vec![0.0; self.dims];
+        for (pc, weight) in bbv.iter() {
+            for (dim, slot) in out.iter_mut().enumerate() {
+                *slot += weight * self.coefficient(pc, dim);
+            }
+        }
+        out
+    }
+
+    /// Projects every BBV of a trace.
+    pub fn project_all(&self, bbvs: &[Bbv]) -> Vec<Vec<f64>> {
+        bbvs.iter().map(|b| self.project(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcp_trace::{BbvBuilder, BranchEvent};
+
+    fn bbv(pairs: &[(u64, u32)]) -> Bbv {
+        let mut b = BbvBuilder::new();
+        for &(pc, n) in pairs {
+            b.observe(BranchEvent::new(pc, n));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let v = bbv(&[(0x10, 50), (0x20, 50)]);
+        let a = RandomProjection::new(8, 7).project(&v);
+        let b = RandomProjection::new(8, 7).project(&v);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let v = bbv(&[(0x10, 50), (0x20, 50)]);
+        let a = RandomProjection::new(8, 1).project(&v);
+        let b = RandomProjection::new(8, 2).project(&v);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn projection_is_linear_in_weights() {
+        // Identical distributions (same normalized BBV) project identically
+        // regardless of absolute counts.
+        let a = bbv(&[(0x10, 10), (0x20, 30)]);
+        let b = bbv(&[(0x10, 100), (0x20, 300)]);
+        let proj = RandomProjection::new(8, 3);
+        let pa = proj.project(&a);
+        let pb = proj.project(&b);
+        for (x, y) in pa.iter().zip(&pb) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distinct_code_projects_apart() {
+        let proj = RandomProjection::new(15, 42);
+        let a = proj.project(&bbv(&[(0x10, 100)]));
+        let b = proj.project(&bbv(&[(0x9000, 100)]));
+        let dist: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum();
+        assert!(dist.sqrt() > 0.1, "distinct PCs should separate: {dist}");
+    }
+
+    #[test]
+    fn empty_bbv_projects_to_zero() {
+        let proj = RandomProjection::new(4, 0);
+        let b = BbvBuilder::new().finish();
+        assert_eq!(proj.project(&b), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        RandomProjection::new(0, 0);
+    }
+
+    #[test]
+    fn coefficients_are_unit_uniform() {
+        let proj = RandomProjection::new(1, 9);
+        let mut sum = 0.0;
+        let n = 10_000;
+        for pc in 0..n {
+            let c = proj.coefficient(pc, 0);
+            assert!((0.0..1.0).contains(&c));
+            sum += c;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

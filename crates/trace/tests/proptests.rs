@@ -1,0 +1,94 @@
+//! Property-based tests for trace invariants.
+
+use proptest::prelude::*;
+use tpcp_trace::{
+    decode_trace, encode_trace, BbvBuilder, BranchEvent, IntervalCutter, IntervalSource,
+    RecordedTrace,
+};
+
+fn arb_event() -> impl Strategy<Value = (BranchEvent, u64)> {
+    (any::<u64>(), 1u32..500, 0u64..5_000)
+        .prop_map(|(pc, insns, cycles)| (BranchEvent::new(pc, insns), cycles))
+}
+
+proptest! {
+    /// Cutting a stream into intervals never loses or duplicates events,
+    /// instructions, or cycles.
+    #[test]
+    fn cutter_conserves_totals(events in prop::collection::vec(arb_event(), 0..200),
+                               interval_size in 1u64..5_000) {
+        let want_insns: u64 = events.iter().map(|(e, _)| u64::from(e.insns)).sum();
+        let want_cycles: u64 = events.iter().map(|(_, c)| c).sum();
+        let want_events = events.len();
+
+        let mut cutter = IntervalCutter::from_iter(interval_size, events);
+        let mut got_events = 0usize;
+        let mut got_insns = 0u64;
+        let mut got_cycles = 0u64;
+        while let Some(s) = cutter.next_interval(&mut |_| got_events += 1) {
+            got_insns += s.instructions;
+            got_cycles += s.cycles;
+        }
+        prop_assert_eq!(got_events, want_events);
+        prop_assert_eq!(got_insns, want_insns);
+        prop_assert_eq!(got_cycles, want_cycles);
+    }
+
+    /// Every interval except possibly the last reaches the interval size.
+    #[test]
+    fn only_last_interval_may_be_short(events in prop::collection::vec(arb_event(), 1..200),
+                                       interval_size in 1u64..2_000) {
+        let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
+        for iv in trace.intervals.iter().rev().skip(1) {
+            prop_assert!(iv.summary.instructions >= interval_size);
+        }
+    }
+
+    /// Codec round-trip is the identity on arbitrary traces.
+    #[test]
+    fn codec_round_trip(events in prop::collection::vec(arb_event(), 0..300),
+                        interval_size in 1u64..3_000) {
+        let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
+        let decoded = decode_trace(encode_trace(&trace)).unwrap();
+        prop_assert_eq!(trace, decoded);
+    }
+
+    /// Replay of a recording is indistinguishable from the recording.
+    #[test]
+    fn replay_identity(events in prop::collection::vec(arb_event(), 0..200),
+                       interval_size in 1u64..2_000) {
+        let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
+        let replayed = RecordedTrace::record(trace.replay());
+        prop_assert_eq!(trace, replayed);
+    }
+
+    /// BBV weights are a probability distribution: non-negative, sum to 1.
+    #[test]
+    fn bbv_is_distribution(events in prop::collection::vec(arb_event(), 1..200)) {
+        let mut b = BbvBuilder::new();
+        for (ev, _) in &events {
+            b.observe(*ev);
+        }
+        let bbv = b.finish();
+        let sum: f64 = bbv.iter().map(|(_, w)| w).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(bbv.iter().all(|(_, w)| w >= 0.0));
+    }
+
+    /// Manhattan distance is symmetric, zero on self, and bounded by 2.
+    #[test]
+    fn bbv_distance_properties(xs in prop::collection::vec((0u64..64, 1u32..100), 1..50),
+                               ys in prop::collection::vec((0u64..64, 1u32..100), 1..50)) {
+        let mut b = BbvBuilder::new();
+        for &(pc, n) in &xs { b.observe(BranchEvent::new(pc, n)); }
+        let x = b.finish();
+        for &(pc, n) in &ys { b.observe(BranchEvent::new(pc, n)); }
+        let y = b.finish();
+
+        prop_assert!(x.manhattan_distance(&x) < 1e-12);
+        let d_xy = x.manhattan_distance(&y);
+        let d_yx = y.manhattan_distance(&x);
+        prop_assert!((d_xy - d_yx).abs() < 1e-12);
+        prop_assert!(d_xy >= 0.0 && d_xy <= 2.0 + 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for workload scripts and simulation.
+
+use proptest::prelude::*;
+use tpcp_trace::IntervalSource;
+use tpcp_workloads::{Benchmark, Region, ScriptIter, ScriptNode, StreamSpec, WorkloadParams};
+
+/// Deterministic scripts (no RunVar/Choose): Seq/Repeat/Run trees.
+fn arb_fixed_script() -> impl Strategy<Value = ScriptNode> {
+    let leaf = (0usize..3, 1_000u64..100_000)
+        .prop_map(|(r, n)| ScriptNode::run(r, n));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(ScriptNode::Seq),
+            (1u64..4, inner).prop_map(|(times, body)| ScriptNode::repeat(times, body)),
+        ]
+    })
+}
+
+fn regions() -> Vec<Region> {
+    (0..3u64)
+        .map(|i| {
+            Region::loop_nest(
+                &format!("r{i}"),
+                0x40_0000 + i * 0x10_0000,
+                4,
+                150,
+                StreamSpec::Strided {
+                    stride: 16,
+                    working_set: 32 * 1024,
+                },
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// For fixed scripts, the flattened run durations sum exactly to the
+    /// expected-instruction estimate.
+    #[test]
+    fn fixed_scripts_flatten_exactly(script in arb_fixed_script()) {
+        let total: u64 = ScriptIter::new(&script, 7).map(|(_, n)| n).sum();
+        let expected = script.expected_instructions();
+        prop_assert!((total as f64 - expected).abs() < 0.5, "{total} vs {expected}");
+    }
+
+    /// Scaling a fixed script scales its flattened total proportionally
+    /// (within per-run rounding of half an instruction each).
+    #[test]
+    fn scaling_is_proportional(script in arb_fixed_script(), scale in 0.05f64..2.0) {
+        let runs: Vec<_> = ScriptIter::new(&script.scaled(scale), 7).collect();
+        let total: u64 = runs.iter().map(|&(_, n)| n).sum();
+        let expected = script.expected_instructions() * scale;
+        let slack = runs.len() as f64 + 1.0;
+        prop_assert!(
+            (total as f64 - expected).abs() <= slack,
+            "{total} vs {expected} (slack {slack})"
+        );
+    }
+
+    /// Simulated intervals conserve the script's instruction budget and
+    /// every interval except the last is full.
+    #[test]
+    fn simulation_conserves_instructions(script in arb_fixed_script()) {
+        let benchmark = Benchmark::new("prop", regions(), script.clone());
+        let params = WorkloadParams {
+            interval_size: 50_000,
+            ..Default::default()
+        };
+        let mut sim = benchmark.simulate(&params);
+        let summaries = sim.drain_summaries();
+        let total: u64 = summaries.iter().map(|s| s.instructions).sum();
+        // Block granularity can overshoot each run by at most one block
+        // (~150 insns); runs can't undershoot.
+        let expected = script.expected_instructions();
+        let runs = ScriptIter::new(&script, 7).count() as f64;
+        prop_assert!(total as f64 >= expected - 0.5);
+        prop_assert!(total as f64 <= expected + runs * 700.0 + 700.0);
+        for s in summaries.iter().rev().skip(1) {
+            prop_assert!(s.instructions >= params.interval_size);
+        }
+        // Cycles are positive whenever instructions are.
+        prop_assert!(summaries.iter().all(|s| s.cycles > 0 || s.instructions == 0));
+    }
+
+    /// Simulation is deterministic in (script, seed).
+    #[test]
+    fn simulation_deterministic(script in arb_fixed_script(), seed in 0u64..1000) {
+        let benchmark = Benchmark::new("prop", regions(), script);
+        let params = WorkloadParams {
+            interval_size: 50_000,
+            seed,
+            ..Default::default()
+        };
+        let a = benchmark.simulate(&params).drain_summaries();
+        let b = benchmark.simulate(&params).drain_summaries();
+        prop_assert_eq!(a, b);
+    }
+}

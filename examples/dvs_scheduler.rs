@@ -1,0 +1,128 @@
+//! Phase-length-guided reconfiguration gating — the paper's motivating use
+//! case for phase *length* prediction (Section 6.2): "an expensive
+//! optimization or reconfiguration should only be applied if we can
+//! amortize its cost over a significant amount of execution", e.g. DVS
+//! transitions in real-time task scheduling.
+//!
+//! At every phase change we may apply an optimization that costs
+//! `RECONFIG_COST` cycles up front and saves `SAVINGS_PER_INTERVAL` cycles
+//! per interval while the phase lasts. Applying it to a short phase loses
+//! cycles; applying it to a long phase wins big.
+//!
+//! Policies compared:
+//! - never reconfigure,
+//! - always reconfigure on every phase change,
+//! - gated: reconfigure only when the RLE-2 length-class predictor says
+//!   the upcoming phase will be long enough to amortize the cost.
+//!
+//! ```text
+//! cargo run --release --example dvs_scheduler
+//! ```
+
+use tpcp::core::{ClassifierConfig, PhaseClassifier, PhaseId};
+use tpcp::predict::{LengthClassPredictor, RunLengthClass};
+use tpcp::trace::IntervalSource;
+use tpcp::workloads::{BenchmarkKind, WorkloadParams};
+
+/// Up-front cost of the optimization, in cycles.
+const RECONFIG_COST: f64 = 40_000_000.0;
+/// Cycles saved per optimized interval.
+const SAVINGS_PER_INTERVAL: f64 = 5_000_000.0;
+/// Break-even length: RECONFIG_COST / SAVINGS_PER_INTERVAL = 8 intervals,
+/// so classes Medium (16–127) and longer amortize comfortably.
+fn worth_it(class: RunLengthClass) -> bool {
+    class >= RunLengthClass::Medium
+}
+
+/// Collects the phase ID stream of a benchmark (classification pass).
+fn phase_stream(kind: BenchmarkKind) -> Vec<PhaseId> {
+    let params = WorkloadParams {
+        length_scale: 0.15,
+        ..Default::default()
+    };
+    let benchmark = kind.build(&params);
+    let mut sim = benchmark.simulate(&params);
+    let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
+    let mut ids = Vec::new();
+    while let Some(summary) = sim.next_interval(&mut |ev| classifier.observe(ev)) {
+        ids.push(classifier.end_interval(summary.cpi()));
+    }
+    ids
+}
+
+/// Net cycles saved by a policy over a phase stream.
+/// `gate` decides, at each phase change, whether to pay for the
+/// optimization given the predicted length class of the incoming phase.
+fn evaluate<F>(ids: &[PhaseId], mut gate: F) -> f64
+where
+    F: FnMut(Option<RunLengthClass>) -> bool,
+{
+    let mut predictor = LengthClassPredictor::new(32, 4);
+    let mut net = 0.0;
+    let mut optimized = false;
+    let mut prev: Option<PhaseId> = None;
+    for &id in ids {
+        let changed = prev.is_some_and(|p| p != id);
+        if changed || prev.is_none() {
+            // About to enter a new phase: consult the predictor *before*
+            // it observes the change (its prediction is for this phase).
+            predictor.observe(id);
+            optimized = gate(predictor.current_prediction());
+            if optimized {
+                net -= RECONFIG_COST;
+            }
+        } else {
+            predictor.observe(id);
+        }
+        if optimized {
+            net += SAVINGS_PER_INTERVAL;
+        }
+        prev = Some(id);
+    }
+    net
+}
+
+fn main() {
+    println!(
+        "{:<9} {:>14} {:>14} {:>14}",
+        "bench", "never (Mcyc)", "always (Mcyc)", "gated (Mcyc)"
+    );
+    let mut totals = [0.0f64; 3];
+    for kind in [
+        BenchmarkKind::GzipGraphic,
+        BenchmarkKind::Ammp,
+        BenchmarkKind::GccScilab,
+        BenchmarkKind::Mcf,
+        BenchmarkKind::PerlDiffmail,
+    ] {
+        let ids = phase_stream(kind);
+        let never = evaluate(&ids, |_| false);
+        let always = evaluate(&ids, |_| true);
+        let gated = evaluate(&ids, |pred| pred.is_some_and(worth_it));
+        totals[0] += never;
+        totals[1] += always;
+        totals[2] += gated;
+        println!(
+            "{:<9} {:>14.0} {:>14.0} {:>14.0}",
+            kind.label(),
+            never / 1e6,
+            always / 1e6,
+            gated / 1e6
+        );
+    }
+    println!(
+        "{:<9} {:>14.0} {:>14.0} {:>14.0}",
+        "total",
+        totals[0] / 1e6,
+        totals[1] / 1e6,
+        totals[2] / 1e6
+    );
+    assert!(
+        totals[2] >= totals[1],
+        "length gating should beat blind reconfiguration"
+    );
+    println!(
+        "\nlength-gated reconfiguration nets {:.0} Mcycles over always-reconfigure",
+        (totals[2] - totals[1]) / 1e6
+    );
+}

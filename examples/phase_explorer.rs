@@ -1,0 +1,88 @@
+//! Phase explorer: a small CLI that prints a benchmark's phase timeline
+//! and per-phase statistics — the workspace's equivalent of eyeballing a
+//! SimPoint phase plot.
+//!
+//! ```text
+//! cargo run --release --example phase_explorer -- gcc/s
+//! cargo run --release --example phase_explorer -- mcf 0.25
+//! ```
+//!
+//! Arguments: benchmark label (default `gzip/g`) and optional length scale
+//! (default 0.1).
+
+use tpcp::core::{ClassifierConfig, PhaseClassifier, PhaseId};
+use tpcp::metrics::CovAccumulator;
+use tpcp::trace::IntervalSource;
+use tpcp::workloads::{BenchmarkKind, WorkloadParams};
+
+/// One display glyph per interval: transition = '.', phases cycle through
+/// letters.
+fn glyph(id: PhaseId) -> char {
+    if id.is_transition() {
+        '.'
+    } else {
+        let letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+        letters
+            .chars()
+            .nth((id.value() as usize - 1) % letters.len())
+            .expect("cycle within letters")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let label = args.first().map(String::as_str).unwrap_or("gzip/g");
+    let scale: f64 = args
+        .get(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.1);
+
+    let kind: BenchmarkKind = label.parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    let params = WorkloadParams {
+        length_scale: scale,
+        ..Default::default()
+    };
+    let mut sim = kind.build(&params).simulate(&params);
+    let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
+    let mut cov = CovAccumulator::new();
+    let mut timeline = String::new();
+
+    while let Some(summary) = sim.next_interval(&mut |ev| classifier.observe(ev)) {
+        let id = classifier.end_interval(summary.cpi());
+        cov.observe(id, summary.cpi());
+        timeline.push(glyph(id));
+    }
+
+    println!("{} @ scale {scale} — one glyph per interval ('.' = transition)\n", kind.label());
+    for chunk in timeline.as_bytes().chunks(100) {
+        println!("{}", String::from_utf8_lossy(chunk));
+    }
+
+    let summary = cov.finish();
+    println!(
+        "\n{} intervals, {} stable phases, {:.1}% transition time",
+        classifier.intervals_seen(),
+        classifier.phases_created(),
+        classifier.transition_fraction() * 100.0
+    );
+    println!(
+        "whole-program CoV {:.1}%  ->  per-phase CoV {:.1}%\n",
+        summary.whole_program_cov() * 100.0,
+        summary.weighted_cov() * 100.0
+    );
+    println!("phase  glyph  intervals  mean CPI   CoV%");
+    for p in summary.phases() {
+        println!(
+            "{:>5}  {:>5}  {:>9}  {:>8.2}  {:>5.1}",
+            p.phase.to_string(),
+            glyph(p.phase),
+            p.intervals,
+            p.mean_cpi,
+            p.cov * 100.0
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: classify a program's execution into phases online and
+//! predict the next phase.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tpcp::core::{ClassifierConfig, PhaseClassifier};
+use tpcp::metrics::{CovAccumulator, RunAccumulator};
+use tpcp::predict::{NextPhasePredictor, PredictorKind};
+use tpcp::trace::IntervalSource;
+use tpcp::workloads::{BenchmarkKind, WorkloadParams};
+
+fn main() {
+    // 1. Build a workload. This is the gzip/graphic model — a program with
+    //    a few long, stable phases. (Scale it down so the example runs in
+    //    seconds; drop `length_scale` for the full run.)
+    let params = WorkloadParams {
+        length_scale: 0.10,
+        ..Default::default()
+    };
+    let benchmark = BenchmarkKind::GzipGraphic.build(&params);
+    let mut sim = benchmark.simulate(&params);
+
+    // 2. Attach the paper's phase classification architecture and an
+    //    RLE-2 next-phase predictor with confidence counters.
+    let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
+    let mut predictor = NextPhasePredictor::new(PredictorKind::rle(2));
+    let mut cov = CovAccumulator::new();
+    let mut runs = RunAccumulator::new();
+
+    // 3. Stream intervals: observe each committed branch, classify at each
+    //    interval boundary, and feed the phase ID to the predictor.
+    while let Some(summary) = sim.next_interval(&mut |ev| classifier.observe(ev)) {
+        let phase = classifier.end_interval(summary.cpi());
+        predictor.observe(phase);
+        cov.observe(phase, summary.cpi());
+        runs.observe(phase);
+    }
+
+    // 4. Report what the architecture learned.
+    let summary = cov.finish();
+    let runs = runs.finish();
+    println!("benchmark        : {}", benchmark.name);
+    println!("intervals        : {}", classifier.intervals_seen());
+    println!("stable phases    : {}", classifier.phases_created());
+    println!(
+        "transition time  : {:.1}%",
+        classifier.transition_fraction() * 100.0
+    );
+    println!(
+        "whole-program CoV: {:.1}%  ->  per-phase CoV: {:.1}%",
+        summary.whole_program_cov() * 100.0,
+        summary.weighted_cov() * 100.0
+    );
+    println!(
+        "avg stable run   : {:.1} intervals (transition: {:.1})",
+        runs.stable_mean(),
+        runs.transition_mean()
+    );
+    let b = predictor.breakdown();
+    println!(
+        "next-phase pred  : {:.1}% correct ({:.1}% confident-correct, {:.1}% confident-wrong)",
+        b.accuracy() * 100.0,
+        b.confident_correct_fraction() * 100.0,
+        b.confident_incorrect_fraction() * 100.0
+    );
+
+    // Per-phase detail, as a dynamic optimization would consume it.
+    println!("\nper-phase CPI:");
+    for phase in summary.phases() {
+        println!(
+            "  {:>4}  {:>6} intervals  mean CPI {:>6.2}  CoV {:>5.1}%",
+            phase.phase.to_string(),
+            phase.intervals,
+            phase.mean_cpi,
+            phase.cov * 100.0
+        );
+    }
+}

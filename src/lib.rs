@@ -1,0 +1,48 @@
+//! # tpcp — Transition Phase Classification and Prediction
+//!
+//! A full reproduction of *Lau, Schoenmackers, Calder, "Transition Phase
+//! Classification and Prediction", HPCA 2005*, as a Rust workspace. This
+//! facade crate re-exports every component crate under one roof:
+//!
+//! - [`trace`] — branch events, intervals, BBVs, trace recording/replay.
+//! - [`uarch`] — the simulation substrate: caches, branch predictors, TLB,
+//!   and the Table 1 timing model.
+//! - [`workloads`] — synthetic SPEC CPU2000-like benchmark models with the
+//!   phase structure the paper evaluates on.
+//! - [`core`] — the online phase classifier: accumulator signatures,
+//!   signature table, transition phase, and adaptive thresholds.
+//! - [`predict`] — next-phase, phase-change, and phase-length predictors
+//!   with confidence counters.
+//! - [`simpoint`] — the offline SimPoint-style k-means baseline.
+//! - [`metrics`] — CoV, run-length, and prediction-quality metrics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tpcp::core::{ClassifierConfig, PhaseClassifier};
+//! use tpcp::trace::{IntervalSource, PhaseSpec, SyntheticTrace};
+//!
+//! // A scripted program with two ground-truth phases.
+//! let trace = SyntheticTrace::new(100_000)
+//!     .phase(PhaseSpec::uniform(0x1000, 8, 1.0))
+//!     .phase(PhaseSpec::uniform(0x9000, 8, 2.5))
+//!     .schedule(&[(0, 30), (1, 20), (0, 30)])
+//!     .generate();
+//!
+//! // Classify each interval online.
+//! let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
+//! let mut replay = trace.replay();
+//! let mut ids = Vec::new();
+//! while let Some(summary) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
+//!     ids.push(classifier.end_interval(summary.cpi()));
+//! }
+//! assert_eq!(ids.len(), 80);
+//! ```
+
+pub use tpcp_core as core;
+pub use tpcp_metrics as metrics;
+pub use tpcp_predict as predict;
+pub use tpcp_simpoint as simpoint;
+pub use tpcp_trace as trace;
+pub use tpcp_uarch as uarch;
+pub use tpcp_workloads as workloads;

@@ -1,0 +1,81 @@
+//! Validation against scripted ground truth: the classifier's phases
+//! should agree with the phases the synthetic trace was built from.
+
+use tpcp::core::{ClassifierConfig, PhaseClassifier, PhaseId};
+use tpcp::metrics::{purity, rand_index};
+use tpcp::simpoint::{SimPointClassifier, SimPointConfig};
+use tpcp::trace::{BbvTrace, IntervalSource, PhaseSpec, SyntheticTrace};
+
+fn scripted() -> (tpcp::trace::RecordedTrace, Vec<usize>) {
+    let script = SyntheticTrace::new(50_000)
+        .phase(PhaseSpec::uniform(0x10_0000, 8, 1.0))
+        .phase(PhaseSpec::uniform(0x90_0000, 8, 2.5))
+        .phase(PhaseSpec::uniform(0x50_0000, 8, 4.0))
+        .schedule(&[
+            (0, 40),
+            (1, 15),
+            (0, 40),
+            (2, 10),
+            (1, 15),
+            (0, 40),
+            (2, 10),
+        ]);
+    let truth = script.ground_truth();
+    (script.generate(), truth)
+}
+
+fn classify(trace: &tpcp::trace::RecordedTrace) -> Vec<PhaseId> {
+    let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
+    let mut replay = trace.replay();
+    let mut ids = Vec::new();
+    while let Some(s) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
+        ids.push(classifier.end_interval(s.cpi()));
+    }
+    ids
+}
+
+#[test]
+fn online_classifier_recovers_ground_truth() {
+    let (trace, truth) = scripted();
+    let ids = classify(&trace);
+    assert_eq!(ids.len(), truth.len());
+
+    // The transition phase deliberately buckets unrelated rare behaviour
+    // (each true phase's first 8 appearances land there), so evaluate
+    // agreement over the *stable* classifications.
+    let stable: (Vec<PhaseId>, Vec<usize>) = ids
+        .iter()
+        .zip(&truth)
+        .filter(|(id, _)| !id.is_transition())
+        .map(|(&id, &t)| (id, t))
+        .unzip();
+    assert!(stable.0.len() > ids.len() * 3 / 4, "mostly stable");
+    let p = purity(&stable.0, &stable.1);
+    let r = rand_index(&stable.0, &stable.1);
+    assert!(p > 0.95, "purity {p}");
+    assert!(r > 0.9, "rand index {r}");
+}
+
+#[test]
+fn offline_simpoint_recovers_ground_truth() {
+    let (trace, truth) = scripted();
+    let bbvs = BbvTrace::collect(trace.replay());
+    let result = SimPointClassifier::new(SimPointConfig::default()).classify(&bbvs);
+    let p = purity(&result.assignments, &truth);
+    assert!(p > 0.95, "purity {p}");
+}
+
+#[test]
+fn online_and_offline_largely_agree() {
+    let (trace, _) = scripted();
+    let online = classify(&trace);
+    let bbvs = BbvTrace::collect(trace.replay());
+    let offline = SimPointClassifier::new(SimPointConfig::default()).classify(&bbvs);
+    // Skip the online warm-up (transition) prefix.
+    let skip = 30;
+    let r = rand_index(&online[skip..], &offline.assignments[skip..]);
+    assert!(
+        r > 0.85,
+        "online and offline classifications should agree: {r}"
+    );
+}

@@ -1,0 +1,157 @@
+//! Failure-injection tests: degenerate and adversarial inputs the design
+//! must survive without panicking or corrupting state.
+
+use tpcp::core::{ClassifierConfig, PhaseClassifier, PhaseId};
+use tpcp::metrics::{CovAccumulator, RunAccumulator};
+use tpcp::predict::{LengthClassPredictor, NextPhasePredictor, PredictorKind};
+use tpcp::trace::{BranchEvent, IntervalCutter, IntervalSource, RecordedTrace, TraceStats};
+
+/// Every event hits the same PC: the signature collapses into one
+/// dimension, but classification must still be stable.
+#[test]
+fn single_pc_trace() {
+    let mut c = PhaseClassifier::new(ClassifierConfig::hpca2005());
+    let mut ids = Vec::new();
+    for _ in 0..20 {
+        for _ in 0..100 {
+            c.observe(BranchEvent::new(0xAAAA, 100));
+        }
+        ids.push(c.end_interval(1.0));
+    }
+    // One behaviour => at most one stable phase; later intervals all agree.
+    assert_eq!(c.phases_created(), 1);
+    assert!(ids[12..].windows(2).all(|w| w[0] == w[1]));
+}
+
+/// Every event has a unique PC: no interval ever resembles another.
+#[test]
+fn unique_pc_per_event_trace() {
+    let mut c = PhaseClassifier::new(ClassifierConfig::hpca2005());
+    let mut pc = 0u64;
+    for _ in 0..30 {
+        for _ in 0..50 {
+            pc += 0x9E37_79B9; // large odd stride: unique hash inputs
+            c.observe(BranchEvent::new(pc, 100));
+        }
+        let id = c.end_interval(1.0);
+        // With 16 accumulators, random code still produces *similar*
+        // flat signatures, so this may or may not stay transition — the
+        // invariant is just that nothing panics and accounting holds.
+        let _ = id;
+    }
+    assert_eq!(c.intervals_seen(), 30);
+    assert!(c.table().len() <= 32);
+}
+
+/// Zero-instruction events are legal trace content.
+#[test]
+fn zero_length_blocks() {
+    let events = vec![
+        (BranchEvent::new(0x10, 0), 0u64),
+        (BranchEvent::new(0x20, 50), 100),
+        (BranchEvent::new(0x30, 0), 0),
+        (BranchEvent::new(0x40, 50), 100),
+    ];
+    let trace = RecordedTrace::record(IntervalCutter::from_iter(100, events));
+    assert_eq!(trace.len(), 1);
+    let stats = TraceStats::of(&trace);
+    assert_eq!(stats.instructions, 100);
+    let mut c = PhaseClassifier::new(ClassifierConfig::hpca2005());
+    let mut replay = trace.replay();
+    while let Some(s) = replay.next_interval(&mut |ev| c.observe(ev)) {
+        c.end_interval(s.cpi());
+    }
+    assert_eq!(c.intervals_seen(), 1);
+}
+
+/// A one-interval program exercises every "first time" path at once.
+#[test]
+fn single_interval_program() {
+    let mut c = PhaseClassifier::new(ClassifierConfig::hpca2005());
+    c.observe(BranchEvent::new(0x1, 10));
+    let id = c.end_interval(0.5);
+    assert!(id.is_transition());
+
+    let mut p = NextPhasePredictor::new(PredictorKind::rle(2));
+    assert!(p.observe(id).is_none(), "nothing to resolve");
+    assert_eq!(p.breakdown().total(), 0);
+
+    let mut l = LengthClassPredictor::new(32, 4);
+    assert!(l.observe(id).is_none());
+    assert_eq!(l.counts(), (0, 0));
+}
+
+/// NaN and zero CPIs must not poison the adaptive feedback or metrics.
+#[test]
+fn weird_cpi_values() {
+    let mut c = PhaseClassifier::new(ClassifierConfig::hpca2005());
+    let mut cov = CovAccumulator::new();
+    for (i, cpi) in [0.0, 1.0, 1e9, 1.0, 0.0, 1.0].iter().enumerate() {
+        for _ in 0..50 {
+            c.observe(BranchEvent::new(0x100 + (i as u64 % 4) * 0x40, 100));
+        }
+        let id = c.end_interval(*cpi);
+        cov.observe(id, *cpi);
+    }
+    let summary = cov.finish();
+    assert!(summary.weighted_cov().is_finite());
+    assert!(summary.whole_program_cov().is_finite());
+}
+
+/// Phase ID streams consisting entirely of the transition phase.
+#[test]
+fn all_transition_stream() {
+    let ids = vec![PhaseId::TRANSITION; 100];
+    let mut p = NextPhasePredictor::new(PredictorKind::markov(2));
+    let mut runs = RunAccumulator::new();
+    for &id in &ids {
+        p.observe(id);
+        runs.observe(id);
+    }
+    // One long transition run; last-value predicts it perfectly.
+    assert_eq!(p.breakdown().accuracy(), 1.0);
+    let stats = runs.finish();
+    assert_eq!(stats.runs().len(), 1);
+    assert_eq!(stats.stable_mean(), 0.0);
+    assert_eq!(stats.transition_mean(), 100.0);
+}
+
+/// Rapid phase thrash: a new phase ID every interval, forever.
+#[test]
+fn every_interval_new_phase() {
+    let mut p = NextPhasePredictor::new(PredictorKind::rle(2));
+    let mut l = LengthClassPredictor::new(32, 4);
+    for i in 0..500u32 {
+        p.observe(PhaseId::new(i + 1));
+        l.observe(PhaseId::new(i + 1));
+    }
+    assert_eq!(p.breakdown().accuracy(), 0.0, "nothing is predictable");
+    // The length predictor should at least learn that runs are short.
+    let (correct, total) = l.counts();
+    assert_eq!(total, 499);
+    assert!(correct as f64 / total as f64 > 0.9, "{correct}/{total}");
+}
+
+/// Tiny tables (1-entry classifier table, 4-entry predictor tables) must
+/// still behave, just poorly.
+#[test]
+fn minimal_table_sizes() {
+    let cfg = ClassifierConfig::builder()
+        .table_entries(Some(1))
+        .min_count(2)
+        .build();
+    let mut c = PhaseClassifier::new(cfg);
+    for i in 0..50u64 {
+        for _ in 0..20 {
+            c.observe(BranchEvent::new(0x1000 * (i % 3 + 1), 100));
+        }
+        c.end_interval(1.0);
+    }
+    assert!(c.table().len() <= 1);
+
+    let mut p = NextPhasePredictor::new(PredictorKind::rle(2).with_table_geometry(4, 4));
+    for i in 0..100u32 {
+        p.observe(PhaseId::new(i % 7));
+    }
+    assert_eq!(p.breakdown().total(), 99);
+}

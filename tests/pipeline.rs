@@ -1,0 +1,150 @@
+//! End-to-end integration: workload simulation → online classification →
+//! prediction → metrics, across crate boundaries.
+
+use tpcp::core::{ClassifierConfig, PhaseClassifier, PhaseId};
+use tpcp::metrics::{CovAccumulator, RunAccumulator};
+use tpcp::predict::{
+    ChangeEvaluator, ChangePolicy, HistoryKind, LengthClassPredictor, NextPhasePredictor,
+    PhaseChangePredictor, PredictorKind,
+};
+use tpcp::trace::{BbvTrace, IntervalSource, RecordedTrace};
+use tpcp::workloads::{BenchmarkKind, WorkloadParams};
+
+fn tiny_params() -> WorkloadParams {
+    WorkloadParams {
+        length_scale: 0.02,
+        ..Default::default()
+    }
+}
+
+/// Simulate → classify, returning the phase stream and CPIs.
+fn classify(kind: BenchmarkKind) -> (Vec<PhaseId>, Vec<f64>) {
+    let params = tiny_params();
+    let mut sim = kind.build(&params).simulate(&params);
+    let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
+    let mut ids = Vec::new();
+    let mut cpis = Vec::new();
+    while let Some(s) = sim.next_interval(&mut |ev| classifier.observe(ev)) {
+        ids.push(classifier.end_interval(s.cpi()));
+        cpis.push(s.cpi());
+    }
+    (ids, cpis)
+}
+
+#[test]
+fn full_pipeline_produces_consistent_streams() {
+    let (ids, cpis) = classify(BenchmarkKind::GzipProgram);
+    assert!(ids.len() > 5, "got {} intervals", ids.len());
+    assert_eq!(ids.len(), cpis.len());
+    assert!(cpis.iter().all(|&c| c > 0.0 && c < 100.0));
+}
+
+#[test]
+fn classification_reduces_cov_on_every_benchmark() {
+    // The core claim of phase classification: per-phase CoV is (much)
+    // smaller than whole-program CoV.
+    let params = tiny_params();
+    for kind in [
+        BenchmarkKind::Ammp,
+        BenchmarkKind::GzipGraphic,
+        BenchmarkKind::Mcf,
+    ] {
+        let mut sim = kind.build(&params).simulate(&params);
+        let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
+        let mut cov = CovAccumulator::new();
+        while let Some(s) = sim.next_interval(&mut |ev| classifier.observe(ev)) {
+            cov.observe(classifier.end_interval(s.cpi()), s.cpi());
+        }
+        let summary = cov.finish();
+        assert!(
+            summary.weighted_cov() < summary.whole_program_cov(),
+            "{}: per-phase {} >= whole {}",
+            kind.label(),
+            summary.weighted_cov(),
+            summary.whole_program_cov()
+        );
+    }
+}
+
+#[test]
+fn recorded_traces_replay_identically_through_the_classifier() {
+    let params = tiny_params();
+    let trace = RecordedTrace::record(
+        BenchmarkKind::Bzip2Program
+            .build(&params)
+            .simulate(&params),
+    );
+    let classify_replay = || {
+        let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
+        let mut replay = trace.replay();
+        let mut ids = Vec::new();
+        while let Some(s) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
+            ids.push(classifier.end_interval(s.cpi()));
+        }
+        ids
+    };
+    assert_eq!(classify_replay(), classify_replay());
+}
+
+#[test]
+fn predictors_consume_classifier_output() {
+    let (ids, _) = classify(BenchmarkKind::Ammp);
+    let mut next = NextPhasePredictor::new(PredictorKind::rle(2));
+    let mut change = ChangeEvaluator::new(PhaseChangePredictor::new(
+        HistoryKind::Markov(2),
+        ChangePolicy::MostRecent,
+        true,
+        32,
+        4,
+    ));
+    let mut length = LengthClassPredictor::new(32, 4);
+    for &id in &ids {
+        next.observe(id);
+        change.observe(id);
+        length.observe(id);
+    }
+    assert_eq!(next.breakdown().total(), ids.len() as u64 - 1);
+    // Changes seen by the evaluator must match the stream's run boundaries.
+    let runs = {
+        let mut acc = RunAccumulator::new();
+        for &id in &ids {
+            acc.observe(id);
+        }
+        acc.finish()
+    };
+    assert_eq!(change.breakdown().total(), runs.change_count() as u64);
+}
+
+#[test]
+fn bbv_traces_support_offline_classification() {
+    let params = tiny_params();
+    let trace = RecordedTrace::record(BenchmarkKind::Galgel.build(&params).simulate(&params));
+    let bbvs = BbvTrace::collect(trace.replay());
+    assert_eq!(bbvs.len(), trace.len());
+    let result = tpcp::simpoint::SimPointClassifier::new(Default::default()).classify(&bbvs);
+    assert_eq!(result.assignments.len(), bbvs.len());
+    assert!(result.k >= 1);
+}
+
+#[test]
+fn transition_phase_reduces_phase_count() {
+    let params = tiny_params();
+    let count_phases = |min_count: u8| {
+        let mut sim = BenchmarkKind::GccScilab.build(&params).simulate(&params);
+        let cfg = ClassifierConfig::builder()
+            .min_count(min_count)
+            .adaptive(None)
+            .build();
+        let mut classifier = PhaseClassifier::new(cfg);
+        while let Some(s) = sim.next_interval(&mut |ev| classifier.observe(ev)) {
+            classifier.end_interval(s.cpi());
+        }
+        classifier.phases_created()
+    };
+    let without = count_phases(0);
+    let with = count_phases(8);
+    assert!(
+        with < without,
+        "transition phase must reduce phase IDs: {with} vs {without}"
+    );
+}

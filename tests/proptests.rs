@@ -1,0 +1,140 @@
+//! Cross-crate property tests: invariants that must hold for any phase ID
+//! stream, tying the classifier's output contract to the predictors' and
+//! metrics' input contracts.
+
+use proptest::prelude::*;
+use tpcp::core::PhaseId;
+use tpcp::metrics::{CovAccumulator, RunAccumulator};
+use tpcp::predict::{
+    ChangeEvaluator, ChangePolicy, HistoryKind, LengthClassPredictor, NextPhasePredictor,
+    PerfectMarkov, PhaseChangePredictor, PredictorKind,
+};
+
+/// Arbitrary phase streams with realistic run structure: a few phases,
+/// runs of varying length.
+fn arb_stream() -> impl Strategy<Value = Vec<PhaseId>> {
+    prop::collection::vec((0u32..6, 1usize..12), 1..60).prop_map(|runs| {
+        runs.into_iter()
+            .flat_map(|(phase, len)| std::iter::repeat(PhaseId::new(phase)).take(len))
+            .collect()
+    })
+}
+
+proptest! {
+    /// The next-phase predictor resolves exactly one prediction per
+    /// interval transition, and its breakdown categories partition them.
+    #[test]
+    fn next_phase_accounting(stream in arb_stream()) {
+        for kind in [PredictorKind::last_value(), PredictorKind::markov(2), PredictorKind::rle(2)] {
+            let mut p = NextPhasePredictor::new(kind);
+            let mut resolved = 0u64;
+            for &id in &stream {
+                if p.observe(id).is_some() {
+                    resolved += 1;
+                }
+            }
+            prop_assert_eq!(resolved, stream.len() as u64 - 1);
+            prop_assert_eq!(p.breakdown().total(), resolved);
+            prop_assert!(p.breakdown().accuracy() <= 1.0);
+        }
+    }
+
+    /// Change evaluators judge exactly the stream's run boundaries.
+    #[test]
+    fn change_evaluator_counts_boundaries(stream in arb_stream()) {
+        let mut acc = RunAccumulator::new();
+        for &id in &stream {
+            acc.observe(id);
+        }
+        let boundaries = acc.finish().change_count() as u64;
+
+        let mut e = ChangeEvaluator::new(PhaseChangePredictor::new(
+            HistoryKind::Rle(2), ChangePolicy::LastK(4), true, 32, 4));
+        for &id in &stream {
+            e.observe(id);
+        }
+        prop_assert_eq!(e.breakdown().total(), boundaries);
+    }
+
+    /// A perfect predictor is never beaten by a finite-table predictor of
+    /// the same order under the same (most-recent) policy... but at
+    /// minimum, its accuracy is monotone: repeating a stream twice can
+    /// only raise the fraction of previously-seen changes.
+    #[test]
+    fn perfect_markov_improves_on_repetition(stream in arb_stream()) {
+        let run = |streams: &[&[PhaseId]]| {
+            let mut p = PerfectMarkov::new(HistoryKind::Markov(1));
+            for s in streams {
+                for &id in *s {
+                    p.observe(id);
+                }
+            }
+            p.correct_fraction()
+        };
+        let once = run(&[&stream]);
+        let twice = run(&[&stream, &stream]);
+        prop_assert!(twice >= once - 1e-12, "{once} -> {twice}");
+    }
+
+    /// Length predictor resolutions equal completed runs minus the first
+    /// (nothing outstanding) — i.e., boundaries minus zero or one.
+    #[test]
+    fn length_predictor_resolution_count(stream in arb_stream()) {
+        let mut acc = RunAccumulator::new();
+        for &id in &stream {
+            acc.observe(id);
+        }
+        let boundaries = acc.finish().change_count() as u64;
+
+        let mut p = LengthClassPredictor::new(32, 4);
+        let mut judged = 0u64;
+        for &id in &stream {
+            if p.observe(id).is_some() {
+                judged += 1;
+            }
+        }
+        prop_assert_eq!(judged, boundaries);
+        let (correct, total) = p.counts();
+        prop_assert_eq!(total, judged);
+        prop_assert!(correct <= total);
+    }
+
+    /// CoV weighting is scale-invariant: multiplying every CPI by a
+    /// positive constant leaves every CoV unchanged.
+    #[test]
+    fn cov_scale_invariance(stream in arb_stream(), scale in 0.1f64..100.0) {
+        let cpis: Vec<f64> = stream.iter().enumerate()
+            .map(|(i, id)| 1.0 + f64::from(id.value()) + (i % 3) as f64 * 0.1)
+            .collect();
+        let run = |k: f64| {
+            let mut acc = CovAccumulator::new();
+            for (&id, &cpi) in stream.iter().zip(&cpis) {
+                acc.observe(id, cpi * k);
+            }
+            acc.finish()
+        };
+        let base = run(1.0);
+        let scaled = run(scale);
+        prop_assert!((base.weighted_cov() - scaled.weighted_cov()).abs() < 1e-9);
+        prop_assert!((base.whole_program_cov() - scaled.whole_program_cov()).abs() < 1e-9);
+    }
+
+    /// Every predictor tolerates the transition phase (ID 0) like any
+    /// other phase — the paper's Section 5 requirement.
+    #[test]
+    fn predictors_treat_transition_normally(stream in arb_stream()) {
+        // Force a healthy share of transition IDs.
+        let with_transitions: Vec<PhaseId> = stream
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| if i % 5 == 0 { PhaseId::TRANSITION } else { id })
+            .collect();
+        let mut p = NextPhasePredictor::new(PredictorKind::rle(2));
+        let mut lp = LengthClassPredictor::new(32, 4);
+        for &id in &with_transitions {
+            p.observe(id);
+            lp.observe(id);
+        }
+        prop_assert_eq!(p.breakdown().total(), with_transitions.len() as u64 - 1);
+    }
+}
