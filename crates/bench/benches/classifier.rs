@@ -41,18 +41,22 @@ fn bench_end_interval_table_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("classifier/end_interval/table");
     let trace = synthetic_trace();
     for entries in [16usize, 32, 64, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &entries| {
-            let cfg = ClassifierConfig::builder()
-                .table_entries(Some(entries))
-                .build();
-            b.iter(|| {
-                let mut classifier = PhaseClassifier::new(cfg);
-                let mut replay = trace.replay();
-                while let Some(s) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
-                    black_box(classifier.end_interval(s.cpi()));
-                }
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |b, &entries| {
+                let cfg = ClassifierConfig::builder()
+                    .table_entries(Some(entries))
+                    .build();
+                b.iter(|| {
+                    let mut classifier = PhaseClassifier::new(cfg);
+                    let mut replay = trace.replay();
+                    while let Some(s) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
+                        black_box(classifier.end_interval(s.cpi()));
+                    }
+                });
+            },
+        );
     }
     group.finish();
 }

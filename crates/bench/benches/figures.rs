@@ -45,6 +45,31 @@ figure_bench!(bench_fig8, fig8, "fig8_change_prediction");
 figure_bench!(bench_fig9, fig9, "fig9_length_prediction");
 figure_bench!(bench_simpoint, simpoint_cmp, "simpoint_comparison");
 
+/// The batched path the `repro` binary takes: several figures registered
+/// on one engine, every trace replayed once for all of them. Compare
+/// against the sum of the individual figure benches above to see what the
+/// single-replay sweep saves.
+fn bench_engine_batch(c: &mut Criterion) {
+    let (cache, params) = setup();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("engine_batch_section5", |b| {
+        b.iter(|| {
+            let mut engine = tpcp_experiments::Engine::new(params);
+            let pending = [
+                figures::fig7::register(&mut engine),
+                figures::fig8::register(&mut engine),
+                figures::fig9::register(&mut engine),
+                figures::metric_pred::register(&mut engine),
+                figures::multi_metric::register(&mut engine),
+            ];
+            engine.run(&cache);
+            black_box(pending.map(|p| p()))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fig2,
@@ -55,6 +80,7 @@ criterion_group!(
     bench_fig7,
     bench_fig8,
     bench_fig9,
-    bench_simpoint
+    bench_simpoint,
+    bench_engine_batch
 );
 criterion_main!(benches);

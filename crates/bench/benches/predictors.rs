@@ -55,7 +55,11 @@ fn bench_change_evaluation(c: &mut Criterion) {
     group.throughput(Throughput::Elements(ids.len() as u64));
     for (name, kind, policy) in [
         ("markov2", HistoryKind::Markov(2), ChangePolicy::MostRecent),
-        ("top4_markov1", HistoryKind::Markov(1), ChangePolicy::TopK(4)),
+        (
+            "top4_markov1",
+            HistoryKind::Markov(1),
+            ChangePolicy::TopK(4),
+        ),
         ("rle2", HistoryKind::Rle(2), ChangePolicy::MostRecent),
     ] {
         group.bench_function(name, |b| {

@@ -6,7 +6,9 @@ use std::hint::black_box;
 
 use tpcp_trace::IntervalSource;
 use tpcp_uarch::stream::{AddressStream, PointerChaseStream, RandomStream, StridedStream};
-use tpcp_uarch::{AccessKind, Cache, CacheConfig, HybridPredictor, MachineConfig, MemoryHierarchy, Tlb};
+use tpcp_uarch::{
+    AccessKind, Cache, CacheConfig, HybridPredictor, MachineConfig, MemoryHierarchy, Tlb,
+};
 use tpcp_workloads::{BenchmarkKind, WorkloadParams};
 
 fn bench_cache(c: &mut Criterion) {

@@ -353,12 +353,18 @@ mod tests {
             }
         }
         c.end_interval(3.0); // flush leftover events from loop structure
-        assert!(got_tightened, "large CPI deviation must halve the threshold");
+        assert!(
+            got_tightened,
+            "large CPI deviation must halve the threshold"
+        );
     }
 
     #[test]
     fn static_config_never_tightens() {
-        let cfg = ClassifierConfig::builder().min_count(0).adaptive(None).build();
+        let cfg = ClassifierConfig::builder()
+            .min_count(0)
+            .adaptive(None)
+            .build();
         let mut c = PhaseClassifier::new(cfg);
         for cpi in [1.0, 5.0, 0.2, 9.0] {
             for i in 0..200u64 {
@@ -395,7 +401,10 @@ mod tests {
     fn empty_interval_is_classified_consistently() {
         let mut c = paper_classifier();
         let first = c.end_interval(0.0);
-        assert!(first.is_transition(), "a brand-new empty signature is unstable");
+        assert!(
+            first.is_transition(),
+            "a brand-new empty signature is unstable"
+        );
         // Repeating the empty interval eventually promotes it like any
         // other signature.
         for _ in 0..10 {
@@ -470,7 +479,10 @@ mod tests {
 
         // Dynamic selection separates the same two intervals.
         let mut d = PhaseClassifier::new(
-            ClassifierConfig::builder().min_count(0).adaptive(None).build(),
+            ClassifierConfig::builder()
+                .min_count(0)
+                .adaptive(None)
+                .build(),
         );
         d.observe(BranchEvent::new(0x1000, 200));
         let a = d.end_interval(1.0);

@@ -77,25 +77,16 @@ mod tests {
 
     #[test]
     fn bigger_tables_cost_linearly() {
-        let small = HardwareCost::of(
-            &ClassifierConfig::builder().table_entries(Some(16)).build(),
-        );
-        let large = HardwareCost::of(
-            &ClassifierConfig::builder().table_entries(Some(64)).build(),
-        );
-        assert_eq!(
-            large.signature_table_bits,
-            4 * small.signature_table_bits
-        );
+        let small = HardwareCost::of(&ClassifierConfig::builder().table_entries(Some(16)).build());
+        let large = HardwareCost::of(&ClassifierConfig::builder().table_entries(Some(64)).build());
+        assert_eq!(large.signature_table_bits, 4 * small.signature_table_bits);
         assert_eq!(large.accumulator_bits, small.accumulator_bits);
     }
 
     #[test]
     fn adaptive_adds_per_entry_state() {
         let with = HardwareCost::of(&ClassifierConfig::hpca2005());
-        let without = HardwareCost::of(
-            &ClassifierConfig::builder().adaptive(None).build(),
-        );
+        let without = HardwareCost::of(&ClassifierConfig::builder().adaptive(None).build());
         assert!(with.signature_table_bits > without.signature_table_bits);
     }
 

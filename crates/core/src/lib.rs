@@ -50,6 +50,7 @@ mod accumulator;
 mod classifier;
 mod config;
 mod cost;
+mod observer;
 mod phase_id;
 mod signature;
 mod table;
@@ -58,6 +59,11 @@ pub use accumulator::AccumulatorTable;
 pub use classifier::{Classification, PhaseClassifier};
 pub use config::{AdaptiveConfig, BitSelectionMode, ClassifierConfig, ClassifierConfigBuilder};
 pub use cost::HardwareCost;
+pub use observer::PhaseObserver;
 pub use phase_id::PhaseId;
+
+// Re-exported so observer implementors downstream (predictors, metrics)
+// can name the interval types without depending on `tpcp-trace` directly.
 pub use signature::{BitSelection, Signature};
 pub use table::{MatchOutcome, SignatureTable, TableEntry};
+pub use tpcp_trace::{BranchEvent, IntervalSummary, MetricCounts};

@@ -1,0 +1,49 @@
+//! The [`PhaseObserver`] interface: consumers of classified intervals.
+//!
+//! The classifier turns each interval into a [`PhaseId`]; everything built
+//! on top of classification — next-phase predictors, change predictors,
+//! CoV and run-length accumulators, metric predictors — consumes the same
+//! `(phase id, interval summary)` stream. [`PhaseObserver`] names that
+//! contract so an experiment engine can classify an interval once and fan
+//! the result out to any number of downstream consumers.
+
+use tpcp_trace::IntervalSummary;
+
+use crate::phase_id::PhaseId;
+
+/// A consumer of the classified-interval stream.
+///
+/// Called once per interval, in program order, with the phase the
+/// classifier assigned and the interval's summary (CPI and
+/// microarchitectural event counts).
+pub trait PhaseObserver {
+    /// Observes one classified interval.
+    fn observe_phase(&mut self, id: PhaseId, summary: &IntervalSummary);
+}
+
+impl<T: PhaseObserver + ?Sized> PhaseObserver for &mut T {
+    fn observe_phase(&mut self, id: PhaseId, summary: &IntervalSummary) {
+        (**self).observe_phase(id, summary);
+    }
+}
+
+impl<T: PhaseObserver + ?Sized> PhaseObserver for Box<T> {
+    fn observe_phase(&mut self, id: PhaseId, summary: &IntervalSummary) {
+        (**self).observe_phase(id, summary);
+    }
+}
+
+/// The trivial observer, for lanes that only need the classification
+/// byproducts (phase IDs, CoV, run lengths) the engine collects itself.
+impl PhaseObserver for () {
+    fn observe_phase(&mut self, _id: PhaseId, _summary: &IntervalSummary) {}
+}
+
+/// Every observer in a tuple sees every interval; handy for pairing a
+/// predictor with the accumulator scoring it.
+impl<A: PhaseObserver, B: PhaseObserver> PhaseObserver for (A, B) {
+    fn observe_phase(&mut self, id: PhaseId, summary: &IntervalSummary) {
+        self.0.observe_phase(id, summary);
+        self.1.observe_phase(id, summary);
+    }
+}

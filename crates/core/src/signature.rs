@@ -120,7 +120,11 @@ impl Signature {
     /// static selection of prior work and for ablation experiments).
     pub fn with_selection(acc: &AccumulatorTable, selection: BitSelection) -> Self {
         Self {
-            dims: acc.counters().iter().map(|&c| selection.compress(c)).collect(),
+            dims: acc
+                .counters()
+                .iter()
+                .map(|&c| selection.compress(c))
+                .collect(),
             selection,
         }
     }
@@ -269,14 +273,8 @@ mod tests {
     #[test]
     fn similar_intervals_have_small_distance() {
         // Same dominant code, slightly different proportions.
-        let a = Signature::from_accumulator(
-            &acc_from(&[(1, 10_000), (2, 5_000), (3, 100)], 16),
-            6,
-        );
-        let b = Signature::from_accumulator(
-            &acc_from(&[(1, 9_500), (2, 5_400), (3, 150)], 16),
-            6,
-        );
+        let a = Signature::from_accumulator(&acc_from(&[(1, 10_000), (2, 5_000), (3, 100)], 16), 6);
+        let b = Signature::from_accumulator(&acc_from(&[(1, 9_500), (2, 5_400), (3, 150)], 16), 6);
         let d = a.normalized_distance(&b);
         assert!(d < 0.125, "similar intervals should be within 12.5%: {d}");
     }

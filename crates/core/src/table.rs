@@ -162,7 +162,7 @@ impl SignatureTable {
         let mut best: Option<(usize, f64)> = None;
         for (i, entry) in self.entries.iter().enumerate() {
             let d = sig.normalized_distance(&entry.signature);
-            if d < entry.threshold && best.map_or(true, |(_, bd)| d < bd) {
+            if d < entry.threshold && best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }
@@ -178,7 +178,10 @@ impl SignatureTable {
         for (i, entry) in self.entries.iter().enumerate() {
             let d = sig.normalized_distance(&entry.signature);
             if d < entry.threshold {
-                return MatchOutcome::Matched { index: i, distance: d };
+                return MatchOutcome::Matched {
+                    index: i,
+                    distance: d,
+                };
             }
         }
         MatchOutcome::NoMatch
@@ -244,7 +247,10 @@ mod tests {
     #[test]
     fn empty_table_never_matches() {
         let table = SignatureTable::new(Some(4), 0.25);
-        assert_eq!(table.find_best_match(&sig_of(&[(1, 100)])), MatchOutcome::NoMatch);
+        assert_eq!(
+            table.find_best_match(&sig_of(&[(1, 100)])),
+            MatchOutcome::NoMatch
+        );
     }
 
     #[test]
@@ -312,7 +318,10 @@ mod tests {
         assert_eq!(table.len(), 2);
         assert_eq!(table.evictions(), 1);
         assert_eq!(table.find_best_match(&a), MatchOutcome::NoMatch);
-        assert!(matches!(table.find_best_match(&b), MatchOutcome::Matched { .. }));
+        assert!(matches!(
+            table.find_best_match(&b),
+            MatchOutcome::Matched { .. }
+        ));
     }
 
     #[test]

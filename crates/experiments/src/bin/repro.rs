@@ -1,9 +1,15 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--csv-dir DIR] [fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|simpoint|all]...
+//! repro [--quick] [--csv-dir DIR] [--figure NAME]... [fig2|...|all]...
+//! repro --list                         # print known figure names
 //! repro timeline <benchmark-label>     # per-interval phase/CPI dump
 //! ```
+//!
+//! All requested figures are registered on a single [`Engine`], so each
+//! benchmark trace is decoded and replayed exactly once no matter how many
+//! figures (or configurations per figure) consume it. Benchmarks run
+//! concurrently; output order is fixed by registration order.
 //!
 //! Run with `--release`; the full-scale suite simulates ~13 billion
 //! instructions' worth of interval structure. Traces are cached under
@@ -14,7 +20,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use tpcp_experiments::figures;
-use tpcp_experiments::{SuiteParams, Table, TraceCache};
+use tpcp_experiments::{Engine, PendingTables, SuiteParams, TraceCache};
 
 const FIGURES: [&str; 17] = [
     "fig2",
@@ -36,27 +42,27 @@ const FIGURES: [&str; 17] = [
     "ablation-interval",
 ];
 
-fn run_figure(name: &str, cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
+fn register_figure(name: &str, engine: &mut Engine) -> PendingTables {
     match name {
-        "fig2" => figures::fig2::run(cache, params),
-        "fig3" => figures::fig3::run(cache, params),
-        "fig4" => figures::fig4::run(cache, params),
-        "fig5" => figures::fig5::run(cache, params),
-        "fig6" => figures::fig6::run(cache, params),
-        "fig7" => figures::fig7::run(cache, params),
-        "fig8" => figures::fig8::run(cache, params),
-        "fig9" => figures::fig9::run(cache, params),
-        "simpoint" => figures::simpoint_cmp::run(cache, params),
-        "metric-pred" => figures::metric_pred::run(cache, params),
-        "multi-metric" => figures::multi_metric::run(cache, params),
-        "simpoint-estimate" => figures::simpoint_cmp::estimate(cache, params),
-        "ablation-bits" => figures::ablations::bits_sweep(cache, params),
-        "ablation-match" => figures::ablations::match_policy(cache, params),
-        "ablation-selection" => figures::ablations::selection_mode(cache, params),
-        "ablation-confidence" => figures::ablations::confidence_sweep(cache, params),
-        "ablation-interval" => figures::ablations::interval_sweep(cache, params),
+        "fig2" => figures::fig2::register(engine),
+        "fig3" => figures::fig3::register(engine),
+        "fig4" => figures::fig4::register(engine),
+        "fig5" => figures::fig5::register(engine),
+        "fig6" => figures::fig6::register(engine),
+        "fig7" => figures::fig7::register(engine),
+        "fig8" => figures::fig8::register(engine),
+        "fig9" => figures::fig9::register(engine),
+        "simpoint" => figures::simpoint_cmp::register(engine),
+        "metric-pred" => figures::metric_pred::register(engine),
+        "multi-metric" => figures::multi_metric::register(engine),
+        "simpoint-estimate" => figures::simpoint_cmp::register_estimate(engine),
+        "ablation-bits" => figures::ablations::register_bits_sweep(engine),
+        "ablation-match" => figures::ablations::register_match_policy(engine),
+        "ablation-selection" => figures::ablations::register_selection_mode(engine),
+        "ablation-confidence" => figures::ablations::register_confidence_sweep(engine),
+        "ablation-interval" => figures::ablations::register_interval_sweep(engine),
         other => {
-            eprintln!("unknown figure '{other}'; known: {FIGURES:?} or 'all'");
+            eprintln!("unknown figure '{other}'; known: {FIGURES:?} or 'all' (see --list)");
             std::process::exit(2);
         }
     }
@@ -73,6 +79,19 @@ fn main() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--bars" => bars = true,
+            "--list" => {
+                for name in FIGURES {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--figure" => {
+                let name = iter.next().unwrap_or_else(|| {
+                    eprintln!("--figure requires a figure name (see --list)");
+                    std::process::exit(2);
+                });
+                targets.push(name);
+            }
             "--csv-dir" => {
                 let dir = iter.next().unwrap_or_else(|| {
                     eprintln!("--csv-dir requires a directory argument");
@@ -85,7 +104,11 @@ fn main() {
         }
     }
     if targets.is_empty() {
-        eprintln!("usage: repro [--quick] [--csv-dir DIR] <fig2..fig9|simpoint|all>...");
+        eprintln!(
+            "usage: repro [--quick] [--csv-dir DIR] [--figure NAME]... <fig2..fig9|simpoint|all>..."
+        );
+        eprintln!("       repro --list");
+        eprintln!("       repro timeline <benchmark-label>");
         std::process::exit(2);
     }
 
@@ -112,9 +135,29 @@ fn main() {
         return;
     }
 
-    for name in targets {
-        let start = Instant::now();
-        let tables = run_figure(&name, &cache, &params);
+    // Register every requested figure on one engine, replay once, then
+    // render in registration order.
+    let mut engine = Engine::new(params);
+    let pending: Vec<(String, PendingTables)> = targets
+        .into_iter()
+        .map(|name| {
+            let tables = register_figure(&name, &mut engine);
+            (name, tables)
+        })
+        .collect();
+
+    let start = Instant::now();
+    let stats = engine.run(&cache);
+    eprintln!(
+        "# replayed {} traces in {:.1}s (max replays per trace = {}, {} intervals)",
+        stats.traces_replayed(),
+        start.elapsed().as_secs_f64(),
+        stats.max_replays_per_trace(),
+        stats.total_intervals()
+    );
+
+    for (name, pending_tables) in pending {
+        let tables = pending_tables();
         for table in &tables {
             println!("{}", table.render());
             if bars {
@@ -128,7 +171,6 @@ fn main() {
                 fs::write(&path, table.to_csv()).expect("write csv");
             }
         }
-        eprintln!("# {name} took {:.1}s", start.elapsed().as_secs_f64());
     }
 }
 

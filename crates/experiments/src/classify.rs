@@ -5,7 +5,7 @@ use tpcp_metrics::{CovAccumulator, CovSummary, RunAccumulator, RunLengthStats};
 use tpcp_trace::{IntervalSource, RecordedTrace};
 
 /// The result of classifying one benchmark trace under one configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassifiedRun {
     /// Phase ID per interval, in execution order.
     pub ids: Vec<PhaseId>,

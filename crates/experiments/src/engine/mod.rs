@@ -1,0 +1,227 @@
+//! The experiment engine: a single-replay, multi-sink sweep driver.
+//!
+//! Every figure in this crate used to own a replay loop: load a trace,
+//! walk its intervals, feed a classifier, feed the classifier's phase IDs
+//! into whatever accumulator or predictor the figure measures. Running
+//! several figures meant decoding and replaying the same traces once per
+//! figure per configuration.
+//!
+//! The engine inverts that. Experiments *register* interest up front —
+//! "classify benchmark X under config C", "attach this predictor to that
+//! classification", "collect BBVs for X" — and receive [`Pending`]
+//! handles. [`Engine::run`] then replays each distinct `(benchmark,
+//! params)` trace **exactly once**, fanning every interval out to all
+//! registered lanes, and fills the handles. Benchmarks are swept
+//! concurrently with crossbeam scoped threads; results are deterministic
+//! because each handle is written by exactly one lane regardless of
+//! thread scheduling.
+//!
+//! ```no_run
+//! use tpcp_core::ClassifierConfig;
+//! use tpcp_experiments::{Engine, SuiteParams, TraceCache};
+//! use tpcp_workloads::BenchmarkKind;
+//!
+//! let mut engine = Engine::new(SuiteParams::default());
+//! let run = engine.classified(BenchmarkKind::Mcf, ClassifierConfig::hpca2005());
+//! let stats = engine.run(&TraceCache::default_location());
+//! assert_eq!(stats.max_replays_per_trace(), 1);
+//! println!("mcf CoV = {}", run.take().cov.weighted_cov());
+//! ```
+
+mod sink;
+mod sweep;
+
+use std::sync::{Arc, Mutex};
+
+use tpcp_core::{ClassifierConfig, PhaseObserver};
+use tpcp_trace::{BbvTrace, IntervalSink};
+use tpcp_workloads::BenchmarkKind;
+
+use crate::classify::ClassifiedRun;
+use crate::report::Table;
+use crate::suite::SuiteParams;
+
+use sink::{ClassifierLane, ErasedLane, Probe, RawProbe};
+
+pub use sink::BbvSink;
+pub use sweep::EngineStats;
+
+/// A figure's deferred output: registration happens before the sweep,
+/// table construction after it.
+pub type PendingTables = Box<dyn FnOnce() -> Vec<Table>>;
+
+/// A handle to a result the engine has not produced yet.
+///
+/// Returned by every [`Engine`] registration method; read it with
+/// [`Pending::take`] after [`Engine::run`] completes.
+#[derive(Debug)]
+pub struct Pending<T>(Arc<Mutex<Option<T>>>);
+
+impl<T> Clone for Pending<T> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Pending<T> {
+    fn new() -> Self {
+        Self(Arc::new(Mutex::new(None)))
+    }
+
+    pub(crate) fn set(&self, value: T) {
+        *self
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+    }
+
+    /// Takes the produced value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has not run yet (or if the value was already
+    /// taken).
+    pub fn take(&self) -> T {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("Pending::take before Engine::run (or taken twice)")
+    }
+}
+
+/// One trace's worth of registered work: every lane that wants the
+/// `(benchmark, params)` interval stream.
+pub(crate) struct TraceGroup {
+    pub(crate) kind: BenchmarkKind,
+    pub(crate) params: SuiteParams,
+    pub(crate) lanes: Vec<ClassifierLane>,
+    pub(crate) raw: Vec<Box<dyn ErasedLane>>,
+}
+
+/// Collects registered experiment lanes, then sweeps every needed trace
+/// once (see the [module docs](self)).
+pub struct Engine {
+    params: SuiteParams,
+    groups: Vec<TraceGroup>,
+}
+
+impl Engine {
+    /// Creates an empty engine whose registrations default to `params`.
+    pub fn new(params: SuiteParams) -> Self {
+        Self {
+            params,
+            groups: Vec::new(),
+        }
+    }
+
+    /// The default suite parameters registrations run under.
+    pub fn params(&self) -> &SuiteParams {
+        &self.params
+    }
+
+    fn group_mut(&mut self, kind: BenchmarkKind, params: SuiteParams) -> &mut TraceGroup {
+        let idx = self
+            .groups
+            .iter()
+            .position(|g| g.kind == kind && g.params == params);
+        let idx = idx.unwrap_or_else(|| {
+            self.groups.push(TraceGroup {
+                kind,
+                params,
+                lanes: Vec::new(),
+                raw: Vec::new(),
+            });
+            self.groups.len() - 1
+        });
+        &mut self.groups[idx]
+    }
+
+    fn lane_mut(
+        &mut self,
+        kind: BenchmarkKind,
+        params: SuiteParams,
+        config: ClassifierConfig,
+    ) -> &mut ClassifierLane {
+        let group = self.group_mut(kind, params);
+        let idx = group.lanes.iter().position(|l| l.config() == config);
+        let idx = idx.unwrap_or_else(|| {
+            group.lanes.push(ClassifierLane::new(config));
+            group.lanes.len() - 1
+        });
+        &mut group.lanes[idx]
+    }
+
+    /// Registers a classification of `kind` under `config` (at the
+    /// engine's default parameters). Repeat registrations of the same
+    /// `(kind, config)` share one classifier lane.
+    pub fn classified(
+        &mut self,
+        kind: BenchmarkKind,
+        config: ClassifierConfig,
+    ) -> Pending<ClassifiedRun> {
+        let params = self.params;
+        self.classified_at(kind, params, config)
+    }
+
+    /// Like [`Engine::classified`], but at explicit suite parameters —
+    /// used by sweeps that vary the trace itself (e.g. interval size).
+    pub fn classified_at(
+        &mut self,
+        kind: BenchmarkKind,
+        params: SuiteParams,
+        config: ClassifierConfig,
+    ) -> Pending<ClassifiedRun> {
+        self.lane_mut(kind, params, config).request_run()
+    }
+
+    /// Attaches `observer` to the `(kind, config)` classifier lane: it
+    /// sees every classified interval, and after the sweep `reduce` turns
+    /// it (plus the lane's [`ClassifiedRun`]) into the handle's value.
+    pub fn probe<T, R, F>(
+        &mut self,
+        kind: BenchmarkKind,
+        config: ClassifierConfig,
+        observer: T,
+        reduce: F,
+    ) -> Pending<R>
+    where
+        T: PhaseObserver + Send + 'static,
+        R: Send + 'static,
+        F: FnOnce(T, &ClassifiedRun) -> R + Send + 'static,
+    {
+        let params = self.params;
+        let cell = Pending::new();
+        self.lane_mut(kind, params, config)
+            .attach(Box::new(Probe::new(observer, reduce, cell.clone())));
+        cell
+    }
+
+    /// Registers a raw (unclassified) interval sink on `kind`'s trace;
+    /// after the sweep `reduce` turns the sink into the handle's value.
+    /// `reduce` runs on the sweep worker, so expensive post-processing
+    /// here stays parallel across benchmarks.
+    pub fn interval_sink<S, R, F>(&mut self, kind: BenchmarkKind, sink: S, reduce: F) -> Pending<R>
+    where
+        S: IntervalSink + Send + 'static,
+        R: Send + 'static,
+        F: FnOnce(S) -> R + Send + 'static,
+    {
+        let params = self.params;
+        let cell = Pending::new();
+        self.group_mut(kind, params)
+            .raw
+            .push(Box::new(RawProbe::new(sink, reduce, cell.clone())));
+        cell
+    }
+
+    /// Registers basic-block-vector collection for `kind` — the offline
+    /// (SimPoint) input format — riding the same single replay.
+    pub fn bbvs(&mut self, kind: BenchmarkKind) -> Pending<BbvTrace> {
+        self.interval_sink(kind, BbvSink::new(), BbvSink::into_trace)
+    }
+
+    pub(crate) fn into_groups(self) -> Vec<TraceGroup> {
+        self.groups
+    }
+}

@@ -1,0 +1,273 @@
+//! Lane and sink implementations the sweep fans intervals into.
+//!
+//! Two layers consume a trace's interval stream:
+//!
+//! - **Raw lanes** implement [`IntervalSink`] directly and see the
+//!   unclassified event stream ([`BbvSink`], arbitrary user sinks).
+//! - **Classifier lanes** wrap one [`PhaseClassifier`] configuration and
+//!   forward each classified interval to attached
+//!   [`PhaseObserver`](tpcp_core::PhaseObserver) probes — predictors,
+//!   accumulators — so any number of measurements share one
+//!   classification pass.
+
+use tpcp_core::{ClassifierConfig, PhaseClassifier, PhaseId, PhaseObserver};
+use tpcp_metrics::{CovAccumulator, RunAccumulator};
+use tpcp_trace::{BbvBuilder, BbvTrace, BranchEvent, IntervalSink, IntervalSummary};
+
+use crate::classify::ClassifiedRun;
+use crate::engine::Pending;
+
+/// A type-erased consumer of one lane's classified interval stream.
+pub(crate) trait PhaseSink: Send {
+    /// Sees each interval's phase ID and summary, in execution order.
+    fn observe_phase(&mut self, id: PhaseId, summary: &IntervalSummary);
+    /// Called once after the trace ends, with the lane's final run.
+    fn finish(self: Box<Self>, run: &ClassifiedRun);
+}
+
+/// A typed [`PhaseObserver`] plus a reduction that fills a [`Pending`]
+/// cell once the lane finishes. Keeping the observer type un-erased until
+/// `finish` means reductions read concrete predictor state without
+/// downcasts.
+pub(crate) struct Probe<T, R, F> {
+    observer: T,
+    reduce: F,
+    cell: Pending<R>,
+}
+
+impl<T, R, F> Probe<T, R, F> {
+    pub(crate) fn new(observer: T, reduce: F, cell: Pending<R>) -> Self {
+        Self {
+            observer,
+            reduce,
+            cell,
+        }
+    }
+}
+
+impl<T, R, F> PhaseSink for Probe<T, R, F>
+where
+    T: PhaseObserver + Send + 'static,
+    R: Send + 'static,
+    F: FnOnce(T, &ClassifiedRun) -> R + Send + 'static,
+{
+    fn observe_phase(&mut self, id: PhaseId, summary: &IntervalSummary) {
+        self.observer.observe_phase(id, summary);
+    }
+
+    fn finish(self: Box<Self>, run: &ClassifiedRun) {
+        let this = *self;
+        this.cell.set((this.reduce)(this.observer, run));
+    }
+}
+
+/// One classifier configuration's lane: classifies the interval stream,
+/// accumulates the standard [`ClassifiedRun`] measurements, and fans each
+/// classified interval to the attached probes.
+pub(crate) struct ClassifierLane {
+    config: ClassifierConfig,
+    classifier: PhaseClassifier,
+    ids: Vec<PhaseId>,
+    cpis: Vec<f64>,
+    cov: CovAccumulator,
+    runs: RunAccumulator,
+    sinks: Vec<Box<dyn PhaseSink>>,
+    cells: Vec<Pending<ClassifiedRun>>,
+}
+
+impl ClassifierLane {
+    pub(crate) fn new(config: ClassifierConfig) -> Self {
+        Self {
+            config,
+            classifier: PhaseClassifier::new(config),
+            ids: Vec::new(),
+            cpis: Vec::new(),
+            cov: CovAccumulator::new(),
+            runs: RunAccumulator::new(),
+            sinks: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    pub(crate) fn config(&self) -> ClassifierConfig {
+        self.config
+    }
+
+    /// Requests a copy of the lane's final [`ClassifiedRun`].
+    pub(crate) fn request_run(&mut self) -> Pending<ClassifiedRun> {
+        let cell = Pending::new();
+        self.cells.push(cell.clone());
+        cell
+    }
+
+    pub(crate) fn attach(&mut self, sink: Box<dyn PhaseSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Finalizes the lane: builds the [`ClassifiedRun`], runs every
+    /// probe's reduction against it, and fills all requested run cells.
+    pub(crate) fn finish(self) {
+        let run = ClassifiedRun {
+            ids: self.ids,
+            cpis: self.cpis,
+            phases_created: self.classifier.phases_created(),
+            transition_fraction: self.classifier.transition_fraction(),
+            cov: self.cov.finish(),
+            runs: self.runs.finish(),
+        };
+        for sink in self.sinks {
+            sink.finish(&run);
+        }
+        for cell in self.cells {
+            cell.set(run.clone());
+        }
+    }
+}
+
+impl IntervalSink for ClassifierLane {
+    fn observe(&mut self, ev: &BranchEvent) {
+        self.classifier.observe(*ev);
+    }
+
+    fn end_interval(&mut self, summary: &IntervalSummary) {
+        let cpi = summary.cpi();
+        let id = self.classifier.end_interval(cpi);
+        self.ids.push(id);
+        self.cpis.push(cpi);
+        self.cov.observe(id, cpi);
+        self.runs.observe(id);
+        for sink in &mut self.sinks {
+            sink.observe_phase(id, summary);
+        }
+    }
+}
+
+/// A raw lane: an [`IntervalSink`] that can be finalized after the sweep.
+pub(crate) trait ErasedLane: IntervalSink + Send {
+    fn finish(self: Box<Self>);
+}
+
+/// A typed raw sink plus the reduction that fills its [`Pending`] cell.
+pub(crate) struct RawProbe<S, R, F> {
+    sink: S,
+    reduce: F,
+    cell: Pending<R>,
+}
+
+impl<S, R, F> RawProbe<S, R, F> {
+    pub(crate) fn new(sink: S, reduce: F, cell: Pending<R>) -> Self {
+        Self { sink, reduce, cell }
+    }
+}
+
+impl<S: IntervalSink, R, F> IntervalSink for RawProbe<S, R, F> {
+    fn observe(&mut self, ev: &BranchEvent) {
+        self.sink.observe(ev);
+    }
+
+    fn end_interval(&mut self, summary: &IntervalSummary) {
+        self.sink.end_interval(summary);
+    }
+}
+
+impl<S, R, F> ErasedLane for RawProbe<S, R, F>
+where
+    S: IntervalSink + Send + 'static,
+    R: Send + 'static,
+    F: FnOnce(S) -> R + Send + 'static,
+{
+    fn finish(self: Box<Self>) {
+        let this = *self;
+        this.cell.set((this.reduce)(this.sink));
+    }
+}
+
+/// An [`IntervalSink`] that collects per-interval basic block vectors —
+/// the offline (SimPoint-style) classification input — during the same
+/// replay every other lane rides.
+#[derive(Debug, Clone, Default)]
+pub struct BbvSink {
+    builder: BbvBuilder,
+    trace: BbvTrace,
+}
+
+impl BbvSink {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected BBV trace.
+    pub fn into_trace(self) -> BbvTrace {
+        self.trace
+    }
+}
+
+impl IntervalSink for BbvSink {
+    fn observe(&mut self, ev: &BranchEvent) {
+        self.builder.observe(*ev);
+    }
+
+    fn end_interval(&mut self, summary: &IntervalSummary) {
+        self.trace.vectors.push(self.builder.finish());
+        self.trace.summaries.push(*summary);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcp_trace::{drive, IntervalSource, PhaseSpec, SyntheticTrace};
+
+    #[test]
+    fn bbv_sink_matches_collect() {
+        let trace = SyntheticTrace::new(5_000)
+            .phase(PhaseSpec::uniform(0x1000, 4, 1.0))
+            .schedule(&[(0, 10)])
+            .generate();
+        let direct = BbvTrace::collect(trace.replay());
+
+        let mut sink = BbvSink::new();
+        let mut replay = trace.replay();
+        let mut sinks: Vec<&mut dyn IntervalSink> = vec![&mut sink];
+        drive(&mut replay, &mut sinks);
+        let via_sink = sink.into_trace();
+
+        assert_eq!(direct.vectors, via_sink.vectors);
+        assert_eq!(direct.summaries, via_sink.summaries);
+    }
+
+    #[test]
+    fn classifier_lane_matches_run_classifier() {
+        let trace = SyntheticTrace::new(5_000)
+            .phase(PhaseSpec::uniform(0x1000, 4, 1.0))
+            .phase(PhaseSpec::uniform(0x9000, 4, 3.0))
+            .schedule(&[(0, 15), (1, 15)])
+            .generate();
+        let config = ClassifierConfig::hpca2005();
+        let reference = crate::classify::run_classifier(&trace, config);
+
+        let mut lane = ClassifierLane::new(config);
+        let cell = lane.request_run();
+        let mut replay = trace.replay();
+        let mut sinks: Vec<&mut dyn IntervalSink> = vec![&mut lane];
+        drive(&mut replay, &mut sinks);
+        lane.finish();
+
+        assert_eq!(cell.take(), reference);
+    }
+
+    #[test]
+    fn interval_source_and_lane_agree_on_interval_count() {
+        let trace = SyntheticTrace::new(5_000)
+            .phase(PhaseSpec::uniform(0x1000, 4, 1.0))
+            .schedule(&[(0, 8)])
+            .generate();
+        let n = trace.replay().drain_summaries().len();
+        let mut sink = BbvSink::new();
+        let mut replay = trace.replay();
+        let mut sinks: Vec<&mut dyn IntervalSink> = vec![&mut sink];
+        let driven = drive(&mut replay, &mut sinks);
+        assert_eq!(driven, n);
+    }
+}

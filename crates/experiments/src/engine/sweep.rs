@@ -1,0 +1,125 @@
+//! The sweep driver: replays each registered trace exactly once.
+//!
+//! [`Engine::run`] claims trace groups off a shared queue with a small
+//! pool of crossbeam scoped worker threads (one per available core, at
+//! most one per group — a bounded pool keeps at most `workers` decoded
+//! traces in memory at once, unlike thread-per-trace). Each worker loads
+//! its group's trace from the [`TraceCache`], drives every lane through
+//! one [`drive`] pass, and finalizes the lanes, filling the
+//! [`Pending`](crate::engine::Pending) handles. Output is deterministic
+//! under any scheduling because each handle has exactly one writer.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tpcp_trace::{drive, IntervalSink, RecordedTrace};
+
+use crate::engine::{Engine, TraceGroup};
+use crate::suite::TraceCache;
+
+/// What the sweep did: per-trace replay counts and interval totals.
+///
+/// The headline invariant — the reason the engine exists — is
+/// [`max_replays_per_trace`](EngineStats::max_replays_per_trace)` <= 1`:
+/// no matter how many figures and configurations were registered, no
+/// trace is decoded or replayed twice.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    replays: BTreeMap<String, u64>,
+    intervals: u64,
+}
+
+impl EngineStats {
+    /// Number of distinct `(benchmark, params)` traces replayed.
+    pub fn traces_replayed(&self) -> usize {
+        self.replays.len()
+    }
+
+    /// The largest number of times any single trace was replayed
+    /// (`1` for any engine run with registrations, `0` for an empty one).
+    pub fn max_replays_per_trace(&self) -> u64 {
+        self.replays.values().copied().max().unwrap_or(0)
+    }
+
+    /// Total intervals fanned out across all traces.
+    pub fn total_intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Per-trace replay counts, keyed by `<benchmark>-<fingerprint>`.
+    pub fn replay_counts(&self) -> &BTreeMap<String, u64> {
+        &self.replays
+    }
+}
+
+impl Engine {
+    /// Sweeps every registered trace once, filling all
+    /// [`Pending`](crate::engine::Pending) handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (a classifier or probe bug).
+    pub fn run(self, cache: &TraceCache) -> EngineStats {
+        let groups: Vec<Mutex<Option<TraceGroup>>> = self
+            .into_groups()
+            .into_iter()
+            .map(|g| Mutex::new(Some(g)))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let stats = Mutex::new(EngineStats::default());
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(groups.len())
+            .max(1);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(slot) = groups.get(i) else { break };
+                    let group = slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take()
+                        .expect("each group is claimed exactly once");
+                    let key = format!("{}-{}", group.kind.label(), group.params.fingerprint());
+                    let trace = cache.load_or_simulate(group.kind, &group.params);
+                    let intervals = replay_group(group, &trace);
+                    let mut s = stats
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    *s.replays.entry(key).or_insert(0) += 1;
+                    s.intervals += intervals as u64;
+                });
+            }
+        })
+        .expect("sweep workers do not panic");
+        stats
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Replays `trace` once through every lane of `group`, then finalizes the
+/// lanes. Returns the interval count.
+fn replay_group(mut group: TraceGroup, trace: &RecordedTrace) -> usize {
+    let mut replay = trace.replay();
+    let mut sinks: Vec<&mut dyn IntervalSink> =
+        Vec::with_capacity(group.lanes.len() + group.raw.len());
+    for lane in &mut group.lanes {
+        sinks.push(lane);
+    }
+    for raw in &mut group.raw {
+        sinks.push(raw.as_mut() as &mut dyn IntervalSink);
+    }
+    let intervals = drive(&mut replay, &mut sinks);
+    drop(sinks);
+    for lane in group.lanes {
+        lane.finish();
+    }
+    for raw in group.raw {
+        raw.finish();
+    }
+    intervals
+}

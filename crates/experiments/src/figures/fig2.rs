@@ -9,7 +9,7 @@
 
 use tpcp_core::ClassifierConfig;
 
-use crate::classify::run_classifier;
+use crate::engine::{Engine, PendingTables};
 use crate::figures::{avg, benchmarks};
 use crate::report::{pct, Table};
 use crate::suite::{SuiteParams, TraceCache};
@@ -34,42 +34,68 @@ fn size_label(entries: Option<usize>) -> String {
     }
 }
 
+/// Registers the figure's classifications on `engine`; the returned
+/// closure renders the two panels once the engine has run.
+pub fn register(engine: &mut Engine) -> PendingTables {
+    let cells: Vec<Vec<_>> = benchmarks()
+        .iter()
+        .map(|&kind| {
+            TABLE_SIZES
+                .iter()
+                .map(|&entries| engine.classified(kind, config_for(entries)))
+                .collect()
+        })
+        .collect();
+
+    Box::new(move || {
+        let mut header = vec!["bench".to_owned()];
+        header.extend(TABLE_SIZES.iter().map(|&s| size_label(s)));
+        let mut cov_table = Table::new(
+            "Figure 2 (left): CPI CoV (%) vs signature table entries",
+            header.clone(),
+        );
+        let mut phases_table = Table::new(
+            "Figure 2 (right): number of phases vs table entries",
+            header,
+        );
+
+        let mut cov_cols: Vec<Vec<f64>> = vec![Vec::new(); TABLE_SIZES.len()];
+        let mut phase_cols: Vec<Vec<f64>> = vec![Vec::new(); TABLE_SIZES.len()];
+
+        for (kind, row_cells) in benchmarks().iter().zip(&cells) {
+            let mut cov_row = vec![kind.label().to_owned()];
+            let mut phase_row = vec![kind.label().to_owned()];
+            for (i, cell) in row_cells.iter().enumerate() {
+                let run = cell.take();
+                let cov = run.cov.weighted_cov();
+                cov_cols[i].push(cov);
+                phase_cols[i].push(run.phases_created as f64);
+                cov_row.push(pct(cov));
+                phase_row.push(run.phases_created.to_string());
+            }
+            cov_table.row(cov_row);
+            phases_table.row(phase_row);
+        }
+
+        let mut cov_avg = vec!["avg".to_owned()];
+        let mut phase_avg = vec!["avg".to_owned()];
+        for i in 0..TABLE_SIZES.len() {
+            cov_avg.push(pct(avg(&cov_cols[i])));
+            phase_avg.push(format!("{:.0}", avg(&phase_cols[i])));
+        }
+        cov_table.row(cov_avg);
+        phases_table.row(phase_avg);
+
+        vec![cov_table, phases_table]
+    })
+}
+
 /// Runs the experiment and renders the figure's two panels as tables.
 pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
-    let mut header = vec!["bench".to_owned()];
-    header.extend(TABLE_SIZES.iter().map(|&s| size_label(s)));
-    let mut cov_table = Table::new("Figure 2 (left): CPI CoV (%) vs signature table entries", header.clone());
-    let mut phases_table = Table::new("Figure 2 (right): number of phases vs table entries", header);
-
-    let mut cov_cols: Vec<Vec<f64>> = vec![Vec::new(); TABLE_SIZES.len()];
-    let mut phase_cols: Vec<Vec<f64>> = vec![Vec::new(); TABLE_SIZES.len()];
-
-    for kind in benchmarks() {
-        let trace = cache.load_or_simulate(kind, params);
-        let mut cov_row = vec![kind.label().to_owned()];
-        let mut phase_row = vec![kind.label().to_owned()];
-        for (i, &entries) in TABLE_SIZES.iter().enumerate() {
-            let run = run_classifier(&trace, config_for(entries));
-            let cov = run.cov.weighted_cov();
-            cov_cols[i].push(cov);
-            phase_cols[i].push(run.phases_created as f64);
-            cov_row.push(pct(cov));
-            phase_row.push(run.phases_created.to_string());
-        }
-        cov_table.row(cov_row);
-        phases_table.row(phase_row);
-    }
-
-    let mut cov_avg = vec!["avg".to_owned()];
-    let mut phase_avg = vec!["avg".to_owned()];
-    for i in 0..TABLE_SIZES.len() {
-        cov_avg.push(pct(avg(&cov_cols[i])));
-        phase_avg.push(format!("{:.0}", avg(&phase_cols[i])));
-    }
-    cov_table.row(cov_avg);
-    phases_table.row(phase_avg);
-
-    vec![cov_table, phases_table]
+    let mut engine = Engine::new(*params);
+    let pending = register(&mut engine);
+    engine.run(cache);
+    pending()
 }
 
 #[cfg(test)]

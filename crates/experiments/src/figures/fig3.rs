@@ -8,7 +8,7 @@
 
 use tpcp_core::ClassifierConfig;
 
-use crate::classify::run_classifier;
+use crate::engine::{Engine, PendingTables};
 use crate::figures::{avg, benchmarks};
 use crate::report::{pct, Table};
 use crate::suite::{SuiteParams, TraceCache};
@@ -26,56 +26,75 @@ fn config_for(dims: usize) -> ClassifierConfig {
         .build()
 }
 
+/// Registers the figure's classifications on `engine`; the returned
+/// closure renders the two panels once the engine has run.
+pub fn register(engine: &mut Engine) -> PendingTables {
+    let cells: Vec<Vec<_>> = benchmarks()
+        .iter()
+        .map(|&kind| {
+            DIMS.iter()
+                .map(|&dims| engine.classified(kind, config_for(dims)))
+                .collect()
+        })
+        .collect();
+
+    Box::new(move || {
+        let mut header = vec!["bench".to_owned()];
+        header.extend(DIMS.iter().map(|d| format!("{d} dim")));
+        header.push("whole program".to_owned());
+        let mut cov_table = Table::new(
+            "Figure 3 (left): CPI CoV (%) vs number of signature counters",
+            header,
+        );
+        let mut header2 = vec!["bench".to_owned()];
+        header2.extend(DIMS.iter().map(|d| format!("{d} dim")));
+        let mut phases_table = Table::new(
+            "Figure 3 (right): number of phases vs signature counters",
+            header2,
+        );
+
+        let mut cov_cols: Vec<Vec<f64>> = vec![Vec::new(); DIMS.len() + 1];
+        let mut phase_cols: Vec<Vec<f64>> = vec![Vec::new(); DIMS.len()];
+
+        for (kind, row_cells) in benchmarks().iter().zip(&cells) {
+            let mut cov_row = vec![kind.label().to_owned()];
+            let mut phase_row = vec![kind.label().to_owned()];
+            let mut whole = 0.0;
+            for (i, cell) in row_cells.iter().enumerate() {
+                let run = cell.take();
+                cov_cols[i].push(run.cov.weighted_cov());
+                phase_cols[i].push(run.phases_created as f64);
+                cov_row.push(pct(run.cov.weighted_cov()));
+                phase_row.push(run.phases_created.to_string());
+                whole = run.cov.whole_program_cov();
+            }
+            cov_cols[DIMS.len()].push(whole);
+            cov_row.push(pct(whole));
+            cov_table.row(cov_row);
+            phases_table.row(phase_row);
+        }
+
+        let mut cov_avg = vec!["avg".to_owned()];
+        for col in &cov_cols {
+            cov_avg.push(pct(avg(col)));
+        }
+        cov_table.row(cov_avg);
+        let mut phase_avg = vec!["avg".to_owned()];
+        for col in &phase_cols {
+            phase_avg.push(format!("{:.0}", avg(col)));
+        }
+        phases_table.row(phase_avg);
+
+        vec![cov_table, phases_table]
+    })
+}
+
 /// Runs the experiment and renders the figure's two panels.
 pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
-    let mut header = vec!["bench".to_owned()];
-    header.extend(DIMS.iter().map(|d| format!("{d} dim")));
-    header.push("whole program".to_owned());
-    let mut cov_table = Table::new(
-        "Figure 3 (left): CPI CoV (%) vs number of signature counters",
-        header,
-    );
-    let mut header2 = vec!["bench".to_owned()];
-    header2.extend(DIMS.iter().map(|d| format!("{d} dim")));
-    let mut phases_table = Table::new(
-        "Figure 3 (right): number of phases vs signature counters",
-        header2,
-    );
-
-    let mut cov_cols: Vec<Vec<f64>> = vec![Vec::new(); DIMS.len() + 1];
-    let mut phase_cols: Vec<Vec<f64>> = vec![Vec::new(); DIMS.len()];
-
-    for kind in benchmarks() {
-        let trace = cache.load_or_simulate(kind, params);
-        let mut cov_row = vec![kind.label().to_owned()];
-        let mut phase_row = vec![kind.label().to_owned()];
-        let mut whole = 0.0;
-        for (i, &dims) in DIMS.iter().enumerate() {
-            let run = run_classifier(&trace, config_for(dims));
-            cov_cols[i].push(run.cov.weighted_cov());
-            phase_cols[i].push(run.phases_created as f64);
-            cov_row.push(pct(run.cov.weighted_cov()));
-            phase_row.push(run.phases_created.to_string());
-            whole = run.cov.whole_program_cov();
-        }
-        cov_cols[DIMS.len()].push(whole);
-        cov_row.push(pct(whole));
-        cov_table.row(cov_row);
-        phases_table.row(phase_row);
-    }
-
-    let mut cov_avg = vec!["avg".to_owned()];
-    for col in &cov_cols {
-        cov_avg.push(pct(avg(col)));
-    }
-    cov_table.row(cov_avg);
-    let mut phase_avg = vec!["avg".to_owned()];
-    for col in &phase_cols {
-        phase_avg.push(format!("{:.0}", avg(col)));
-    }
-    phases_table.row(phase_avg);
-
-    vec![cov_table, phases_table]
+    let mut engine = Engine::new(*params);
+    let pending = register(&mut engine);
+    engine.run(cache);
+    pending()
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 
 use tpcp_core::{ClassifierConfig, PhaseId};
 
-use crate::classify::run_classifier;
+use crate::engine::{Engine, PendingTables};
 use crate::figures::{avg, benchmarks};
 use crate::report::{pct, Table};
 use crate::suite::{SuiteParams, TraceCache};
@@ -42,70 +42,95 @@ pub fn last_value_misprediction_rate(ids: &[PhaseId]) -> f64 {
     misses as f64 / (ids.len() - 1) as f64
 }
 
+/// Registers the figure's classifications on `engine`; the returned
+/// closure renders the four panels once the engine has run.
+pub fn register(engine: &mut Engine) -> PendingTables {
+    let cells: Vec<Vec<_>> = benchmarks()
+        .iter()
+        .map(|&kind| {
+            CONFIGS
+                .iter()
+                .map(|&(similarity, min_count)| {
+                    engine.classified(kind, config_for(similarity, min_count))
+                })
+                .collect()
+        })
+        .collect();
+
+    Box::new(move || {
+        let mut header = vec!["bench".to_owned()];
+        header.extend(CONFIGS.iter().map(|&(s, m)| config_label(s, m)));
+
+        let mut cov_table = Table::new("Figure 4 (top left): CPI CoV (%)", header.clone());
+        let mut phases_table = Table::new("Figure 4 (top right): number of phases", header.clone());
+        let mut trans_table = Table::new(
+            "Figure 4 (bottom left): transition time (%)",
+            header.clone(),
+        );
+        let mut misp_table = Table::new(
+            "Figure 4 (bottom right): last-value misprediction rate (%)",
+            header,
+        );
+
+        let n = CONFIGS.len();
+        let mut cov_cols = vec![Vec::new(); n];
+        let mut phase_cols = vec![Vec::new(); n];
+        let mut trans_cols = vec![Vec::new(); n];
+        let mut misp_cols = vec![Vec::new(); n];
+
+        for (kind, row_cells) in benchmarks().iter().zip(&cells) {
+            let mut rows: [Vec<String>; 4] = [
+                vec![kind.label().to_owned()],
+                vec![kind.label().to_owned()],
+                vec![kind.label().to_owned()],
+                vec![kind.label().to_owned()],
+            ];
+            for (i, cell) in row_cells.iter().enumerate() {
+                let run = cell.take();
+                let cov = run.cov.weighted_cov();
+                let misp = last_value_misprediction_rate(&run.ids);
+                cov_cols[i].push(cov);
+                phase_cols[i].push(run.phases_created as f64);
+                trans_cols[i].push(run.transition_fraction);
+                misp_cols[i].push(misp);
+                rows[0].push(pct(cov));
+                rows[1].push(run.phases_created.to_string());
+                rows[2].push(pct(run.transition_fraction));
+                rows[3].push(pct(misp));
+            }
+            let [r0, r1, r2, r3] = rows;
+            cov_table.row(r0);
+            phases_table.row(r1);
+            trans_table.row(r2);
+            misp_table.row(r3);
+        }
+
+        let avg_row = |cols: &[Vec<f64>], as_pct: bool| {
+            let mut row = vec!["avg".to_owned()];
+            for col in cols {
+                row.push(if as_pct {
+                    pct(avg(col))
+                } else {
+                    format!("{:.0}", avg(col))
+                });
+            }
+            row
+        };
+        cov_table.row(avg_row(&cov_cols, true));
+        phases_table.row(avg_row(&phase_cols, false));
+        trans_table.row(avg_row(&trans_cols, true));
+        misp_table.row(avg_row(&misp_cols, true));
+
+        vec![cov_table, phases_table, trans_table, misp_table]
+    })
+}
+
 /// Runs the experiment and renders the figure's four panels.
 pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
-    let mut header = vec!["bench".to_owned()];
-    header.extend(CONFIGS.iter().map(|&(s, m)| config_label(s, m)));
-
-    let mut cov_table = Table::new("Figure 4 (top left): CPI CoV (%)", header.clone());
-    let mut phases_table = Table::new("Figure 4 (top right): number of phases", header.clone());
-    let mut trans_table = Table::new("Figure 4 (bottom left): transition time (%)", header.clone());
-    let mut misp_table = Table::new(
-        "Figure 4 (bottom right): last-value misprediction rate (%)",
-        header,
-    );
-
-    let n = CONFIGS.len();
-    let mut cov_cols = vec![Vec::new(); n];
-    let mut phase_cols = vec![Vec::new(); n];
-    let mut trans_cols = vec![Vec::new(); n];
-    let mut misp_cols = vec![Vec::new(); n];
-
-    for kind in benchmarks() {
-        let trace = cache.load_or_simulate(kind, params);
-        let mut rows: [Vec<String>; 4] = [
-            vec![kind.label().to_owned()],
-            vec![kind.label().to_owned()],
-            vec![kind.label().to_owned()],
-            vec![kind.label().to_owned()],
-        ];
-        for (i, &(similarity, min_count)) in CONFIGS.iter().enumerate() {
-            let run = run_classifier(&trace, config_for(similarity, min_count));
-            let cov = run.cov.weighted_cov();
-            let misp = last_value_misprediction_rate(&run.ids);
-            cov_cols[i].push(cov);
-            phase_cols[i].push(run.phases_created as f64);
-            trans_cols[i].push(run.transition_fraction);
-            misp_cols[i].push(misp);
-            rows[0].push(pct(cov));
-            rows[1].push(run.phases_created.to_string());
-            rows[2].push(pct(run.transition_fraction));
-            rows[3].push(pct(misp));
-        }
-        let [r0, r1, r2, r3] = rows;
-        cov_table.row(r0);
-        phases_table.row(r1);
-        trans_table.row(r2);
-        misp_table.row(r3);
-    }
-
-    let avg_row = |cols: &[Vec<f64>], as_pct: bool| {
-        let mut row = vec!["avg".to_owned()];
-        for col in cols {
-            row.push(if as_pct {
-                pct(avg(col))
-            } else {
-                format!("{:.0}", avg(col))
-            });
-        }
-        row
-    };
-    cov_table.row(avg_row(&cov_cols, true));
-    phases_table.row(avg_row(&phase_cols, false));
-    trans_table.row(avg_row(&trans_cols, true));
-    misp_table.row(avg_row(&misp_cols, true));
-
-    vec![cov_table, phases_table, trans_table, misp_table]
+    let mut engine = Engine::new(*params);
+    let pending = register(&mut engine);
+    engine.run(cache);
+    pending()
 }
 
 #[cfg(test)]
@@ -114,7 +139,10 @@ mod tests {
 
     #[test]
     fn misprediction_rate_counts_changes() {
-        let ids: Vec<PhaseId> = [1u32, 1, 2, 2, 3].iter().map(|&v| PhaseId::new(v)).collect();
+        let ids: Vec<PhaseId> = [1u32, 1, 2, 2, 3]
+            .iter()
+            .map(|&v| PhaseId::new(v))
+            .collect();
         assert!((last_value_misprediction_rate(&ids) - 0.5).abs() < 1e-12);
         assert_eq!(last_value_misprediction_rate(&ids[..1]), 0.0);
         assert_eq!(last_value_misprediction_rate(&[]), 0.0);

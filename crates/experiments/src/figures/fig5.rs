@@ -9,7 +9,7 @@
 
 use tpcp_core::ClassifierConfig;
 
-use crate::classify::run_classifier;
+use crate::engine::{Engine, PendingTables};
 use crate::figures::{avg, benchmarks};
 use crate::report::{f2, Table};
 use crate::suite::{SuiteParams, TraceCache};
@@ -24,41 +24,56 @@ fn config() -> ClassifierConfig {
         .build()
 }
 
+/// Registers the figure's classifications on `engine`; the returned
+/// closure renders the phase length table once the engine has run.
+pub fn register(engine: &mut Engine) -> PendingTables {
+    let cells: Vec<_> = benchmarks()
+        .iter()
+        .map(|&kind| engine.classified(kind, config()))
+        .collect();
+
+    Box::new(move || {
+        let mut table = Table::new(
+            "Figure 5: average phase lengths in intervals (std dev)",
+            vec![
+                "bench".to_owned(),
+                "stable len".to_owned(),
+                "stable dev".to_owned(),
+                "trans len".to_owned(),
+                "trans dev".to_owned(),
+            ],
+        );
+        let mut stable_means = Vec::new();
+        let mut trans_means = Vec::new();
+        for (kind, cell) in benchmarks().iter().zip(&cells) {
+            let run = cell.take();
+            stable_means.push(run.runs.stable_mean());
+            trans_means.push(run.runs.transition_mean());
+            table.row(vec![
+                kind.label().to_owned(),
+                f2(run.runs.stable_mean()),
+                f2(run.runs.stable_std_dev()),
+                f2(run.runs.transition_mean()),
+                f2(run.runs.transition_std_dev()),
+            ]);
+        }
+        table.row(vec![
+            "average".to_owned(),
+            f2(avg(&stable_means)),
+            String::new(),
+            f2(avg(&trans_means)),
+            String::new(),
+        ]);
+        vec![table]
+    })
+}
+
 /// Runs the experiment and renders the phase length table.
 pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
-    let mut table = Table::new(
-        "Figure 5: average phase lengths in intervals (std dev)",
-        vec![
-            "bench".to_owned(),
-            "stable len".to_owned(),
-            "stable dev".to_owned(),
-            "trans len".to_owned(),
-            "trans dev".to_owned(),
-        ],
-    );
-    let mut stable_means = Vec::new();
-    let mut trans_means = Vec::new();
-    for kind in benchmarks() {
-        let trace = cache.load_or_simulate(kind, params);
-        let run = run_classifier(&trace, config());
-        stable_means.push(run.runs.stable_mean());
-        trans_means.push(run.runs.transition_mean());
-        table.row(vec![
-            kind.label().to_owned(),
-            f2(run.runs.stable_mean()),
-            f2(run.runs.stable_std_dev()),
-            f2(run.runs.transition_mean()),
-            f2(run.runs.transition_std_dev()),
-        ]);
-    }
-    table.row(vec![
-        "average".to_owned(),
-        f2(avg(&stable_means)),
-        String::new(),
-        f2(avg(&trans_means)),
-        String::new(),
-    ]);
-    vec![table]
+    let mut engine = Engine::new(*params);
+    let pending = register(&mut engine);
+    engine.run(cache);
+    pending()
 }
 
 #[cfg(test)]

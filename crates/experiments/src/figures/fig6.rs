@@ -11,7 +11,7 @@
 
 use tpcp_core::{AdaptiveConfig, ClassifierConfig};
 
-use crate::classify::run_classifier;
+use crate::engine::{Engine, PendingTables};
 use crate::figures::{avg, benchmarks};
 use crate::report::{pct, Table};
 use crate::suite::{SuiteParams, TraceCache};
@@ -29,11 +29,31 @@ pub struct Fig6Config {
 
 /// The five configurations the figure compares.
 pub const CONFIGS: [Fig6Config; 5] = [
-    Fig6Config { label: "25% static", similarity: 0.25, deviation: None },
-    Fig6Config { label: "12.5% static", similarity: 0.125, deviation: None },
-    Fig6Config { label: "25% dyn+50% dev", similarity: 0.25, deviation: Some(0.50) },
-    Fig6Config { label: "25% dyn+25% dev", similarity: 0.25, deviation: Some(0.25) },
-    Fig6Config { label: "25% dyn+12.5% dev", similarity: 0.25, deviation: Some(0.125) },
+    Fig6Config {
+        label: "25% static",
+        similarity: 0.25,
+        deviation: None,
+    },
+    Fig6Config {
+        label: "12.5% static",
+        similarity: 0.125,
+        deviation: None,
+    },
+    Fig6Config {
+        label: "25% dyn+50% dev",
+        similarity: 0.25,
+        deviation: Some(0.50),
+    },
+    Fig6Config {
+        label: "25% dyn+25% dev",
+        similarity: 0.25,
+        deviation: Some(0.25),
+    },
+    Fig6Config {
+        label: "25% dyn+12.5% dev",
+        similarity: 0.25,
+        deviation: Some(0.125),
+    },
 ];
 
 fn config_for(c: &Fig6Config) -> ClassifierConfig {
@@ -48,51 +68,71 @@ fn config_for(c: &Fig6Config) -> ClassifierConfig {
         .build()
 }
 
+/// Registers the figure's classifications on `engine`; the returned
+/// closure renders the three panels once the engine has run.
+pub fn register(engine: &mut Engine) -> PendingTables {
+    let cells: Vec<Vec<_>> = benchmarks()
+        .iter()
+        .map(|&kind| {
+            CONFIGS
+                .iter()
+                .map(|c| engine.classified(kind, config_for(c)))
+                .collect()
+        })
+        .collect();
+
+    Box::new(move || {
+        let mut header = vec!["bench".to_owned()];
+        header.extend(CONFIGS.iter().map(|c| c.label.to_owned()));
+        let mut cov_table = Table::new("Figure 6 (top): CPI CoV (%)", header.clone());
+        let mut phases_table = Table::new("Figure 6 (middle): number of phases", header.clone());
+        let mut trans_table = Table::new("Figure 6 (bottom): transition time (%)", header);
+
+        let n = CONFIGS.len();
+        let mut cov_cols = vec![Vec::new(); n];
+        let mut phase_cols = vec![Vec::new(); n];
+        let mut trans_cols = vec![Vec::new(); n];
+
+        for (kind, row_cells) in benchmarks().iter().zip(&cells) {
+            let mut cov_row = vec![kind.label().to_owned()];
+            let mut phase_row = vec![kind.label().to_owned()];
+            let mut trans_row = vec![kind.label().to_owned()];
+            for (i, cell) in row_cells.iter().enumerate() {
+                let run = cell.take();
+                cov_cols[i].push(run.cov.weighted_cov());
+                phase_cols[i].push(run.phases_created as f64);
+                trans_cols[i].push(run.transition_fraction);
+                cov_row.push(pct(run.cov.weighted_cov()));
+                phase_row.push(run.phases_created.to_string());
+                trans_row.push(pct(run.transition_fraction));
+            }
+            cov_table.row(cov_row);
+            phases_table.row(phase_row);
+            trans_table.row(trans_row);
+        }
+
+        let mut cov_avg = vec!["avg".to_owned()];
+        let mut phase_avg = vec!["avg".to_owned()];
+        let mut trans_avg = vec!["avg".to_owned()];
+        for i in 0..n {
+            cov_avg.push(pct(avg(&cov_cols[i])));
+            phase_avg.push(format!("{:.0}", avg(&phase_cols[i])));
+            trans_avg.push(pct(avg(&trans_cols[i])));
+        }
+        cov_table.row(cov_avg);
+        phases_table.row(phase_avg);
+        trans_table.row(trans_avg);
+
+        vec![cov_table, phases_table, trans_table]
+    })
+}
+
 /// Runs the experiment and renders the figure's three panels.
 pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
-    let mut header = vec!["bench".to_owned()];
-    header.extend(CONFIGS.iter().map(|c| c.label.to_owned()));
-    let mut cov_table = Table::new("Figure 6 (top): CPI CoV (%)", header.clone());
-    let mut phases_table = Table::new("Figure 6 (middle): number of phases", header.clone());
-    let mut trans_table = Table::new("Figure 6 (bottom): transition time (%)", header);
-
-    let n = CONFIGS.len();
-    let mut cov_cols = vec![Vec::new(); n];
-    let mut phase_cols = vec![Vec::new(); n];
-    let mut trans_cols = vec![Vec::new(); n];
-
-    for kind in benchmarks() {
-        let trace = cache.load_or_simulate(kind, params);
-        let mut cov_row = vec![kind.label().to_owned()];
-        let mut phase_row = vec![kind.label().to_owned()];
-        let mut trans_row = vec![kind.label().to_owned()];
-        for (i, c) in CONFIGS.iter().enumerate() {
-            let run = run_classifier(&trace, config_for(c));
-            cov_cols[i].push(run.cov.weighted_cov());
-            phase_cols[i].push(run.phases_created as f64);
-            trans_cols[i].push(run.transition_fraction);
-            cov_row.push(pct(run.cov.weighted_cov()));
-            phase_row.push(run.phases_created.to_string());
-            trans_row.push(pct(run.transition_fraction));
-        }
-        cov_table.row(cov_row);
-        phases_table.row(phase_row);
-        trans_table.row(trans_row);
-    }
-
-    let mut cov_avg = vec!["avg".to_owned()];
-    let mut phase_avg = vec!["avg".to_owned()];
-    let mut trans_avg = vec!["avg".to_owned()];
-    for i in 0..n {
-        cov_avg.push(pct(avg(&cov_cols[i])));
-        phase_avg.push(format!("{:.0}", avg(&phase_cols[i])));
-        trans_avg.push(pct(avg(&trans_cols[i])));
-    }
-    cov_table.row(cov_avg);
-    phases_table.row(phase_avg);
-    trans_table.row(trans_avg);
-
-    vec![cov_table, phases_table, trans_table]
+    let mut engine = Engine::new(*params);
+    let pending = register(&mut engine);
+    engine.run(cache);
+    pending()
 }
 
 #[cfg(test)]

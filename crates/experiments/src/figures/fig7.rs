@@ -11,7 +11,7 @@
 use tpcp_core::ClassifierConfig;
 use tpcp_predict::{NextPhaseBreakdown, NextPhasePredictor, PredictorKind};
 
-use crate::classify::run_classifier;
+use crate::engine::{Engine, PendingTables};
 use crate::figures::benchmarks;
 use crate::report::{pct, Table};
 use crate::suite::{SuiteParams, TraceCache};
@@ -45,57 +45,81 @@ pub fn predictor_lineup() -> Vec<(&'static str, PredictorKind)> {
     ]
 }
 
+/// Registers one predictor probe per (benchmark, lineup entry) on the
+/// shared Section 5 classification; the returned closure sums the
+/// breakdowns and renders the stacked table once the engine has run.
+pub fn register(engine: &mut Engine) -> PendingTables {
+    let lineup = predictor_lineup();
+    // One probe per (benchmark, predictor); all ride the same per-benchmark
+    // classifier lane, so each trace is classified once.
+    let cells: Vec<Vec<_>> = benchmarks()
+        .iter()
+        .map(|&kind| {
+            lineup
+                .iter()
+                .map(|&(_, pk)| {
+                    engine.probe(
+                        kind,
+                        section5_classifier(),
+                        NextPhasePredictor::new(pk),
+                        |p, _| p.breakdown(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    Box::new(move || {
+        let mut totals: Vec<NextPhaseBreakdown> = vec![NextPhaseBreakdown::default(); lineup.len()];
+        for row_cells in &cells {
+            for (slot, cell) in totals.iter_mut().zip(row_cells) {
+                let b = cell.take();
+                slot.correct_table += b.correct_table;
+                slot.correct_lv_conf += b.correct_lv_conf;
+                slot.correct_lv_unconf += b.correct_lv_unconf;
+                slot.incorrect_lv_unconf += b.incorrect_lv_unconf;
+                slot.incorrect_lv_conf += b.incorrect_lv_conf;
+                slot.incorrect_table += b.incorrect_table;
+            }
+        }
+
+        let mut table = Table::new(
+            "Figure 7: next phase prediction (% of predictions, all benchmarks)",
+            vec![
+                "predictor".to_owned(),
+                "corr table".to_owned(),
+                "corr lv conf".to_owned(),
+                "corr lv unconf".to_owned(),
+                "incorr lv unconf".to_owned(),
+                "incorr lv conf".to_owned(),
+                "incorr table".to_owned(),
+                "accuracy".to_owned(),
+            ],
+        );
+        for ((name, _), b) in lineup.iter().zip(&totals) {
+            let t = b.total().max(1) as f64;
+            table.row(vec![
+                (*name).to_owned(),
+                pct(b.correct_table as f64 / t),
+                pct(b.correct_lv_conf as f64 / t),
+                pct(b.correct_lv_unconf as f64 / t),
+                pct(b.incorrect_lv_unconf as f64 / t),
+                pct(b.incorrect_lv_conf as f64 / t),
+                pct(b.incorrect_table as f64 / t),
+                pct(b.accuracy()),
+            ]);
+        }
+        vec![table]
+    })
+}
+
 /// Runs every predictor over every benchmark's phase stream and averages
 /// the six stacked categories.
 pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
-    let lineup = predictor_lineup();
-    // Classify once per benchmark; reuse the ID stream for all predictors.
-    let mut totals: Vec<NextPhaseBreakdown> = vec![NextPhaseBreakdown::default(); lineup.len()];
-    for kind in benchmarks() {
-        let trace = cache.load_or_simulate(kind, params);
-        let run = run_classifier(&trace, section5_classifier());
-        for (slot, (_, pk)) in totals.iter_mut().zip(&lineup) {
-            let mut p = NextPhasePredictor::new(*pk);
-            for &id in &run.ids {
-                p.observe(id);
-            }
-            let b = p.breakdown();
-            slot.correct_table += b.correct_table;
-            slot.correct_lv_conf += b.correct_lv_conf;
-            slot.correct_lv_unconf += b.correct_lv_unconf;
-            slot.incorrect_lv_unconf += b.incorrect_lv_unconf;
-            slot.incorrect_lv_conf += b.incorrect_lv_conf;
-            slot.incorrect_table += b.incorrect_table;
-        }
-    }
-
-    let mut table = Table::new(
-        "Figure 7: next phase prediction (% of predictions, all benchmarks)",
-        vec![
-            "predictor".to_owned(),
-            "corr table".to_owned(),
-            "corr lv conf".to_owned(),
-            "corr lv unconf".to_owned(),
-            "incorr lv unconf".to_owned(),
-            "incorr lv conf".to_owned(),
-            "incorr table".to_owned(),
-            "accuracy".to_owned(),
-        ],
-    );
-    for ((name, _), b) in lineup.iter().zip(&totals) {
-        let t = b.total().max(1) as f64;
-        table.row(vec![
-            (*name).to_owned(),
-            pct(b.correct_table as f64 / t),
-            pct(b.correct_lv_conf as f64 / t),
-            pct(b.correct_lv_unconf as f64 / t),
-            pct(b.incorrect_lv_unconf as f64 / t),
-            pct(b.incorrect_lv_conf as f64 / t),
-            pct(b.incorrect_table as f64 / t),
-            pct(b.accuracy()),
-        ]);
-    }
-    vec![table]
+    let mut engine = Engine::new(*params);
+    let pending = register(&mut engine);
+    engine.run(cache);
+    pending()
 }
 
 #[cfg(test)]

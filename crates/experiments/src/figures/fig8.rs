@@ -13,7 +13,7 @@ use tpcp_predict::{
     PhaseChangePredictor,
 };
 
-use crate::classify::run_classifier;
+use crate::engine::{Engine, PendingTables};
 use crate::figures::benchmarks;
 use crate::figures::fig7::section5_classifier;
 use crate::report::{pct, Table};
@@ -39,99 +39,213 @@ pub fn variant_lineup() -> Vec<Fig8Variant> {
     use ChangePolicy::{LastK, MostRecent, TopK};
     use HistoryKind::{Markov, Rle};
     vec![
-        Fig8Variant { label: "Markov-2", kind: Markov(2), policy: MostRecent, entries: 32, confidence: true },
-        Fig8Variant { label: "Markov-2 NoConf", kind: Markov(2), policy: MostRecent, entries: 32, confidence: false },
-        Fig8Variant { label: "128 Entry Markov-2", kind: Markov(2), policy: MostRecent, entries: 128, confidence: true },
-        Fig8Variant { label: "Last4 Markov-2", kind: Markov(2), policy: LastK(4), entries: 32, confidence: true },
-        Fig8Variant { label: "Last4 Markov-1", kind: Markov(1), policy: LastK(4), entries: 32, confidence: true },
-        Fig8Variant { label: "Top1 Markov-2", kind: Markov(2), policy: TopK(1), entries: 32, confidence: true },
-        Fig8Variant { label: "Top4 Markov-1", kind: Markov(1), policy: TopK(4), entries: 32, confidence: true },
-        Fig8Variant { label: "Top4 Markov-2", kind: Markov(2), policy: TopK(4), entries: 32, confidence: true },
-        Fig8Variant { label: "RLE-2", kind: Rle(2), policy: MostRecent, entries: 32, confidence: true },
-        Fig8Variant { label: "128 Entry RLE-2", kind: Rle(2), policy: MostRecent, entries: 128, confidence: true },
-        Fig8Variant { label: "Last4 RLE-2", kind: Rle(2), policy: LastK(4), entries: 32, confidence: true },
-        Fig8Variant { label: "Last4 RLE-1", kind: Rle(1), policy: LastK(4), entries: 32, confidence: true },
-        Fig8Variant { label: "Top1 RLE-2", kind: Rle(2), policy: TopK(1), entries: 32, confidence: true },
-        Fig8Variant { label: "Top4 RLE-2", kind: Rle(2), policy: TopK(4), entries: 32, confidence: true },
+        Fig8Variant {
+            label: "Markov-2",
+            kind: Markov(2),
+            policy: MostRecent,
+            entries: 32,
+            confidence: true,
+        },
+        Fig8Variant {
+            label: "Markov-2 NoConf",
+            kind: Markov(2),
+            policy: MostRecent,
+            entries: 32,
+            confidence: false,
+        },
+        Fig8Variant {
+            label: "128 Entry Markov-2",
+            kind: Markov(2),
+            policy: MostRecent,
+            entries: 128,
+            confidence: true,
+        },
+        Fig8Variant {
+            label: "Last4 Markov-2",
+            kind: Markov(2),
+            policy: LastK(4),
+            entries: 32,
+            confidence: true,
+        },
+        Fig8Variant {
+            label: "Last4 Markov-1",
+            kind: Markov(1),
+            policy: LastK(4),
+            entries: 32,
+            confidence: true,
+        },
+        Fig8Variant {
+            label: "Top1 Markov-2",
+            kind: Markov(2),
+            policy: TopK(1),
+            entries: 32,
+            confidence: true,
+        },
+        Fig8Variant {
+            label: "Top4 Markov-1",
+            kind: Markov(1),
+            policy: TopK(4),
+            entries: 32,
+            confidence: true,
+        },
+        Fig8Variant {
+            label: "Top4 Markov-2",
+            kind: Markov(2),
+            policy: TopK(4),
+            entries: 32,
+            confidence: true,
+        },
+        Fig8Variant {
+            label: "RLE-2",
+            kind: Rle(2),
+            policy: MostRecent,
+            entries: 32,
+            confidence: true,
+        },
+        Fig8Variant {
+            label: "128 Entry RLE-2",
+            kind: Rle(2),
+            policy: MostRecent,
+            entries: 128,
+            confidence: true,
+        },
+        Fig8Variant {
+            label: "Last4 RLE-2",
+            kind: Rle(2),
+            policy: LastK(4),
+            entries: 32,
+            confidence: true,
+        },
+        Fig8Variant {
+            label: "Last4 RLE-1",
+            kind: Rle(1),
+            policy: LastK(4),
+            entries: 32,
+            confidence: true,
+        },
+        Fig8Variant {
+            label: "Top1 RLE-2",
+            kind: Rle(2),
+            policy: TopK(1),
+            entries: 32,
+            confidence: true,
+        },
+        Fig8Variant {
+            label: "Top4 RLE-2",
+            kind: Rle(2),
+            policy: TopK(4),
+            entries: 32,
+            confidence: true,
+        },
     ]
+}
+
+/// Registers one change-evaluator probe per (benchmark, variant) plus the
+/// perfect-Markov probes, all on the shared Section 5 classification; the
+/// returned closure sums the breakdowns and renders the table once the
+/// engine has run.
+pub fn register(engine: &mut Engine) -> PendingTables {
+    let lineup = variant_lineup();
+    let variant_cells: Vec<Vec<_>> = benchmarks()
+        .iter()
+        .map(|&kind| {
+            lineup
+                .iter()
+                .map(|v| {
+                    let e = ChangeEvaluator::new(PhaseChangePredictor::new(
+                        v.kind,
+                        v.policy,
+                        v.confidence,
+                        v.entries,
+                        4,
+                    ));
+                    engine.probe(kind, section5_classifier(), e, |e, _| e.breakdown())
+                })
+                .collect()
+        })
+        .collect();
+    let perfect_cells: Vec<Vec<_>> = benchmarks()
+        .iter()
+        .map(|&kind| {
+            [1usize, 2]
+                .iter()
+                .map(|&order| {
+                    let p = PerfectMarkov::new(HistoryKind::Markov(order));
+                    engine.probe(kind, section5_classifier(), p, |p, _| p.counts())
+                })
+                .collect()
+        })
+        .collect();
+
+    Box::new(move || {
+        let mut totals: Vec<ChangeBreakdown> = vec![ChangeBreakdown::default(); lineup.len()];
+        let mut perfect1 = (0u64, 0u64);
+        let mut perfect2 = (0u64, 0u64);
+        for (row_cells, perfect_row) in variant_cells.iter().zip(&perfect_cells) {
+            for (slot, cell) in totals.iter_mut().zip(row_cells) {
+                let b = cell.take();
+                slot.conf_correct += b.conf_correct;
+                slot.unconf_correct += b.unconf_correct;
+                slot.tag_misses += b.tag_misses;
+                slot.unconf_incorrect += b.unconf_incorrect;
+                slot.conf_incorrect += b.conf_incorrect;
+            }
+            for (acc, cell) in [&mut perfect1, &mut perfect2].into_iter().zip(perfect_row) {
+                let (c, t) = cell.take();
+                acc.0 += c;
+                acc.1 += t;
+            }
+        }
+
+        let mut table = Table::new(
+            "Figure 8: phase change prediction (% of phase changes, all benchmarks)",
+            vec![
+                "predictor".to_owned(),
+                "conf correct".to_owned(),
+                "unconf correct".to_owned(),
+                "tag miss".to_owned(),
+                "unconf incorrect".to_owned(),
+                "conf incorrect".to_owned(),
+                "correct total".to_owned(),
+            ],
+        );
+        for (v, b) in lineup.iter().zip(&totals) {
+            let t = b.total().max(1) as f64;
+            table.row(vec![
+                v.label.to_owned(),
+                pct(b.conf_correct as f64 / t),
+                pct(b.unconf_correct as f64 / t),
+                pct(b.tag_misses as f64 / t),
+                pct(b.unconf_incorrect as f64 / t),
+                pct(b.conf_incorrect as f64 / t),
+                pct(b.correct_fraction()),
+            ]);
+        }
+        for (label, (c, t)) in [
+            ("Perfect Markov-1", perfect1),
+            ("Perfect Markov-2", perfect2),
+        ] {
+            let frac = if t == 0 { 0.0 } else { c as f64 / t as f64 };
+            table.row(vec![
+                label.to_owned(),
+                pct(frac),
+                "0.0".to_owned(),
+                "0.0".to_owned(),
+                "0.0".to_owned(),
+                pct(1.0 - frac),
+                pct(frac),
+            ]);
+        }
+        vec![table]
+    })
 }
 
 /// Runs every variant over every benchmark's phase-change stream.
 pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
-    let lineup = variant_lineup();
-    let mut totals: Vec<ChangeBreakdown> = vec![ChangeBreakdown::default(); lineup.len()];
-    let mut perfect1 = (0u64, 0u64);
-    let mut perfect2 = (0u64, 0u64);
-
-    for kind in benchmarks() {
-        let trace = cache.load_or_simulate(kind, params);
-        let run = run_classifier(&trace, section5_classifier());
-        for (slot, v) in totals.iter_mut().zip(&lineup) {
-            let mut e = ChangeEvaluator::new(PhaseChangePredictor::new(
-                v.kind,
-                v.policy,
-                v.confidence,
-                v.entries,
-                4,
-            ));
-            for &id in &run.ids {
-                e.observe(id);
-            }
-            let b = e.breakdown();
-            slot.conf_correct += b.conf_correct;
-            slot.unconf_correct += b.unconf_correct;
-            slot.tag_misses += b.tag_misses;
-            slot.unconf_incorrect += b.unconf_incorrect;
-            slot.conf_incorrect += b.conf_incorrect;
-        }
-        for (order, acc) in [(1usize, &mut perfect1), (2usize, &mut perfect2)] {
-            let mut p = PerfectMarkov::new(HistoryKind::Markov(order));
-            for &id in &run.ids {
-                p.observe(id);
-            }
-            let (c, t) = p.counts();
-            acc.0 += c;
-            acc.1 += t;
-        }
-    }
-
-    let mut table = Table::new(
-        "Figure 8: phase change prediction (% of phase changes, all benchmarks)",
-        vec![
-            "predictor".to_owned(),
-            "conf correct".to_owned(),
-            "unconf correct".to_owned(),
-            "tag miss".to_owned(),
-            "unconf incorrect".to_owned(),
-            "conf incorrect".to_owned(),
-            "correct total".to_owned(),
-        ],
-    );
-    for (v, b) in lineup.iter().zip(&totals) {
-        let t = b.total().max(1) as f64;
-        table.row(vec![
-            v.label.to_owned(),
-            pct(b.conf_correct as f64 / t),
-            pct(b.unconf_correct as f64 / t),
-            pct(b.tag_misses as f64 / t),
-            pct(b.unconf_incorrect as f64 / t),
-            pct(b.conf_incorrect as f64 / t),
-            pct(b.correct_fraction()),
-        ]);
-    }
-    for (label, (c, t)) in [("Perfect Markov-1", perfect1), ("Perfect Markov-2", perfect2)] {
-        let frac = if t == 0 { 0.0 } else { c as f64 / t as f64 };
-        table.row(vec![
-            label.to_owned(),
-            pct(frac),
-            "0.0".to_owned(),
-            "0.0".to_owned(),
-            "0.0".to_owned(),
-            pct(1.0 - frac),
-            pct(frac),
-        ]);
-    }
-    vec![table]
+    let mut engine = Engine::new(*params);
+    let pending = register(&mut engine);
+    engine.run(cache);
+    pending()
 }
 
 #[cfg(test)]

@@ -11,53 +11,74 @@
 
 use tpcp_predict::{LengthClassPredictor, RunLengthClass};
 
-use crate::classify::run_classifier;
+use crate::engine::{Engine, PendingTables};
 use crate::figures::benchmarks;
 use crate::figures::fig7::section5_classifier;
 use crate::report::{pct, Table};
 use crate::suite::{SuiteParams, TraceCache};
 
+/// Registers the figure's classifications and length-class probes on
+/// `engine`; the returned closure renders the two panels once the engine
+/// has run.
+pub fn register(engine: &mut Engine) -> PendingTables {
+    let cells: Vec<_> = benchmarks()
+        .iter()
+        .map(|&kind| {
+            let run = engine.classified(kind, section5_classifier());
+            let misp = engine.probe(
+                kind,
+                section5_classifier(),
+                LengthClassPredictor::new(32, 4),
+                |p, _| p.misprediction_rate(),
+            );
+            (run, misp)
+        })
+        .collect();
+
+    Box::new(move || {
+        let mut dist_header = vec!["bench".to_owned()];
+        dist_header.extend(RunLengthClass::ALL.iter().map(|c| c.label().to_owned()));
+        let mut dist_table = Table::new(
+            "Figure 9 (left): percentage of run lengths per class",
+            dist_header,
+        );
+        let mut misp_table = Table::new(
+            "Figure 9 (right): length-class misprediction rate (%)",
+            vec!["bench".to_owned(), "misprediction".to_owned()],
+        );
+
+        let mut misp_sum = 0.0;
+        for (kind, (run_cell, misp_cell)) in benchmarks().iter().zip(&cells) {
+            let run = run_cell.take();
+
+            // Left panel: class histogram over all runs.
+            let hist = run
+                .runs
+                .class_histogram(&RunLengthClass::ALL, RunLengthClass::from_length);
+            let total: u64 = hist.iter().sum();
+            let mut row = vec![kind.label().to_owned()];
+            for &count in &hist {
+                row.push(pct(count as f64 / total.max(1) as f64));
+            }
+            dist_table.row(row);
+
+            // Right panel: the RLE-2 length-class predictor.
+            let rate = misp_cell.take();
+            misp_sum += rate;
+            misp_table.row(vec![kind.label().to_owned(), pct(rate)]);
+        }
+        misp_table.row(vec!["avg".to_owned(), pct(misp_sum / 11.0)]);
+
+        vec![dist_table, misp_table]
+    })
+}
+
 /// Runs the experiment and renders the figure's two panels.
 pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
-    let mut dist_header = vec!["bench".to_owned()];
-    dist_header.extend(RunLengthClass::ALL.iter().map(|c| c.label().to_owned()));
-    let mut dist_table = Table::new(
-        "Figure 9 (left): percentage of run lengths per class",
-        dist_header,
-    );
-    let mut misp_table = Table::new(
-        "Figure 9 (right): length-class misprediction rate (%)",
-        vec!["bench".to_owned(), "misprediction".to_owned()],
-    );
-
-    let mut misp_sum = 0.0;
-    for kind in benchmarks() {
-        let trace = cache.load_or_simulate(kind, params);
-        let run = run_classifier(&trace, section5_classifier());
-
-        // Left panel: class histogram over all runs.
-        let hist = run
-            .runs
-            .class_histogram(&RunLengthClass::ALL, RunLengthClass::from_length);
-        let total: u64 = hist.iter().sum();
-        let mut row = vec![kind.label().to_owned()];
-        for &count in &hist {
-            row.push(pct(count as f64 / total.max(1) as f64));
-        }
-        dist_table.row(row);
-
-        // Right panel: the RLE-2 length-class predictor.
-        let mut predictor = LengthClassPredictor::new(32, 4);
-        for &id in &run.ids {
-            predictor.observe(id);
-        }
-        let rate = predictor.misprediction_rate();
-        misp_sum += rate;
-        misp_table.row(vec![kind.label().to_owned(), pct(rate)]);
-    }
-    misp_table.row(vec!["avg".to_owned(), pct(misp_sum / 11.0)]);
-
-    vec![dist_table, misp_table]
+    let mut engine = Engine::new(*params);
+    let pending = register(&mut engine);
+    engine.run(cache);
+    pending()
 }
 
 #[cfg(test)]

@@ -8,65 +8,83 @@
 //! mean selected by the predicted phase) — and reports the relative mean
 //! absolute error of each.
 
-use tpcp_predict::{
-    EwmaMetric, LastValueMetric, MetricError, MetricPredictor, PhaseIndexedMetric,
-};
+use tpcp_predict::{EvaluatedMetric, EwmaMetric, LastValueMetric, PhaseIndexedMetric};
 
-use crate::classify::run_classifier;
+use crate::engine::{Engine, PendingTables};
 use crate::figures::benchmarks;
 use crate::figures::fig7::section5_classifier;
 use crate::report::{pct, Table};
 use crate::suite::{SuiteParams, TraceCache};
 
-/// Runs the comparison and renders the error table.
-pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
-    let mut table = Table::new(
-        "Related work: next-interval CPI prediction, relative MAE (%)",
-        vec![
-            "bench".to_owned(),
-            "last value".to_owned(),
-            "ewma(0.5)".to_owned(),
-            "phase-indexed".to_owned(),
-        ],
-    );
-    let mut sums = [0.0f64; 3];
-    for kind in benchmarks() {
-        let trace = cache.load_or_simulate(kind, params);
-        let run = run_classifier(&trace, section5_classifier());
+/// Registers the three metric-predictor probes per benchmark on the shared
+/// Section 5 classification; the returned closure renders the error table
+/// once the engine has run.
+pub fn register(engine: &mut Engine) -> PendingTables {
+    let cells: Vec<_> = benchmarks()
+        .iter()
+        .map(|&kind| {
+            let config = section5_classifier();
+            let lv = engine.probe(
+                kind,
+                config,
+                EvaluatedMetric::new(LastValueMetric::new()),
+                |m, _| m.error().relative_error(),
+            );
+            let ewma = engine.probe(
+                kind,
+                config,
+                EvaluatedMetric::new(EwmaMetric::new(0.5)),
+                |m, _| m.error().relative_error(),
+            );
+            let pi = engine.probe(
+                kind,
+                config,
+                EvaluatedMetric::new(PhaseIndexedMetric::new()),
+                |m, _| m.error().relative_error(),
+            );
+            [lv, ewma, pi]
+        })
+        .collect();
 
-        let mut lv = LastValueMetric::new();
-        let mut ewma = EwmaMetric::new(0.5);
-        let mut pi = PhaseIndexedMetric::new();
-        let mut errs = [MetricError::new(), MetricError::new(), MetricError::new()];
-        for (&phase, &cpi) in run.ids.iter().zip(&run.cpis) {
-            let preds = [lv.predict(), ewma.predict(), pi.predict()];
-            for (err, pred) in errs.iter_mut().zip(preds) {
-                if let Some(p) = pred {
-                    err.record(p, cpi);
-                }
+    Box::new(move || {
+        let mut table = Table::new(
+            "Related work: next-interval CPI prediction, relative MAE (%)",
+            vec![
+                "bench".to_owned(),
+                "last value".to_owned(),
+                "ewma(0.5)".to_owned(),
+                "phase-indexed".to_owned(),
+            ],
+        );
+        let mut sums = [0.0f64; 3];
+        for (kind, row_cells) in benchmarks().iter().zip(&cells) {
+            let rel: Vec<f64> = row_cells.iter().map(|c| c.take()).collect();
+            for (s, r) in sums.iter_mut().zip(&rel) {
+                *s += r;
             }
-            lv.observe(phase, cpi);
-            ewma.observe(phase, cpi);
-            pi.observe(phase, cpi);
-        }
-        let rel: Vec<f64> = errs.iter().map(MetricError::relative_error).collect();
-        for (s, r) in sums.iter_mut().zip(&rel) {
-            *s += r;
+            table.row(vec![
+                kind.label().to_owned(),
+                pct(rel[0]),
+                pct(rel[1]),
+                pct(rel[2]),
+            ]);
         }
         table.row(vec![
-            kind.label().to_owned(),
-            pct(rel[0]),
-            pct(rel[1]),
-            pct(rel[2]),
+            "avg".to_owned(),
+            pct(sums[0] / 11.0),
+            pct(sums[1] / 11.0),
+            pct(sums[2] / 11.0),
         ]);
-    }
-    table.row(vec![
-        "avg".to_owned(),
-        pct(sums[0] / 11.0),
-        pct(sums[1] / 11.0),
-        pct(sums[2] / 11.0),
-    ]);
-    vec![table]
+        vec![table]
+    })
+}
+
+/// Runs the comparison and renders the error table.
+pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
+    let mut engine = Engine::new(*params);
+    let pending = register(&mut engine);
+    engine.run(cache);
+    pending()
 }
 
 #[cfg(test)]

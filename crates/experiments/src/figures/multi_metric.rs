@@ -4,59 +4,73 @@
 //! substrate — per-phase CoV vs whole-program CoV for CPI and five
 //! microarchitectural event rates.
 
-use tpcp_core::{PhaseClassifier, PhaseId};
 use tpcp_metrics::VectorCovAccumulator;
-use tpcp_trace::{IntervalSource, MetricCounts};
+use tpcp_trace::MetricCounts;
 
+use crate::engine::{Engine, PendingTables};
 use crate::figures::benchmarks;
 use crate::figures::fig7::section5_classifier;
 use crate::report::{pct, Table};
 use crate::suite::{SuiteParams, TraceCache};
 
+/// Registers one metric-vector accumulator probe per benchmark on the
+/// shared Section 5 classification; the returned closure renders the two
+/// tables once the engine has run.
+pub fn register(engine: &mut Engine) -> PendingTables {
+    let cells: Vec<_> = benchmarks()
+        .iter()
+        .map(|&kind| {
+            engine.probe(
+                kind,
+                section5_classifier(),
+                VectorCovAccumulator::cpi_mpki(),
+                |acc, _| acc.finish(),
+            )
+        })
+        .collect();
+
+    Box::new(move || {
+        let mut labels = vec!["cpi".to_owned()];
+        labels.extend(MetricCounts::LABELS.iter().map(|l| format!("{l} mpki")));
+
+        let mut header = vec!["bench".to_owned()];
+        header.extend(labels.iter().cloned());
+        let mut phase_table = Table::new(
+            "Multi-metric: per-phase weighted CoV (%) under the hpca2005 classifier",
+            header.clone(),
+        );
+        let mut whole_table = Table::new("Multi-metric: whole-program CoV (%)", header);
+
+        for (kind, cell) in benchmarks().iter().zip(&cells) {
+            let s = cell.take();
+            let mut phase_row = vec![kind.label().to_owned()];
+            let mut whole_row = vec![kind.label().to_owned()];
+            for m in 0..labels.len() {
+                // CoV of a low rate is counting noise (a handful of stray
+                // misses yields hundreds of percent); mask metrics this
+                // benchmark exercises below ~2 events per kilo-instruction.
+                if m > 0 && s.whole_program_mean(m) < 2.0 {
+                    phase_row.push("-".to_owned());
+                    whole_row.push("-".to_owned());
+                } else {
+                    phase_row.push(pct(s.weighted_cov(m)));
+                    whole_row.push(pct(s.whole_program_cov(m)));
+                }
+            }
+            phase_table.row(phase_row);
+            whole_table.row(whole_row);
+        }
+        vec![phase_table, whole_table]
+    })
+}
+
 /// Runs the experiment: one table of weighted per-phase CoV per metric and
 /// one of whole-program CoV per metric.
 pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
-    let mut labels = vec!["cpi".to_owned()];
-    labels.extend(MetricCounts::LABELS.iter().map(|l| format!("{l} mpki")));
-
-    let mut header = vec!["bench".to_owned()];
-    header.extend(labels.iter().cloned());
-    let mut phase_table = Table::new(
-        "Multi-metric: per-phase weighted CoV (%) under the hpca2005 classifier",
-        header.clone(),
-    );
-    let mut whole_table = Table::new("Multi-metric: whole-program CoV (%)", header);
-
-    for kind in benchmarks() {
-        let trace = cache.load_or_simulate(kind, params);
-        let mut classifier = PhaseClassifier::new(section5_classifier());
-        let mut acc = VectorCovAccumulator::new(labels.clone());
-        let mut replay = trace.replay();
-        while let Some(summary) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
-            let phase: PhaseId = classifier.end_interval(summary.cpi());
-            let mut values = vec![summary.cpi()];
-            values.extend(summary.mpki());
-            acc.observe(phase, &values);
-        }
-        let s = acc.finish();
-        let mut phase_row = vec![kind.label().to_owned()];
-        let mut whole_row = vec![kind.label().to_owned()];
-        for m in 0..labels.len() {
-            // CoV of a low rate is counting noise (a handful of stray
-            // misses yields hundreds of percent); mask metrics this
-            // benchmark exercises below ~2 events per kilo-instruction.
-            if m > 0 && s.whole_program_mean(m) < 2.0 {
-                phase_row.push("-".to_owned());
-                whole_row.push("-".to_owned());
-            } else {
-                phase_row.push(pct(s.weighted_cov(m)));
-                whole_row.push(pct(s.whole_program_cov(m)));
-            }
-        }
-        phase_table.row(phase_row);
-        whole_table.row(whole_row);
-    }
-    vec![phase_table, whole_table]
+    let mut engine = Engine::new(*params);
+    let pending = register(&mut engine);
+    engine.run(cache);
+    pending()
 }
 
 #[cfg(test)]

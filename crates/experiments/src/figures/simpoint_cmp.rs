@@ -4,95 +4,136 @@
 //! The paper claims the online classifier's CPI CoV and phase counts are
 //! "comparable to the results of the offline phase classification
 //! algorithm used in SimPoint". This experiment classifies each benchmark
-//! both ways and tabulates CoV and phase counts side by side.
+//! both ways and tabulates CoV and phase counts side by side. Both
+//! classifications ride the same single replay: the online classifier as
+//! an engine lane, the BBV collection (SimPoint's input) as a raw sink,
+//! with the offline clustering running in the sink's reduction so it stays
+//! parallel across benchmarks.
 
 use tpcp_core::PhaseId;
 use tpcp_metrics::CovAccumulator;
 use tpcp_simpoint::{SimPointClassifier, SimPointConfig};
-use tpcp_trace::BbvTrace;
 
-use crate::classify::run_classifier;
+use crate::engine::{BbvSink, Engine, PendingTables};
 use crate::figures::benchmarks;
 use crate::figures::fig7::section5_classifier;
 use crate::report::{pct, Table};
 use crate::suite::{SuiteParams, TraceCache};
 
+/// Registers the SimPoint estimation experiment (see [`estimate`]); the
+/// returned closure renders its table once the engine has run.
+pub fn register_estimate(engine: &mut Engine) -> PendingTables {
+    use tpcp_simpoint::{RandomProjection, SimPoints};
+    let cells: Vec<_> = benchmarks()
+        .iter()
+        .map(|&kind| {
+            engine.interval_sink(kind, BbvSink::new(), |sink| {
+                let bbvs = sink.into_trace();
+                let cfg = SimPointConfig::default();
+                let result = SimPointClassifier::new(cfg).classify(&bbvs);
+                let projection = RandomProjection::new(cfg.projected_dims, cfg.seed);
+                let points = SimPoints::select(&bbvs, &result, &projection);
+                let truth = SimPoints::true_cpi(&bbvs);
+                let estimated = points.estimate_cpi(&bbvs);
+                (points.points.len(), truth, estimated)
+            })
+        })
+        .collect();
+
+    Box::new(move || {
+        let mut table = Table::new(
+            "SimPoint estimation: whole-program CPI from weighted points",
+            vec![
+                "bench".to_owned(),
+                "points".to_owned(),
+                "true CPI".to_owned(),
+                "estimated".to_owned(),
+                "error %".to_owned(),
+            ],
+        );
+        for (kind, cell) in benchmarks().iter().zip(&cells) {
+            let (points, truth, estimated) = cell.take();
+            let error = if truth == 0.0 {
+                0.0
+            } else {
+                (estimated - truth).abs() / truth
+            };
+            table.row(vec![
+                kind.label().to_owned(),
+                points.to_string(),
+                format!("{truth:.3}"),
+                format!("{estimated:.3}"),
+                pct(error),
+            ]);
+        }
+        vec![table]
+    })
+}
+
 /// The SimPoint use case end-to-end: pick weighted simulation points per
 /// benchmark and compare the CPI estimated from the points alone against
 /// the true whole-program CPI.
 pub fn estimate(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
-    use tpcp_simpoint::{RandomProjection, SimPointConfig, SimPoints};
-    let mut table = Table::new(
-        "SimPoint estimation: whole-program CPI from weighted points",
-        vec![
-            "bench".to_owned(),
-            "points".to_owned(),
-            "true CPI".to_owned(),
-            "estimated".to_owned(),
-            "error %".to_owned(),
-        ],
-    );
-    for kind in benchmarks() {
-        let trace = cache.load_or_simulate(kind, params);
-        let bbvs = BbvTrace::collect(trace.replay());
-        let cfg = SimPointConfig::default();
-        let result = tpcp_simpoint::SimPointClassifier::new(cfg).classify(&bbvs);
-        let projection = RandomProjection::new(cfg.projected_dims, cfg.seed);
-        let points = SimPoints::select(&bbvs, &result, &projection);
-        let truth = SimPoints::true_cpi(&bbvs);
-        let estimated = points.estimate_cpi(&bbvs);
-        let error = if truth == 0.0 {
-            0.0
-        } else {
-            (estimated - truth).abs() / truth
-        };
-        table.row(vec![
-            kind.label().to_owned(),
-            points.points.len().to_string(),
-            format!("{truth:.3}"),
-            format!("{estimated:.3}"),
-            pct(error),
-        ]);
-    }
-    vec![table]
+    let mut engine = Engine::new(*params);
+    let pending = register_estimate(&mut engine);
+    engine.run(cache);
+    pending()
+}
+
+/// Registers the online-vs-offline comparison; the returned closure
+/// renders its table once the engine has run.
+pub fn register(engine: &mut Engine) -> PendingTables {
+    let cells: Vec<_> = benchmarks()
+        .iter()
+        .map(|&kind| {
+            let online = engine.classified(kind, section5_classifier());
+            let offline = engine.interval_sink(kind, BbvSink::new(), |sink| {
+                let bbvs = sink.into_trace();
+                let offline = SimPointClassifier::new(SimPointConfig::default()).classify(&bbvs);
+                let mut cov = CovAccumulator::new();
+                for (cluster, summary) in offline.assignments.iter().zip(&bbvs.summaries) {
+                    // Offline clusters have no transition phase; use IDs >= 1 so
+                    // none is excluded from the weighted CoV.
+                    cov.observe(PhaseId::new(*cluster as u32 + 1), summary.cpi());
+                }
+                (cov.finish(), offline.k)
+            });
+            (online, offline)
+        })
+        .collect();
+
+    Box::new(move || {
+        let mut table = Table::new(
+            "Section 4.4: online classifier vs offline SimPoint",
+            vec![
+                "bench".to_owned(),
+                "online CoV%".to_owned(),
+                "online #ph".to_owned(),
+                "simpoint CoV%".to_owned(),
+                "simpoint k".to_owned(),
+            ],
+        );
+        for (kind, (online_cell, offline_cell)) in benchmarks().iter().zip(&cells) {
+            let online = online_cell.take();
+            let (offline_cov, k) = offline_cell.take();
+            table.row(vec![
+                kind.label().to_owned(),
+                pct(online.cov.weighted_cov()),
+                online.phases_created.to_string(),
+                pct(offline_cov.weighted_cov()),
+                k.to_string(),
+            ]);
+        }
+        vec![table]
+    })
 }
 
 /// Runs both classifiers over every benchmark and renders the comparison.
 pub fn run(cache: &TraceCache, params: &SuiteParams) -> Vec<Table> {
-    let mut table = Table::new(
-        "Section 4.4: online classifier vs offline SimPoint",
-        vec![
-            "bench".to_owned(),
-            "online CoV%".to_owned(),
-            "online #ph".to_owned(),
-            "simpoint CoV%".to_owned(),
-            "simpoint k".to_owned(),
-        ],
-    );
-    for kind in benchmarks() {
-        let trace = cache.load_or_simulate(kind, params);
-
-        let online = run_classifier(&trace, section5_classifier());
-
-        let bbvs = BbvTrace::collect(trace.replay());
-        let offline = SimPointClassifier::new(SimPointConfig::default()).classify(&bbvs);
-        let mut cov = CovAccumulator::new();
-        for (cluster, summary) in offline.assignments.iter().zip(&bbvs.summaries) {
-            // Offline clusters have no transition phase; use IDs >= 1 so
-            // none is excluded from the weighted CoV.
-            cov.observe(PhaseId::new(*cluster as u32 + 1), summary.cpi());
-        }
-        let offline_cov = cov.finish();
-
-        table.row(vec![
-            kind.label().to_owned(),
-            pct(online.cov.weighted_cov()),
-            online.phases_created.to_string(),
-            pct(offline_cov.weighted_cov()),
-            offline.k.to_string(),
-        ]);
-    }
-    vec![table]
+    let mut engine = Engine::new(*params);
+    let pending = register(&mut engine);
+    engine.run(cache);
+    pending()
 }
 
 #[cfg(test)]

@@ -15,10 +15,12 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod engine;
 pub mod figures;
 pub mod report;
 pub mod suite;
 
 pub use classify::{run_classifier, ClassifiedRun};
+pub use engine::{BbvSink, Engine, EngineStats, Pending, PendingTables};
 pub use report::Table;
 pub use suite::{SuiteParams, TraceCache};

@@ -104,10 +104,7 @@ impl Table {
                 .iter()
                 .map(|r| r[col].parse::<f64>().ok())
                 .collect();
-            let max = values
-                .iter()
-                .flatten()
-                .fold(0.0f64, |a, &b| a.max(b.abs()));
+            let max = values.iter().flatten().fold(0.0f64, |a, &b| a.max(b.abs()));
             if max <= 0.0 {
                 continue;
             }
@@ -116,11 +113,7 @@ impl Table {
                 match value {
                     Some(v) => {
                         let n = ((v.abs() / max) * WIDTH).round() as usize;
-                        out.push_str(&format!(
-                            "{:>label_width$} {} {v}\n",
-                            row[0],
-                            "#".repeat(n)
-                        ));
+                        out.push_str(&format!("{:>label_width$} {} {v}\n", row[0], "#".repeat(n)));
                     }
                     None => out.push_str(&format!("{:>label_width$} -\n", row[0])),
                 }
@@ -196,7 +189,10 @@ mod tests {
         t.row(vec!["c".into(), "-".into()]);
         let bars = t.render_bars();
         assert!(bars.contains(&"#".repeat(40)), "max value gets full width");
-        assert!(bars.contains(&format!("{} 5", "#".repeat(20))), "half scale");
+        assert!(
+            bars.contains(&format!("{} 5", "#".repeat(20))),
+            "half scale"
+        );
         assert!(bars.contains("c -"), "non-numeric cells are dashes");
     }
 
@@ -211,6 +207,6 @@ mod tests {
     #[test]
     fn helpers_format() {
         assert_eq!(pct(0.1234), "12.3");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(4.56789), "4.57");
     }
 }

@@ -2,23 +2,16 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use tpcp_trace::{decode_trace, encode_trace, RecordedTrace};
 use tpcp_workloads::{BenchmarkKind, WorkloadParams};
 
 /// Parameters of one suite simulation (everything that affects the traces).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SuiteParams {
     /// The workload parameters shared by all benchmarks.
     pub workload: WorkloadParams,
-}
-
-impl Default for SuiteParams {
-    fn default() -> Self {
-        Self {
-            workload: WorkloadParams::default(),
-        }
-    }
 }
 
 impl SuiteParams {
@@ -100,8 +93,21 @@ impl TraceCache {
         let trace = simulate_one(kind, params);
         if fs::create_dir_all(&self.dir).is_ok() {
             // Cache writes are best-effort; a read-only target dir only
-            // costs re-simulation.
-            let _ = fs::write(&path, encode_trace(&trace));
+            // costs re-simulation. Write-to-temp + rename keeps the final
+            // path atomic, so a concurrent reader never observes a
+            // half-written entry and concurrent writers (which produce
+            // identical bytes — simulation is deterministic) race benignly.
+            let tmp = self.dir.join(format!(
+                ".{}.{}.{}.tmp",
+                path.file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default(),
+                std::process::id(),
+                next_temp_id(),
+            ));
+            if fs::write(&tmp, encode_trace(&trace)).is_ok() && fs::rename(&tmp, &path).is_err() {
+                let _ = fs::remove_file(&tmp);
+            }
         }
         trace
     }
@@ -125,6 +131,13 @@ impl TraceCache {
             .map(|r| r.expect("every slot was filled"))
             .collect()
     }
+}
+
+/// A process-unique suffix for cache temp files so concurrent misses in
+/// the same process never share a temp path.
+fn next_temp_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Simulates one benchmark to completion.
@@ -169,6 +182,37 @@ mod tests {
         let first = cache.load_or_simulate(BenchmarkKind::GzipGraphic, &params);
         let second = cache.load_or_simulate(BenchmarkKind::GzipGraphic, &params);
         assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_misses_agree_and_leave_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("tpcp-cache-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TraceCache::new(&dir);
+        let params = tiny_params();
+        let mut traces: Vec<Option<RecordedTrace>> = (0..4).map(|_| None).collect();
+        crossbeam::scope(|scope| {
+            for slot in traces.iter_mut() {
+                let cache = &cache;
+                let params = &params;
+                scope.spawn(move |_| {
+                    *slot = Some(cache.load_or_simulate(BenchmarkKind::Mcf, params));
+                });
+            }
+        })
+        .expect("cache race threads do not panic");
+        let first = traces[0].as_ref().unwrap();
+        assert!(traces.iter().all(|t| t.as_ref().unwrap() == first));
+        // Every temp file was either renamed into place or cleaned up.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        // The cached entry decodes cleanly after the race.
+        assert_eq!(&cache.load_or_simulate(BenchmarkKind::Mcf, &params), first);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,109 @@
+//! Regression tests for the experiment engine: the single-replay sweep
+//! must produce exactly the results of the old serial per-config path,
+//! replay every trace at most once, and be deterministic regardless of
+//! worker scheduling.
+
+use tpcp_core::ClassifierConfig;
+use tpcp_experiments::figures;
+use tpcp_experiments::suite::test_cache;
+use tpcp_experiments::{run_classifier, Engine, SuiteParams, Table};
+use tpcp_workloads::BenchmarkKind;
+
+fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Two benchmarks, two configs: the engine's classification lanes must
+/// match the serial `run_classifier` reference path exactly, including a
+/// table rendered from each.
+#[test]
+fn engine_matches_serial_reference() {
+    let cache = test_cache();
+    let params = SuiteParams::quick();
+    let benches = [BenchmarkKind::GzipGraphic, BenchmarkKind::Mcf];
+    let configs = [
+        ClassifierConfig::hpca2005(),
+        ClassifierConfig::builder().best_match(false).build(),
+    ];
+
+    let mut engine = Engine::new(params);
+    let cells: Vec<Vec<_>> = benches
+        .iter()
+        .map(|&kind| {
+            configs
+                .iter()
+                .map(|&config| engine.classified(kind, config))
+                .collect()
+        })
+        .collect();
+    let stats = engine.run(&cache);
+    assert_eq!(stats.traces_replayed(), benches.len());
+    assert_eq!(stats.max_replays_per_trace(), 1);
+
+    let mut engine_table = Table::new(
+        "engine",
+        vec!["bench".into(), "cov a".into(), "cov b".into()],
+    );
+    let mut serial_table = Table::new(
+        "engine",
+        vec!["bench".into(), "cov a".into(), "cov b".into()],
+    );
+    for (&kind, row_cells) in benches.iter().zip(&cells) {
+        let trace = cache.load_or_simulate(kind, &params);
+        let mut engine_row = vec![kind.label().to_owned()];
+        let mut serial_row = vec![kind.label().to_owned()];
+        for (&config, cell) in configs.iter().zip(row_cells) {
+            let from_engine = cell.take();
+            let from_serial = run_classifier(&trace, config);
+            assert_eq!(from_engine, from_serial, "{} {config:?}", kind.label());
+            engine_row.push(pct(from_engine.cov.weighted_cov()));
+            serial_row.push(pct(from_serial.cov.weighted_cov()));
+        }
+        engine_table.row(engine_row);
+        serial_table.row(serial_row);
+    }
+    assert_eq!(engine_table.render(), serial_table.render());
+}
+
+/// Several figures sharing one engine: every benchmark trace is replayed
+/// exactly once for the whole batch, and each figure's tables are
+/// identical to the ones it produces on a private engine.
+#[test]
+fn shared_engine_replays_each_trace_once() {
+    let cache = test_cache();
+    let params = SuiteParams::quick();
+
+    let mut engine = Engine::new(params);
+    let fig2 = figures::fig2::register(&mut engine);
+    let fig9 = figures::fig9::register(&mut engine);
+    let metric = figures::metric_pred::register(&mut engine);
+    let stats = engine.run(&cache);
+
+    assert_eq!(stats.traces_replayed(), 11);
+    assert_eq!(stats.max_replays_per_trace(), 1);
+    assert!(stats.replay_counts().values().all(|&n| n == 1));
+
+    let render = |tables: Vec<Table>| -> Vec<String> { tables.iter().map(Table::render).collect() };
+    let batch = [render(fig2()), render(fig9()), render(metric())];
+    let alone = [
+        render(figures::fig2::run(&cache, &params)),
+        render(figures::fig9::run(&cache, &params)),
+        render(figures::metric_pred::run(&cache, &params)),
+    ];
+    assert_eq!(batch, alone);
+}
+
+/// Two identical engine runs produce identical output: results are keyed
+/// by registration, not by worker scheduling.
+#[test]
+fn engine_output_is_deterministic() {
+    let cache = test_cache();
+    let params = SuiteParams::quick();
+    let run_once = || {
+        let mut engine = Engine::new(params);
+        let pending = figures::fig4::register(&mut engine);
+        engine.run(&cache);
+        pending().iter().map(Table::render).collect::<Vec<String>>()
+    };
+    assert_eq!(run_once(), run_once());
+}

@@ -68,7 +68,11 @@ where
     P: Eq,
     T: Eq,
 {
-    assert_eq!(a.len(), b.len(), "classifications must cover the same intervals");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "classifications must cover the same intervals"
+    );
     let n = a.len();
     if n < 2 {
         return 1.0;

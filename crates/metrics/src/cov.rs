@@ -94,7 +94,10 @@ impl CovSummary {
 
     /// Number of *stable* phases observed (transition excluded).
     pub fn stable_phase_count(&self) -> usize {
-        self.phases.iter().filter(|p| !p.phase.is_transition()).count()
+        self.phases
+            .iter()
+            .filter(|p| !p.phase.is_transition())
+            .count()
     }
 
     /// The overall metric of Section 3.1: each stable phase's CoV weighted
@@ -131,9 +134,7 @@ impl CovSummary {
         if total == 0 {
             return 0.0;
         }
-        let transition = self
-            .phase(PhaseId::TRANSITION)
-            .map_or(0, |p| p.intervals);
+        let transition = self.phase(PhaseId::TRANSITION).map_or(0, |p| p.intervals);
         transition as f64 / total as f64
     }
 }
@@ -164,7 +165,10 @@ mod tests {
         }
         let s = acc.finish();
         assert!(s.weighted_cov() < 1e-12);
-        assert!(s.whole_program_cov() > 0.5, "mixing phases is heterogeneous");
+        assert!(
+            s.whole_program_cov() > 0.5,
+            "mixing phases is heterogeneous"
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@
 mod agreement;
 mod cov;
 mod multi;
+mod observer;
 mod runs;
 mod stats;
 

@@ -56,6 +56,21 @@ impl VectorCovAccumulator {
         }
     }
 
+    /// Creates an accumulator for the standard interval metric vector:
+    /// CPI followed by each microarchitectural event rate in
+    /// [`MetricCounts::LABELS`](tpcp_core::MetricCounts::LABELS) order.
+    /// This is the layout fed by the accumulator's
+    /// [`PhaseObserver`](tpcp_core::PhaseObserver) implementation.
+    pub fn cpi_mpki() -> Self {
+        let mut labels = vec!["cpi".to_owned()];
+        labels.extend(
+            tpcp_core::MetricCounts::LABELS
+                .iter()
+                .map(|l| format!("{l} mpki")),
+        );
+        Self::new(labels)
+    }
+
     /// Records one interval.
     ///
     /// # Panics

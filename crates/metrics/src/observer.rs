@@ -1,0 +1,60 @@
+//! [`PhaseObserver`] implementations for the metric accumulators.
+//!
+//! Lets the accumulators ride a classified-interval stream produced once by
+//! an experiment engine: the CoV accumulator reads each interval's CPI, the
+//! run accumulator only the phase ID, and the vector accumulator the full
+//! `[cpi, mpki...]` metric vector (see
+//! [`VectorCovAccumulator::cpi_mpki`](crate::VectorCovAccumulator::cpi_mpki)).
+
+use tpcp_core::{IntervalSummary, MetricCounts, PhaseId, PhaseObserver};
+
+use crate::cov::CovAccumulator;
+use crate::multi::VectorCovAccumulator;
+use crate::runs::RunAccumulator;
+
+impl PhaseObserver for CovAccumulator {
+    fn observe_phase(&mut self, id: PhaseId, summary: &IntervalSummary) {
+        self.observe(id, summary.cpi());
+    }
+}
+
+impl PhaseObserver for RunAccumulator {
+    fn observe_phase(&mut self, id: PhaseId, _summary: &IntervalSummary) {
+        self.observe(id);
+    }
+}
+
+/// Feeds the interval's `[cpi, mpki...]` vector; the accumulator must have
+/// been built with [`VectorCovAccumulator::cpi_mpki`] (or equivalent
+/// `1 + MetricCounts::COUNT` labels).
+impl PhaseObserver for VectorCovAccumulator {
+    fn observe_phase(&mut self, id: PhaseId, summary: &IntervalSummary) {
+        let mut values = [0.0; 1 + MetricCounts::COUNT];
+        values[0] = summary.cpi();
+        values[1..].copy_from_slice(&summary.mpki());
+        self.observe(id, &values);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observers_match_direct_calls() {
+        let summary = IntervalSummary::new(0, 1_000, 1_500);
+        let id = PhaseId::new(1);
+
+        let mut direct = CovAccumulator::new();
+        let mut driven = CovAccumulator::new();
+        direct.observe(id, summary.cpi());
+        driven.observe_phase(id, &summary);
+        assert_eq!(direct.finish(), driven.finish());
+
+        let mut vec_acc = VectorCovAccumulator::cpi_mpki();
+        vec_acc.observe_phase(id, &summary);
+        let s = vec_acc.finish();
+        assert_eq!(s.labels().len(), 1 + MetricCounts::COUNT);
+        assert!((s.whole_program_mean(0) - 1.5).abs() < 1e-12);
+    }
+}

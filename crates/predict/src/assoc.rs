@@ -54,7 +54,7 @@ impl<V> AssocTable<V> {
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(ways > 0, "ways must be positive");
         assert!(
-            entries % ways == 0 && entries > 0,
+            entries.is_multiple_of(ways) && entries > 0,
             "entries must be a positive multiple of ways"
         );
         let sets = entries / ways;
@@ -136,7 +136,11 @@ impl<V> AssocTable<V> {
         } else {
             None
         };
-        set.push(Slot { key, value, stamp: clock });
+        set.push(Slot {
+            key,
+            value,
+            stamp: clock,
+        });
         evicted
     }
 

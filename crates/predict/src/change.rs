@@ -432,7 +432,13 @@ mod tests {
     }
 
     fn markov2() -> PhaseChangePredictor {
-        PhaseChangePredictor::new(HistoryKind::Markov(2), ChangePolicy::MostRecent, true, 32, 4)
+        PhaseChangePredictor::new(
+            HistoryKind::Markov(2),
+            ChangePolicy::MostRecent,
+            true,
+            32,
+            4,
+        )
     }
 
     #[test]
@@ -517,18 +523,16 @@ mod tests {
         }
         let b = e.breakdown();
         assert!(b.total() > 1000);
-        assert!(b.conf_incorrect < b.total() / 4, "confidence limits damage: {b:?}");
+        assert!(
+            b.conf_incorrect < b.total() / 4,
+            "confidence limits damage: {b:?}"
+        );
     }
 
     #[test]
     fn last4_policy_accepts_recent_outcomes() {
-        let mut p = PhaseChangePredictor::new(
-            HistoryKind::Markov(1),
-            ChangePolicy::LastK(4),
-            false,
-            32,
-            4,
-        );
+        let mut p =
+            PhaseChangePredictor::new(HistoryKind::Markov(1), ChangePolicy::LastK(4), false, 32, 4);
         // From phase 1 we alternately go to 2 and 3.
         for _ in 0..6 {
             p.observe(id(1));
@@ -543,13 +547,8 @@ mod tests {
 
     #[test]
     fn top1_policy_predicts_mode() {
-        let mut p = PhaseChangePredictor::new(
-            HistoryKind::Markov(1),
-            ChangePolicy::TopK(1),
-            false,
-            32,
-            4,
-        );
+        let mut p =
+            PhaseChangePredictor::new(HistoryKind::Markov(1), ChangePolicy::TopK(1), false, 32, 4);
         // From phase 1: go to 2 three times for every one go to 3.
         for _ in 0..5 {
             p.observe(id(1));
@@ -578,7 +577,10 @@ mod tests {
         let (correct, total) = p.counts();
         // First lap's transitions are cold; everything after repeats.
         assert!(total >= 29);
-        assert!(correct >= total - 3, "only cold-start misses: {correct}/{total}");
+        assert!(
+            correct >= total - 3,
+            "only cold-start misses: {correct}/{total}"
+        );
     }
 
     #[test]

@@ -135,7 +135,7 @@ impl PhaseHistory {
     /// the current history state.
     pub fn key(&self, kind: HistoryKind) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x1_0000_0001_b3;
+        const FNV_PRIME: u64 = 0x0100_0000_01b3;
         let mut h = FNV_OFFSET;
         let mut absorb = |v: u64| {
             h ^= v;

@@ -179,7 +179,7 @@ impl LengthClassPredictor {
     /// preserving the run-length information in the index.
     fn quantized_key(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x1_0000_0001_b3;
+        const FNV_PRIME: u64 = 0x0100_0000_01b3;
         let mut h = FNV_OFFSET;
         for (phase, len) in self.history.last_rle(2) {
             h ^= u64::from(phase.value()) + 1;
@@ -286,7 +286,10 @@ mod tests {
         assert_eq!(RunLengthClass::from_length(128), RunLengthClass::Long);
         assert_eq!(RunLengthClass::from_length(1023), RunLengthClass::Long);
         assert_eq!(RunLengthClass::from_length(1024), RunLengthClass::VeryLong);
-        assert_eq!(RunLengthClass::from_length(u64::MAX), RunLengthClass::VeryLong);
+        assert_eq!(
+            RunLengthClass::from_length(u64::MAX),
+            RunLengthClass::VeryLong
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod last_value;
 mod length;
 mod metric;
 mod next_phase;
+mod observer;
 mod outcome_set;
 mod outlook;
 
@@ -60,12 +61,11 @@ pub use confidence::ConfidenceCounter;
 pub use history::{HistoryKind, PhaseHistory};
 pub use last_value::LastValuePredictor;
 pub use length::{LengthClassPredictor, LengthJudgment, RunLengthClass};
-pub use metric::{
-    EwmaMetric, LastValueMetric, MetricError, MetricPredictor, PhaseIndexedMetric,
-};
+pub use metric::{EwmaMetric, LastValueMetric, MetricError, MetricPredictor, PhaseIndexedMetric};
 pub use next_phase::{
     NextPhaseBreakdown, NextPhasePredictor, PredictionSource, PredictorKind, ResolvedPrediction,
 };
+pub use observer::EvaluatedMetric;
 pub use outlook::{Outlook, OutlookPredictor};
 
 pub use tpcp_core::PhaseId;

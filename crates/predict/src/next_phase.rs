@@ -244,7 +244,13 @@ impl NextPhasePredictor {
     pub fn new(kind: PredictorKind) -> Self {
         Self {
             change: kind.history.map(|h| {
-                PhaseChangePredictor::new(h, kind.policy, kind.table_confidence, kind.entries, kind.ways)
+                PhaseChangePredictor::new(
+                    h,
+                    kind.policy,
+                    kind.table_confidence,
+                    kind.entries,
+                    kind.ways,
+                )
             }),
             table_confidence: kind.table_confidence,
             last_value: match (kind.lv_confidence, kind.lv_counter) {

@@ -1,0 +1,118 @@
+//! [`PhaseObserver`] implementations for the predictor stacks.
+//!
+//! These adapters let every predictor ride a classified-interval stream
+//! produced once by an experiment engine, instead of each experiment
+//! replaying the phase-ID sequence into each predictor by hand. Each impl
+//! forwards to the predictor's `observe` and discards the per-interval
+//! resolution — the accumulated breakdowns/judgments carried by the
+//! predictors themselves are what the experiments read out at the end.
+
+use tpcp_core::{IntervalSummary, PhaseId, PhaseObserver};
+
+use crate::change::{ChangeEvaluator, PerfectMarkov};
+use crate::length::LengthClassPredictor;
+use crate::metric::{MetricError, MetricPredictor};
+use crate::next_phase::NextPhasePredictor;
+use crate::outlook::OutlookPredictor;
+
+impl PhaseObserver for NextPhasePredictor {
+    fn observe_phase(&mut self, id: PhaseId, _summary: &IntervalSummary) {
+        self.observe(id);
+    }
+}
+
+impl PhaseObserver for ChangeEvaluator {
+    fn observe_phase(&mut self, id: PhaseId, _summary: &IntervalSummary) {
+        self.observe(id);
+    }
+}
+
+impl PhaseObserver for PerfectMarkov {
+    fn observe_phase(&mut self, id: PhaseId, _summary: &IntervalSummary) {
+        self.observe(id);
+    }
+}
+
+impl PhaseObserver for LengthClassPredictor {
+    fn observe_phase(&mut self, id: PhaseId, _summary: &IntervalSummary) {
+        self.observe(id);
+    }
+}
+
+impl PhaseObserver for OutlookPredictor {
+    fn observe_phase(&mut self, id: PhaseId, _summary: &IntervalSummary) {
+        self.observe(id);
+    }
+}
+
+/// Scores a [`MetricPredictor`] over a classified stream: each interval,
+/// the pending prediction (if warmed up) is resolved against the interval's
+/// CPI before the predictor observes it.
+#[derive(Debug, Clone, Default)]
+pub struct EvaluatedMetric<P> {
+    predictor: P,
+    error: MetricError,
+}
+
+impl<P: MetricPredictor> EvaluatedMetric<P> {
+    /// Wraps a metric predictor with an error tracker.
+    pub fn new(predictor: P) -> Self {
+        Self {
+            predictor,
+            error: MetricError::new(),
+        }
+    }
+
+    /// The error accumulated so far.
+    pub fn error(&self) -> &MetricError {
+        &self.error
+    }
+
+    /// The wrapped predictor.
+    pub fn predictor(&self) -> &P {
+        &self.predictor
+    }
+}
+
+impl<P: MetricPredictor> PhaseObserver for EvaluatedMetric<P> {
+    fn observe_phase(&mut self, id: PhaseId, summary: &IntervalSummary) {
+        let cpi = summary.cpi();
+        if let Some(predicted) = self.predictor.predict() {
+            self.error.record(predicted, cpi);
+        }
+        self.predictor.observe(id, cpi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::LastValueMetric;
+    use crate::next_phase::PredictorKind;
+
+    fn summary(cycles: u64) -> IntervalSummary {
+        IntervalSummary::new(0, 100, cycles)
+    }
+
+    #[test]
+    fn observer_matches_direct_observe() {
+        let stream: Vec<u32> = vec![1, 1, 2, 2, 2, 1, 1, 3, 3, 1];
+        let mut direct = NextPhasePredictor::new(PredictorKind::markov(2));
+        let mut driven = NextPhasePredictor::new(PredictorKind::markov(2));
+        for &p in &stream {
+            direct.observe(PhaseId::new(p));
+            driven.observe_phase(PhaseId::new(p), &summary(150));
+        }
+        assert_eq!(direct.breakdown(), driven.breakdown());
+    }
+
+    #[test]
+    fn evaluated_metric_scores_predictions() {
+        let mut m = EvaluatedMetric::new(LastValueMetric::new());
+        // CPI 1.5 then 2.5: one resolved prediction, absolute error 1.0.
+        m.observe_phase(PhaseId::new(1), &summary(150));
+        m.observe_phase(PhaseId::new(1), &summary(250));
+        assert_eq!(m.error().count(), 1);
+        assert!((m.error().mae() - 1.0).abs() < 1e-12);
+    }
+}

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use tpcp_core::PhaseId;
-use tpcp_predict::{
-    AssocTable, ConfidenceCounter, HistoryKind, PhaseHistory,
-};
+use tpcp_predict::{AssocTable, ConfidenceCounter, HistoryKind, PhaseHistory};
 
 proptest! {
     /// The associative table behaves like a (lossy) map: a `get` after

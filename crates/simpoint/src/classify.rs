@@ -90,7 +90,12 @@ impl SimPointClassifier {
         let max_k = cfg.max_k.min(points.len());
         let runs: Vec<_> = (1..=max_k)
             .map(|k| {
-                let r = kmeans(&points, k, cfg.max_iters, cfg.seed ^ (k as u64).wrapping_mul(0x9E37));
+                let r = kmeans(
+                    &points,
+                    k,
+                    cfg.max_iters,
+                    cfg.seed ^ (k as u64).wrapping_mul(0x9E37),
+                );
                 let score = bic_score(&points, &r);
                 (k, r, score)
             })
@@ -141,7 +146,8 @@ mod tests {
 
     #[test]
     fn recovers_scripted_phases() {
-        let result = SimPointClassifier::new(SimPointConfig::default()).classify(&three_phase_trace());
+        let result =
+            SimPointClassifier::new(SimPointConfig::default()).classify(&three_phase_trace());
         // Reappearing phase 0 gets the same cluster.
         assert_eq!(result.assignments[0], result.assignments[50]);
         // The three scripted phases are distinguished.

@@ -41,7 +41,11 @@ impl SimPoints {
     /// # Panics
     ///
     /// Panics if `result.assignments` does not match the trace length.
-    pub fn select(trace: &BbvTrace, result: &SimPointResult, projection: &RandomProjection) -> Self {
+    pub fn select(
+        trace: &BbvTrace,
+        result: &SimPointResult,
+        projection: &RandomProjection,
+    ) -> Self {
         assert_eq!(
             trace.len(),
             result.assignments.len(),
@@ -155,7 +159,10 @@ mod tests {
         let estimate = points.estimate_cpi(&trace);
         let truth = SimPoints::true_cpi(&trace);
         let err = (estimate - truth).abs() / truth;
-        assert!(err < 0.05, "estimate {estimate} vs true {truth} ({err:.1}% error)");
+        assert!(
+            err < 0.05,
+            "estimate {estimate} vs true {truth} ({err:.1}% error)"
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod event;
 mod interval;
 mod metrics;
 mod recorded;
+mod sink;
 mod stats;
 mod synthetic;
 
@@ -55,5 +56,6 @@ pub use event::BranchEvent;
 pub use interval::{IntervalCutter, IntervalSource, IntervalSummary, TimedEvent};
 pub use metrics::MetricCounts;
 pub use recorded::{RecordedInterval, RecordedTrace, ReplaySource};
+pub use sink::{drive, IntervalSink};
 pub use stats::TraceStats;
 pub use synthetic::{PhaseSpec, SyntheticTrace};

@@ -68,7 +68,10 @@ impl RecordedTrace {
 
     /// Total committed instructions across all intervals.
     pub fn total_instructions(&self) -> u64 {
-        self.intervals.iter().map(|iv| iv.summary.instructions).sum()
+        self.intervals
+            .iter()
+            .map(|iv| iv.summary.instructions)
+            .sum()
     }
 
     /// Creates a borrowing [`IntervalSource`] that replays this trace.

@@ -1,0 +1,114 @@
+//! The [`IntervalSink`] consumer interface for interval streams.
+//!
+//! Everything downstream of the trace layer — the phase classifier, BBV
+//! collection, metric accumulators — consumes the same per-interval event
+//! stream: every committed-branch event of the interval, then the interval
+//! summary. [`IntervalSink`] names that contract, and [`drive`] fans one
+//! pass over an [`IntervalSource`] out to any number of sinks, so a trace
+//! is decoded and replayed once no matter how many consumers observe it.
+
+use crate::event::BranchEvent;
+use crate::interval::{IntervalSource, IntervalSummary};
+
+/// A consumer of an interval-structured event stream.
+///
+/// For each interval, [`observe`](IntervalSink::observe) is called once per
+/// committed-branch event, then [`end_interval`](IntervalSink::end_interval)
+/// once with the interval's summary. This mirrors the paper's hardware
+/// model: per-branch accumulation during the interval, bookkeeping at the
+/// interval boundary.
+pub trait IntervalSink {
+    /// Observes one committed-branch event of the current interval.
+    fn observe(&mut self, ev: &BranchEvent);
+
+    /// Closes the current interval with its summary.
+    fn end_interval(&mut self, summary: &IntervalSummary);
+}
+
+impl<S: IntervalSink + ?Sized> IntervalSink for &mut S {
+    fn observe(&mut self, ev: &BranchEvent) {
+        (**self).observe(ev);
+    }
+
+    fn end_interval(&mut self, summary: &IntervalSummary) {
+        (**self).end_interval(summary);
+    }
+}
+
+impl<S: IntervalSink + ?Sized> IntervalSink for Box<S> {
+    fn observe(&mut self, ev: &BranchEvent) {
+        (**self).observe(ev);
+    }
+
+    fn end_interval(&mut self, summary: &IntervalSummary) {
+        (**self).end_interval(summary);
+    }
+}
+
+/// Replays `source` to completion, fanning every event and interval
+/// boundary out to all `sinks` in order. Returns the number of intervals
+/// replayed.
+///
+/// This is the single-replay hot loop: one pass over the source feeds every
+/// registered consumer.
+pub fn drive(source: &mut dyn IntervalSource, sinks: &mut [&mut dyn IntervalSink]) -> usize {
+    let mut intervals = 0;
+    loop {
+        let summary = {
+            let sinks = &mut *sinks;
+            source.next_interval(&mut |ev| {
+                for sink in sinks.iter_mut() {
+                    sink.observe(&ev);
+                }
+            })
+        };
+        match summary {
+            Some(summary) => {
+                for sink in sinks.iter_mut() {
+                    sink.end_interval(&summary);
+                }
+                intervals += 1;
+            }
+            None => return intervals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::IntervalCutter;
+
+    #[derive(Default)]
+    struct Counter {
+        events: usize,
+        intervals: usize,
+        instructions: u64,
+    }
+
+    impl IntervalSink for Counter {
+        fn observe(&mut self, _ev: &BranchEvent) {
+            self.events += 1;
+        }
+
+        fn end_interval(&mut self, summary: &IntervalSummary) {
+            self.intervals += 1;
+            self.instructions += summary.instructions;
+        }
+    }
+
+    #[test]
+    fn drive_fans_out_to_all_sinks() {
+        let events = (0..100u64).map(|i| (BranchEvent::new(0x400 + (i % 5) * 8, 10), 20u64));
+        let mut source = IntervalCutter::from_iter(250, events);
+        let mut a = Counter::default();
+        let mut b = Counter::default();
+        let n = drive(&mut source, &mut [&mut a, &mut b]);
+        assert_eq!(n, 4);
+        for c in [&a, &b] {
+            assert_eq!(c.events, 100);
+            assert_eq!(c.intervals, 4);
+            assert_eq!(c.instructions, 1000);
+        }
+    }
+}

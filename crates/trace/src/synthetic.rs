@@ -8,8 +8,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::event::BranchEvent;
-use crate::interval::TimedEvent;
 use crate::interval::IntervalCutter;
+use crate::interval::TimedEvent;
 use crate::recorded::RecordedTrace;
 
 /// The code and performance behaviour of one ground-truth phase.
@@ -100,7 +100,7 @@ impl SyntheticTrace {
     pub fn ground_truth(&self) -> Vec<usize> {
         self.schedule
             .iter()
-            .flat_map(|&(phase, n)| std::iter::repeat(phase).take(n as usize))
+            .flat_map(|&(phase, n)| std::iter::repeat_n(phase, n as usize))
             .collect()
     }
 

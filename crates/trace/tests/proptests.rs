@@ -89,6 +89,6 @@ proptest! {
         let d_xy = x.manhattan_distance(&y);
         let d_yx = y.manhattan_distance(&x);
         prop_assert!((d_xy - d_yx).abs() < 1e-12);
-        prop_assert!(d_xy >= 0.0 && d_xy <= 2.0 + 1e-12);
+        prop_assert!((0.0..=2.0 + 1e-12).contains(&d_xy));
     }
 }

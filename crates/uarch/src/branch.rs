@@ -182,8 +182,16 @@ impl HybridPredictor {
     /// # Panics
     ///
     /// Panics if any table size is not a power of two.
-    pub fn new(gshare_entries: usize, history_bits: u32, bimodal_entries: usize, chooser_entries: usize) -> Self {
-        assert!(chooser_entries.is_power_of_two(), "chooser entries must be a power of two");
+    pub fn new(
+        gshare_entries: usize,
+        history_bits: u32,
+        bimodal_entries: usize,
+        chooser_entries: usize,
+    ) -> Self {
+        assert!(
+            chooser_entries.is_power_of_two(),
+            "chooser entries must be a power of two"
+        );
         Self {
             gshare: GsharePredictor::new(gshare_entries, history_bits),
             bimodal: BimodalPredictor::new(bimodal_entries),
@@ -361,7 +369,9 @@ mod tests {
         let mut h = HybridPredictor::hpca2005();
         let mut x = 0x12345678u64;
         for _ in 0..4000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             h.observe(0x3000, (x >> 63) & 1 == 1);
         }
         let rate = h.misprediction_rate();

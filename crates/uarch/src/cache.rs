@@ -40,8 +40,14 @@ impl CacheConfig {
     /// Panics if any dimension is zero, if `block_bytes` is not a power of
     /// two, or if the geometry does not divide evenly into sets.
     pub fn new(size_bytes: u64, assoc: usize, block_bytes: u64) -> Self {
-        assert!(size_bytes > 0 && assoc > 0 && block_bytes > 0, "zero cache dimension");
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            size_bytes > 0 && assoc > 0 && block_bytes > 0,
+            "zero cache dimension"
+        );
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         let cfg = Self {
             size_bytes,
             assoc,
@@ -49,10 +55,13 @@ impl CacheConfig {
         };
         let blocks = size_bytes / block_bytes;
         assert!(
-            blocks % assoc as u64 == 0 && blocks >= assoc as u64,
+            blocks.is_multiple_of(assoc as u64) && blocks >= assoc as u64,
             "cache size must divide into whole sets"
         );
-        assert!(cfg.num_sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            cfg.num_sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
         cfg
     }
 
@@ -358,10 +367,7 @@ mod tests {
         assert!(c.probe(0x0000) && c.probe(0x0080));
         c.set_active_ways(1);
         // Way 1 invalidated; at most one of the two survives.
-        let resident = [0x0000, 0x0080]
-            .iter()
-            .filter(|&&a| c.probe(a))
-            .count();
+        let resident = [0x0000, 0x0080].iter().filter(|&&a| c.probe(a)).count();
         assert!(resident <= 1);
         // Direct-mapped behaviour now: two conflicting blocks thrash.
         c.access(0x0000, AccessKind::Read);
@@ -434,8 +440,8 @@ mod tests {
     #[test]
     fn streaming_larger_than_cache_always_misses_after_warmup() {
         let mut c = tiny(); // 256B capacity
-        // Stream over 4KB repeatedly with 32B stride: every access misses
-        // after the first lap because the reuse distance exceeds capacity.
+                            // Stream over 4KB repeatedly with 32B stride: every access misses
+                            // after the first lap because the reuse distance exceeds capacity.
         for _ in 0..4 {
             for addr in (0..4096u64).step_by(32) {
                 c.access(addr, AccessKind::Read);

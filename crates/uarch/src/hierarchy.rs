@@ -80,7 +80,11 @@ impl MemoryHierarchy {
         if !self.tlb.access(addr) {
             self.tlb_miss_count += 1;
         }
-        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         let outcome = if self.dl1.access(addr, kind) {
             DataAccessOutcome::L1
         } else if self.l2.access(addr, kind) {
@@ -209,7 +213,10 @@ mod tests {
                 }
             }
         }
-        assert!(memory_hits > 10_000, "streaming should defeat the L2: {memory_hits}");
+        assert!(
+            memory_hits > 10_000,
+            "streaming should defeat the L2: {memory_hits}"
+        );
     }
 
     #[test]

@@ -220,10 +220,7 @@ impl MixedStream {
         assert!(!parts.is_empty(), "mixture needs at least one stream");
         let total: f64 = parts.iter().map(|(_, w)| w).sum();
         assert!(total > 0.0, "mixture weights must be positive");
-        let streams = parts
-            .into_iter()
-            .map(|(s, w)| (s, w / total))
-            .collect();
+        let streams = parts.into_iter().map(|(s, w)| (s, w / total)).collect();
         Self {
             streams,
             rng: SplitMix64::new(seed),
@@ -313,7 +310,10 @@ mod tests {
             }
             prev = cur;
         }
-        assert!(ascending < 50, "chase should rarely be sequential: {ascending}");
+        assert!(
+            ascending < 50,
+            "chase should rarely be sequential: {ascending}"
+        );
     }
 
     #[test]

@@ -198,7 +198,10 @@ mod tests {
         let tm = tm();
         let separately = tm.cycles(&a) + tm.cycles(&b);
         let together = tm.cycles(&sum);
-        assert!((separately as i64 - together as i64).abs() <= 1, "rounding only");
+        assert!(
+            (separately as i64 - together as i64).abs() <= 1,
+            "rounding only"
+        );
     }
 
     #[test]
@@ -212,6 +215,8 @@ mod tests {
             l2_misses: 1_000,
             ..Default::default()
         };
-        assert!(TimingModel::new(cheap_cfg).cycles(&ev) < TimingModel::new(exposed_cfg).cycles(&ev));
+        assert!(
+            TimingModel::new(cheap_cfg).cycles(&ev) < TimingModel::new(exposed_cfg).cycles(&ev)
+        );
     }
 }

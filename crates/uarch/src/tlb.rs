@@ -45,7 +45,10 @@ impl Tlb {
     /// Panics if `capacity` is zero or `page_bytes` is not a power of two.
     pub fn new(capacity: usize, page_bytes: u64) -> Self {
         assert!(capacity > 0, "TLB capacity must be positive");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Self {
             entries: Vec::with_capacity(capacity),
             capacity,

@@ -318,7 +318,7 @@ fn galgel() -> Benchmark {
         }
     };
     let regions: Vec<Region> = (0..6)
-        .map(|i| make_phase(i, 32 * 1024 << i)) // 32K .. 1M working sets
+        .map(|i| make_phase(i, (32 * 1024) << i)) // 32K .. 1M working sets
         .collect();
     let options: Vec<(ScriptNode, f64)> = (0..6)
         .map(|i| (ScriptNode::run_var(i, 5 * M, 20 * M), 1.0))
@@ -662,7 +662,11 @@ mod tests {
         let perl_d = BenchmarkKind::PerlDiffmail
             .build(&params)
             .expected_instructions(&params);
-        for kind in [BenchmarkKind::Ammp, BenchmarkKind::Mcf, BenchmarkKind::Gcc166] {
+        for kind in [
+            BenchmarkKind::Ammp,
+            BenchmarkKind::Mcf,
+            BenchmarkKind::Gcc166,
+        ] {
             assert!(perl_d < kind.build(&params).expected_instructions(&params));
         }
     }

@@ -193,10 +193,16 @@ mod tests {
 
     #[test]
     fn shared_code_regions_can_differ_in_data() {
-        let a = Region::loop_nest("small", 0x1000, 4, 100, StreamSpec::PointerChase {
-            nodes: 1 << 10,
-            node_bytes: 64,
-        });
+        let a = Region::loop_nest(
+            "small",
+            0x1000,
+            4,
+            100,
+            StreamSpec::PointerChase {
+                nodes: 1 << 10,
+                node_bytes: 64,
+            },
+        );
         let mut b = a.clone();
         b.name = "large".into();
         b.stream = StreamSpec::PointerChase {

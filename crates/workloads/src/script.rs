@@ -143,9 +143,11 @@ impl ScriptNode {
     pub fn max_region(&self) -> usize {
         match self {
             ScriptNode::Run { region, .. } | ScriptNode::RunVar { region, .. } => *region,
-            ScriptNode::Seq(children) => {
-                children.iter().map(ScriptNode::max_region).max().unwrap_or(0)
-            }
+            ScriptNode::Seq(children) => children
+                .iter()
+                .map(ScriptNode::max_region)
+                .max()
+                .unwrap_or(0),
             ScriptNode::Repeat { body, .. } => body.max_region(),
             ScriptNode::Choose(options) => options
                 .iter()
@@ -215,7 +217,11 @@ impl Iterator for ScriptIter<'_> {
                     } => {
                         let span = max_instructions - min_instructions;
                         let len = min_instructions
-                            + if span == 0 { 0 } else { self.rng.below(span + 1) };
+                            + if span == 0 {
+                                0
+                            } else {
+                                self.rng.below(span + 1)
+                            };
                         return Some((*region, len));
                     }
                     ScriptNode::Seq(children) => {

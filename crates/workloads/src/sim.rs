@@ -6,7 +6,7 @@ use tpcp_trace::{BranchEvent, IntervalSource, IntervalSummary, MetricCounts};
 use tpcp_uarch::stream::{
     AddressStream, PointerChaseStream, RandomStream, SplitMix64, StridedStream,
 };
-use tpcp_uarch::{EventCounts, MachineConfig, MemoryHierarchy, HybridPredictor, TimingModel};
+use tpcp_uarch::{EventCounts, HybridPredictor, MachineConfig, MemoryHierarchy, TimingModel};
 
 use crate::region::{Region, StreamSpec};
 use crate::script::{ScriptIter, ScriptNode};
@@ -240,7 +240,9 @@ impl WorkloadSim {
 
         // Branches: the block's terminating branch pattern, sampled a few
         // times and scaled to the region's real branch density.
-        let n_branches = (insns as f64 * state.region.branches_per_insn).round().max(1.0);
+        let n_branches = (insns as f64 * state.region.branches_per_insn)
+            .round()
+            .max(1.0);
         let branch_scale = n_branches / BRANCH_SAMPLES as f64;
         let mut mispredicts = 0.0f64;
         for _ in 0..BRANCH_SAMPLES {
@@ -347,8 +349,8 @@ impl IntervalSource for WorkloadSim {
         if instructions == 0 {
             return None;
         }
-        let summary = IntervalSummary::new(self.next_index, instructions, cycles)
-            .with_metrics(metrics);
+        let summary =
+            IntervalSummary::new(self.next_index, instructions, cycles).with_metrics(metrics);
         self.next_index += 1;
         Some(summary)
     }
@@ -386,7 +388,10 @@ mod tests {
             vec![cached, missy],
             ScriptNode::repeat(
                 4,
-                ScriptNode::Seq(vec![ScriptNode::run(0, 300_000), ScriptNode::run(1, 300_000)]),
+                ScriptNode::Seq(vec![
+                    ScriptNode::run(0, 300_000),
+                    ScriptNode::run(1, 300_000),
+                ]),
             ),
         )
     }

@@ -6,8 +6,7 @@ use tpcp_workloads::{Benchmark, Region, ScriptIter, ScriptNode, StreamSpec, Work
 
 /// Deterministic scripts (no RunVar/Choose): Seq/Repeat/Run trees.
 fn arb_fixed_script() -> impl Strategy<Value = ScriptNode> {
-    let leaf = (0usize..3, 1_000u64..100_000)
-        .prop_map(|(r, n)| ScriptNode::run(r, n));
+    let leaf = (0usize..3, 1_000u64..100_000).prop_map(|(r, n)| ScriptNode::run(r, n));
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(ScriptNode::Seq),

@@ -75,7 +75,10 @@ fn workload() -> tpcp::workloads::Benchmark {
         0x40_0000,
         6,
         200,
-        StreamSpec::Strided { stride: 32, working_set: 12 * 1024 },
+        StreamSpec::Strided {
+            stride: 32,
+            working_set: 12 * 1024,
+        },
     )
     .with_loads_per_insn(0.40);
     let stream = Region::loop_nest(
@@ -83,7 +86,10 @@ fn workload() -> tpcp::workloads::Benchmark {
         0x50_0000,
         6,
         220,
-        StreamSpec::Strided { stride: 64, working_set: 4 * 1024 * 1024 },
+        StreamSpec::Strided {
+            stride: 64,
+            working_set: 4 * 1024 * 1024,
+        },
     )
     .with_loads_per_insn(0.30);
     let kernel = Region::loop_nest(
@@ -91,7 +97,10 @@ fn workload() -> tpcp::workloads::Benchmark {
         0x60_0000,
         4,
         240,
-        StreamSpec::Strided { stride: 8, working_set: 2 * 1024 },
+        StreamSpec::Strided {
+            stride: 8,
+            working_set: 2 * 1024,
+        },
     )
     .with_loads_per_insn(0.25);
     tpcp::workloads::Benchmark::new(

@@ -19,10 +19,10 @@
 //! cargo run --release --example dvs_scheduler
 //! ```
 
-use tpcp::core::{ClassifierConfig, PhaseClassifier, PhaseId};
+use tpcp::core::{ClassifierConfig, PhaseId};
 use tpcp::predict::{LengthClassPredictor, RunLengthClass};
-use tpcp::trace::IntervalSource;
 use tpcp::workloads::{BenchmarkKind, WorkloadParams};
+use tpcp_experiments::{Engine, SuiteParams, TraceCache};
 
 /// Up-front cost of the optimization, in cycles.
 const RECONFIG_COST: f64 = 40_000_000.0;
@@ -34,20 +34,23 @@ fn worth_it(class: RunLengthClass) -> bool {
     class >= RunLengthClass::Medium
 }
 
-/// Collects the phase ID stream of a benchmark (classification pass).
-fn phase_stream(kind: BenchmarkKind) -> Vec<PhaseId> {
-    let params = WorkloadParams {
-        length_scale: 0.15,
-        ..Default::default()
+/// Collects the phase ID stream of each benchmark (classification pass):
+/// one engine lane per benchmark, all replayed concurrently in a single
+/// sweep and cached under `target/tpcp-traces` for re-runs.
+fn phase_streams(kinds: &[BenchmarkKind]) -> Vec<Vec<PhaseId>> {
+    let params = SuiteParams {
+        workload: WorkloadParams {
+            length_scale: 0.15,
+            ..Default::default()
+        },
     };
-    let benchmark = kind.build(&params);
-    let mut sim = benchmark.simulate(&params);
-    let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
-    let mut ids = Vec::new();
-    while let Some(summary) = sim.next_interval(&mut |ev| classifier.observe(ev)) {
-        ids.push(classifier.end_interval(summary.cpi()));
-    }
-    ids
+    let mut engine = Engine::new(params);
+    let cells: Vec<_> = kinds
+        .iter()
+        .map(|&kind| engine.classified(kind, ClassifierConfig::hpca2005()))
+        .collect();
+    engine.run(&TraceCache::default_location());
+    cells.into_iter().map(|cell| cell.take().ids).collect()
 }
 
 /// Net cycles saved by a policy over a phase stream.
@@ -88,14 +91,14 @@ fn main() {
         "bench", "never (Mcyc)", "always (Mcyc)", "gated (Mcyc)"
     );
     let mut totals = [0.0f64; 3];
-    for kind in [
+    let kinds = [
         BenchmarkKind::GzipGraphic,
         BenchmarkKind::Ammp,
         BenchmarkKind::GccScilab,
         BenchmarkKind::Mcf,
         BenchmarkKind::PerlDiffmail,
-    ] {
-        let ids = phase_stream(kind);
+    ];
+    for (kind, ids) in kinds.iter().zip(phase_streams(&kinds)) {
         let never = evaluate(&ids, |_| false);
         let always = evaluate(&ids, |_| true);
         let gated = evaluate(&ids, |pred| pred.is_some_and(worth_it));

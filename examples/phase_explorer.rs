@@ -8,12 +8,12 @@
 //! ```
 //!
 //! Arguments: benchmark label (default `gzip/g`) and optional length scale
-//! (default 0.1).
+//! (default 0.1). Traces are cached under `target/tpcp-traces`, so
+//! re-exploring the same benchmark at the same scale is instant.
 
-use tpcp::core::{ClassifierConfig, PhaseClassifier, PhaseId};
-use tpcp::metrics::CovAccumulator;
-use tpcp::trace::IntervalSource;
+use tpcp::core::{ClassifierConfig, PhaseId};
 use tpcp::workloads::{BenchmarkKind, WorkloadParams};
+use tpcp_experiments::{Engine, SuiteParams, TraceCache};
 
 /// One display glyph per interval: transition = '.', phases cycle through
 /// letters.
@@ -42,40 +42,39 @@ fn main() {
         std::process::exit(2);
     });
 
-    let params = WorkloadParams {
-        length_scale: scale,
-        ..Default::default()
+    let params = SuiteParams {
+        workload: WorkloadParams {
+            length_scale: scale,
+            ..Default::default()
+        },
     };
-    let mut sim = kind.build(&params).simulate(&params);
-    let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
-    let mut cov = CovAccumulator::new();
-    let mut timeline = String::new();
+    let mut engine = Engine::new(params);
+    let run = engine.classified(kind, ClassifierConfig::hpca2005());
+    engine.run(&TraceCache::default_location());
+    let run = run.take();
 
-    while let Some(summary) = sim.next_interval(&mut |ev| classifier.observe(ev)) {
-        let id = classifier.end_interval(summary.cpi());
-        cov.observe(id, summary.cpi());
-        timeline.push(glyph(id));
-    }
-
-    println!("{} @ scale {scale} — one glyph per interval ('.' = transition)\n", kind.label());
+    let timeline: String = run.ids.iter().map(|&id| glyph(id)).collect();
+    println!(
+        "{} @ scale {scale} — one glyph per interval ('.' = transition)\n",
+        kind.label()
+    );
     for chunk in timeline.as_bytes().chunks(100) {
         println!("{}", String::from_utf8_lossy(chunk));
     }
 
-    let summary = cov.finish();
     println!(
         "\n{} intervals, {} stable phases, {:.1}% transition time",
-        classifier.intervals_seen(),
-        classifier.phases_created(),
-        classifier.transition_fraction() * 100.0
+        run.ids.len(),
+        run.phases_created,
+        run.transition_fraction * 100.0
     );
     println!(
         "whole-program CoV {:.1}%  ->  per-phase CoV {:.1}%\n",
-        summary.whole_program_cov() * 100.0,
-        summary.weighted_cov() * 100.0
+        run.cov.whole_program_cov() * 100.0,
+        run.cov.weighted_cov() * 100.0
     );
     println!("phase  glyph  intervals  mean CPI   CoV%");
-    for p in summary.phases() {
+    for p in run.cov.phases() {
         println!(
             "{:>5}  {:>5}  {:>9}  {:>8.2}  {:>5.1}",
             p.phase.to_string(),

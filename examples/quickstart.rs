@@ -5,60 +5,58 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tpcp::core::{ClassifierConfig, PhaseClassifier};
-use tpcp::metrics::{CovAccumulator, RunAccumulator};
+use tpcp::core::ClassifierConfig;
 use tpcp::predict::{NextPhasePredictor, PredictorKind};
-use tpcp::trace::IntervalSource;
 use tpcp::workloads::{BenchmarkKind, WorkloadParams};
+use tpcp_experiments::{Engine, SuiteParams, TraceCache};
 
 fn main() {
-    // 1. Build a workload. This is the gzip/graphic model — a program with
+    // 1. Pick a workload. This is the gzip/graphic model — a program with
     //    a few long, stable phases. (Scale it down so the example runs in
     //    seconds; drop `length_scale` for the full run.)
-    let params = WorkloadParams {
-        length_scale: 0.10,
-        ..Default::default()
+    let params = SuiteParams {
+        workload: WorkloadParams {
+            length_scale: 0.10,
+            ..Default::default()
+        },
     };
-    let benchmark = BenchmarkKind::GzipGraphic.build(&params);
-    let mut sim = benchmark.simulate(&params);
+    let kind = BenchmarkKind::GzipGraphic;
 
-    // 2. Attach the paper's phase classification architecture and an
-    //    RLE-2 next-phase predictor with confidence counters.
-    let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
-    let mut predictor = NextPhasePredictor::new(PredictorKind::rle(2));
-    let mut cov = CovAccumulator::new();
-    let mut runs = RunAccumulator::new();
+    // 2. Register work on the experiment engine: the paper's phase
+    //    classification architecture, plus an RLE-2 next-phase predictor
+    //    with confidence counters riding the same classification.
+    let mut engine = Engine::new(params);
+    let run = engine.classified(kind, ClassifierConfig::hpca2005());
+    let prediction = engine.probe(
+        kind,
+        ClassifierConfig::hpca2005(),
+        NextPhasePredictor::new(PredictorKind::rle(2)),
+        |p, _| p.breakdown(),
+    );
 
-    // 3. Stream intervals: observe each committed branch, classify at each
-    //    interval boundary, and feed the phase ID to the predictor.
-    while let Some(summary) = sim.next_interval(&mut |ev| classifier.observe(ev)) {
-        let phase = classifier.end_interval(summary.cpi());
-        predictor.observe(phase);
-        cov.observe(phase, summary.cpi());
-        runs.observe(phase);
-    }
+    // 3. Replay. The engine simulates (or loads from cache) the trace and
+    //    streams every interval through the classifier exactly once; the
+    //    predictor observes each classified phase ID as it appears.
+    let cache = TraceCache::default_location();
+    engine.run(&cache);
 
     // 4. Report what the architecture learned.
-    let summary = cov.finish();
-    let runs = runs.finish();
-    println!("benchmark        : {}", benchmark.name);
-    println!("intervals        : {}", classifier.intervals_seen());
-    println!("stable phases    : {}", classifier.phases_created());
-    println!(
-        "transition time  : {:.1}%",
-        classifier.transition_fraction() * 100.0
-    );
+    let run = run.take();
+    let b = prediction.take();
+    println!("benchmark        : {}", kind.label());
+    println!("intervals        : {}", run.ids.len());
+    println!("stable phases    : {}", run.phases_created);
+    println!("transition time  : {:.1}%", run.transition_fraction * 100.0);
     println!(
         "whole-program CoV: {:.1}%  ->  per-phase CoV: {:.1}%",
-        summary.whole_program_cov() * 100.0,
-        summary.weighted_cov() * 100.0
+        run.cov.whole_program_cov() * 100.0,
+        run.cov.weighted_cov() * 100.0
     );
     println!(
         "avg stable run   : {:.1} intervals (transition: {:.1})",
-        runs.stable_mean(),
-        runs.transition_mean()
+        run.runs.stable_mean(),
+        run.runs.transition_mean()
     );
-    let b = predictor.breakdown();
     println!(
         "next-phase pred  : {:.1}% correct ({:.1}% confident-correct, {:.1}% confident-wrong)",
         b.accuracy() * 100.0,
@@ -68,7 +66,7 @@ fn main() {
 
     // Per-phase detail, as a dynamic optimization would consume it.
     println!("\nper-phase CPI:");
-    for phase in summary.phases() {
+    for phase in run.cov.phases() {
         println!(
             "  {:>4}  {:>6} intervals  mean CPI {:>6.2}  CoV {:>5.1}%",
             phase.phase.to_string(),

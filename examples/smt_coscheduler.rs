@@ -97,8 +97,8 @@ fn corun_cycles(cpi_a: f64, cpi_b: f64, interval_insns: f64) -> u64 {
     // for deeply memory-bound intervals.
     let mem = |cpi: f64| ((cpi - 3.0) / 8.0).clamp(0.0, 1.0);
     let contention = 1.0 + 1.5 * mem(cpi_a) * mem(cpi_b); // symbiosis model
-    // SMT overlaps the two threads: the pair takes about the longer
-    // thread's time, stretched by contention.
+                                                          // SMT overlaps the two threads: the pair takes about the longer
+                                                          // thread's time, stretched by contention.
     (cpi_a.max(cpi_b) * contention * interval_insns) as u64
 }
 

@@ -69,11 +69,7 @@ fn classification_reduces_cov_on_every_benchmark() {
 #[test]
 fn recorded_traces_replay_identically_through_the_classifier() {
     let params = tiny_params();
-    let trace = RecordedTrace::record(
-        BenchmarkKind::Bzip2Program
-            .build(&params)
-            .simulate(&params),
-    );
+    let trace = RecordedTrace::record(BenchmarkKind::Bzip2Program.build(&params).simulate(&params));
     let classify_replay = || {
         let mut classifier = PhaseClassifier::new(ClassifierConfig::hpca2005());
         let mut replay = trace.replay();

@@ -15,7 +15,7 @@ use tpcp::predict::{
 fn arb_stream() -> impl Strategy<Value = Vec<PhaseId>> {
     prop::collection::vec((0u32..6, 1usize..12), 1..60).prop_map(|runs| {
         runs.into_iter()
-            .flat_map(|(phase, len)| std::iter::repeat(PhaseId::new(phase)).take(len))
+            .flat_map(|(phase, len)| std::iter::repeat_n(PhaseId::new(phase), len))
             .collect()
     })
 }

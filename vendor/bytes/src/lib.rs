@@ -1,0 +1,254 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the subset `tpcp-trace::codec` relies on: a cheaply
+//! cloneable, sliceable immutable [`Bytes`] buffer with cursor-style reads,
+//! and a growable [`BytesMut`] writer that freezes into one. Backed by an
+//! `Arc<[u8]>` so clones and slices share storage like the real crate.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Cursor-style read access to a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Whether any bytes are left to read.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Reads one byte, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u64`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64;
+    /// Fills `dst` from the buffer, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+/// Immutable, reference-counted byte buffer with an embedded read cursor.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Length of the unread portion.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the unread portion is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows the unread portion as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the unread portion into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a sub-buffer sharing the same storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            lo <= hi && hi <= len,
+            "slice {lo}..{hi} out of range 0..{len}"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty buffer");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice past end");
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: data.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        data.to_vec().into()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the written bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        self.data.into()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_slice() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_slice(b"ab");
+        buf.put_u8(0xff);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 11);
+        let mut cursor = frozen.clone();
+        let mut two = [0u8; 2];
+        cursor.copy_to_slice(&mut two);
+        assert_eq!(&two, b"ab");
+        assert_eq!(cursor.get_u8(), 0xff);
+        assert_eq!(cursor.get_u64_le(), 0x0102_0304_0506_0708);
+        assert!(!cursor.has_remaining());
+        let head = frozen.slice(..2);
+        assert_eq!(head.as_slice(), b"ab");
+        assert_eq!(frozen.slice(2..3).to_vec(), vec![0xff]);
+    }
+}

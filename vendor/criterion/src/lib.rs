@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the `tpcp-bench` targets use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, throughput
+//! annotations, and the `criterion_group!`/`criterion_main!` macros) with a
+//! simple adaptive timer: each benchmark is warmed up once, then iterated
+//! until a minimum measurement window is reached, and the mean time per
+//! iteration (plus throughput, when declared) is printed. There is no
+//! statistical analysis or report output.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum measurement window per benchmark.
+const MIN_MEASURE: Duration = Duration::from_millis(200);
+/// Iteration ceiling so very slow bodies still terminate promptly.
+const MAX_ITERS: u64 = 10_000;
+
+/// Top-level harness handle, passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the stub sizes runs by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark bodies.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough iterations for a stable mean.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up (also primes lazy state in the routine).
+        black_box(routine());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while iters < MAX_ITERS {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= MIN_MEASURE {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(id: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("bench {id:<40} (no iterations measured)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:.1} Melem/s", n as f64 / per_iter / 1e6),
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {id:<40} {:>12.3} us/iter ({} iters){rate}",
+        per_iter * 1e6,
+        bencher.iters
+    );
+}
+
+/// Declares a benchmark group runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,118 @@
+//! Offline, generate-only stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map`/`prop_recursive`,
+//! boxed strategies, tuple and range strategies, `prop::collection::vec`,
+//! `any::<T>()`, the `proptest!`/`prop_oneof!` macros, and the
+//! `prop_assert*`/`prop_assume!` assertion macros.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! per-test seed (deterministic across runs), there is no shrinking, and
+//! failures report the generated inputs verbatim. Case count defaults to 64
+//! and can be overridden with the `PROPTEST_CASES` environment variable.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod runner;
+pub mod strategy;
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of the real prelude's `prop` module shortcut
+    /// (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::runner::run(stringify!($name), &mut |rng: &mut $crate::runner::TestRng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}\n"),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    (inputs, outcome)
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case (it counts as neither pass nor failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

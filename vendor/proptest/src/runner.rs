@@ -1,0 +1,128 @@
+//! Deterministic case runner and RNG.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of generated cases per property (override with the
+/// `PROPTEST_CASES` environment variable).
+const DEFAULT_CASES: u64 = 64;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assume!` rejected the inputs; the case is discarded.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Deterministic SplitMix64 RNG driving value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 for bound 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs, distinct per test.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Runs one property: `case` generates inputs from the RNG and returns the
+/// formatted inputs plus the case outcome. Panics (failing the `#[test]`)
+/// on the first failing case, reporting the inputs that produced it.
+/// One property-test case: formatted inputs plus the case outcome.
+pub type CaseFn<'a> = &'a mut dyn FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>);
+
+pub fn run(name: &str, case: CaseFn<'_>) {
+    let cases = case_count();
+    let mut rng = TestRng::new(seed_for(name));
+    let mut passed = 0u64;
+    let mut attempts = 0u64;
+    while passed < cases {
+        attempts += 1;
+        assert!(
+            attempts <= cases.saturating_mul(20),
+            "property '{name}': too many inputs rejected by prop_assume! \
+             ({passed}/{cases} cases passed after {attempts} attempts)"
+        );
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+        match outcome {
+            Ok((_, Ok(()))) => passed += 1,
+            Ok((_, Err(TestCaseError::Reject))) => continue,
+            Ok((inputs, Err(TestCaseError::Fail(message)))) => {
+                panic!(
+                    "property '{name}' failed at case {attempts}: {message}\n\
+                     inputs:\n{inputs}"
+                );
+            }
+            Err(payload) => {
+                eprintln!("property '{name}' panicked at case {attempts}");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+            assert!(a.below(13) < 13);
+            b.below(13);
+        }
+    }
+}

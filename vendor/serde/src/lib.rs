@@ -1,0 +1,36 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! This workspace builds without network access, so the real `serde` crate
+//! cannot be fetched. The codebase only uses serde as a *marker* — types
+//! derive `Serialize`/`Deserialize` so that downstream embedders can bound
+//! on them — and never actually serializes through serde (the wire format
+//! lives in `tpcp-trace::codec`). This stub therefore provides the trait
+//! names with blanket implementations and no-op derive macros, which is
+//! enough to keep every `#[derive(Serialize, Deserialize)]` and every
+//! `T: Serialize + DeserializeOwned` bound compiling unchanged.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
