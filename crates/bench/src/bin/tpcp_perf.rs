@@ -1,0 +1,318 @@
+//! `tpcp-perf` — the repeatable performance harness.
+//!
+//! Times three lane families over the encoded synthetic suite:
+//!
+//! * **decode-only** — streaming vs. eager trace decode;
+//! * **replay+classify** — a fresh phase classifier fed streaming vs.
+//!   from a materialized trace (paired lanes must produce identical
+//!   phase-ID checksums, re-proving equivalence on every run);
+//! * **engine-suite** — a full experiment-engine sweep (11 benchmarks ×
+//!   2 classifier configs) from the on-disk trace cache.
+//!
+//! Emits `BENCH_<git-sha>.json` (median/p90 wall-clock, intervals/sec,
+//! peak RSS, replay counts) into `--out` and can gate the run against a
+//! checked-in baseline with `--check` (non-zero exit on regression).
+//!
+//! ```text
+//! tpcp-perf [--smoke] [--iters N] [--out DIR] [--check FILE]
+//!           [--tolerance FRAC] [--no-engine] [--refresh-baseline]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use tpcp_bench::perf::{
+    classify_eager, classify_streaming, decode_eager, decode_streaming, engine_suite, perf_suite,
+    suite_totals, LaneRun, PerfTrace, Scale,
+};
+use tpcp_bench::report::{
+    check_against_baseline, git_sha, peak_rss_bytes, summarize, EngineSummary, LaneStats,
+    PerfReport,
+};
+use tpcp_core::ClassifierConfig;
+use tpcp_experiments::{SuiteParams, TraceCache};
+
+struct Args {
+    smoke: bool,
+    iters: u32,
+    out: PathBuf,
+    check: Option<PathBuf>,
+    tolerance: f64,
+    engine: bool,
+    refresh_baseline: bool,
+}
+
+const USAGE: &str = "usage: tpcp-perf [--smoke] [--iters N] [--out DIR] [--check FILE] \
+                     [--tolerance FRAC] [--no-engine] [--refresh-baseline]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut smoke = false;
+    let mut iters: Option<u32> = None;
+    let mut out = PathBuf::from("results");
+    let mut check = None;
+    let mut tolerance = 0.15;
+    let mut engine = true;
+    let mut refresh_baseline = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{flag} requires a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--iters" => {
+                iters = Some(
+                    value("--iters")?
+                        .parse()
+                        .map_err(|e| format!("--iters: {e}"))?,
+                );
+            }
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--check" => check = Some(PathBuf::from(value("--check")?)),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+            }
+            "--no-engine" => engine = false,
+            "--refresh-baseline" => refresh_baseline = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        smoke,
+        iters: iters.unwrap_or(if smoke { 3 } else { 7 }),
+        out,
+        check,
+        tolerance,
+        engine,
+        refresh_baseline,
+    })
+}
+
+/// Runs `body` once untimed (warm-up, reference result), then `iters`
+/// timed repetitions, asserting each repetition reproduces the reference
+/// checksum.
+fn time_lane(iters: u32, mut body: impl FnMut() -> LaneRun) -> (LaneRun, Vec<Duration>) {
+    let reference = body();
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let run = body();
+        samples.push(start.elapsed());
+        assert_eq!(
+            run, reference,
+            "lane produced different results across repetitions"
+        );
+    }
+    (reference, samples)
+}
+
+fn lane_line(stats: &LaneStats) {
+    println!(
+        "  {:<24} median {:>9.3} ms   p90 {:>9.3} ms   {:>12.0} intervals/s",
+        stats.name, stats.median_ms, stats.p90_ms, stats.intervals_per_sec
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let scale = if args.smoke {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    println!(
+        "tpcp-perf: building {} synthetic suite ...",
+        if args.smoke { "smoke" } else { "full" }
+    );
+    let suite: Vec<PerfTrace> = perf_suite(scale);
+    let (suite_intervals, suite_events, suite_bytes) = suite_totals(&suite);
+    for t in &suite {
+        println!(
+            "  {:<16} {:>7} intervals  {:>9} events  {:>9} bytes encoded",
+            t.name,
+            t.intervals,
+            t.events,
+            t.encoded.len()
+        );
+    }
+
+    let config = ClassifierConfig::hpca2005();
+    let mut lanes: Vec<LaneStats> = Vec::new();
+
+    println!("timing decode lanes ({} iters) ...", args.iters);
+    let (dec_eager_run, samples) = time_lane(args.iters, || decode_eager(&suite));
+    lanes.push(summarize(
+        "decode_eager",
+        &samples,
+        dec_eager_run.intervals,
+        dec_eager_run.events,
+    ));
+    let (dec_stream_run, samples) = time_lane(args.iters, || decode_streaming(&suite));
+    lanes.push(summarize(
+        "decode_streaming",
+        &samples,
+        dec_stream_run.intervals,
+        dec_stream_run.events,
+    ));
+    assert_eq!(
+        dec_eager_run, dec_stream_run,
+        "streaming and eager decode disagree on the event stream"
+    );
+
+    println!("timing replay+classify lanes ({} iters) ...", args.iters);
+    let (cls_eager_run, samples) = time_lane(args.iters, || classify_eager(&suite, config));
+    lanes.push(summarize(
+        "replay_classify_eager",
+        &samples,
+        cls_eager_run.intervals,
+        cls_eager_run.events,
+    ));
+    let (cls_stream_run, samples) = time_lane(args.iters, || classify_streaming(&suite, config));
+    lanes.push(summarize(
+        "replay_classify_streaming",
+        &samples,
+        cls_stream_run.intervals,
+        cls_stream_run.events,
+    ));
+    assert_eq!(
+        cls_eager_run, cls_stream_run,
+        "streaming and eager classification disagree on the phase-ID stream"
+    );
+    println!("  equivalence: streaming == eager on both lane pairs");
+
+    let eager_rate = lanes[2].intervals_per_sec;
+    let streaming_rate = lanes[3].intervals_per_sec;
+    let speedup = if eager_rate > 0.0 {
+        streaming_rate / eager_rate
+    } else {
+        0.0
+    };
+
+    let engine = if args.engine {
+        println!("timing engine suite (quick params; first run warms the trace cache) ...");
+        let cache = TraceCache::default_location();
+        let params = SuiteParams::quick();
+        let reference = engine_suite(&cache, &params); // warm-up + cache fill
+        let mut samples = Vec::with_capacity(args.iters as usize);
+        for _ in 0..args.iters {
+            let start = Instant::now();
+            let stats = engine_suite(&cache, &params);
+            samples.push(start.elapsed());
+            assert_eq!(
+                stats.total_intervals(),
+                reference.total_intervals(),
+                "engine sweep interval totals drifted across repetitions"
+            );
+        }
+        lanes.push(summarize(
+            "engine_suite",
+            &samples,
+            reference.total_intervals(),
+            0,
+        ));
+        Some(EngineSummary {
+            traces_replayed: reference.traces_replayed(),
+            max_replays_per_trace: reference.max_replays_per_trace(),
+            total_intervals: reference.total_intervals(),
+            replay_counts: reference
+                .replay_counts()
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+        })
+    } else {
+        None
+    };
+
+    println!();
+    for lane in &lanes {
+        lane_line(lane);
+    }
+    println!("  replay+classify streaming/eager speedup: {speedup:.2}x");
+
+    let report = PerfReport {
+        git_sha: git_sha(),
+        smoke: args.smoke,
+        suite_traces: suite.len(),
+        suite_intervals,
+        suite_events,
+        suite_encoded_bytes: suite_bytes,
+        peak_rss_bytes: peak_rss_bytes(),
+        replay_classify_speedup: speedup,
+        lanes,
+        engine,
+    };
+    let json = report.to_json();
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create {}: {e}", args.out.display());
+        return ExitCode::from(2);
+    }
+    let bench_path = args.out.join(format!("BENCH_{}.json", report.git_sha));
+    if let Err(e) = std::fs::write(&bench_path, &json) {
+        eprintln!("cannot write {}: {e}", bench_path.display());
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", bench_path.display());
+    if args.refresh_baseline {
+        let baseline_path = args.out.join("bench-baseline.json");
+        if let Err(e) = std::fs::write(&baseline_path, &json) {
+            eprintln!("cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!("refreshed {}", baseline_path.display());
+    }
+
+    if let Some(baseline_path) = &args.check {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let checks = check_against_baseline(&report.lanes, &baseline, args.tolerance);
+        if checks.is_empty() {
+            eprintln!(
+                "baseline {} has no lanes in common with this run",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "checking against {} (tolerance {:.0}%):",
+            baseline_path.display(),
+            args.tolerance * 100.0
+        );
+        let mut failed = false;
+        for check in &checks {
+            println!(
+                "  {} {:<24} {:>12.0} -> {:>12.0} intervals/s ({:+.1}%)",
+                if check.regressed { "FAIL" } else { "ok  " },
+                check.name,
+                check.baseline,
+                check.current,
+                (check.ratio - 1.0) * 100.0
+            );
+            failed |= check.regressed;
+        }
+        if failed {
+            eprintln!("perf regression beyond {:.0}%", args.tolerance * 100.0);
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,3 +1,17 @@
-//! Benchmark-only crate; all content lives in `benches/`. See each bench
-//! target (`classifier`, `predictors`, `figures`, `substrate`,
-//! `ablations`) for what it measures.
+//! Performance measurement for the tpcp workspace.
+//!
+//! Two kinds of benchmarks live here:
+//!
+//! * `benches/` — criterion micro-benchmarks (`classifier`, `predictors`,
+//!   `figures`, `substrate`, `ablations`) for interactive profiling;
+//! * the `tpcp-perf` binary (backed by [`perf`] and [`report`]) — the
+//!   repeatable macro harness that times decode-only, replay+classify,
+//!   and full-engine-suite lanes and emits one `BENCH_<git-sha>.json`
+//!   per run, which CI archives and gates against
+//!   `results/bench-baseline.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod perf;
+pub mod report;

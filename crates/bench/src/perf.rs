@@ -1,0 +1,341 @@
+//! The measured workload suite and timing lanes behind `tpcp-perf`.
+//!
+//! The suite is three scripted [`SyntheticTrace`] programs with distinct
+//! phase structure (steady, rapidly alternating, many-phase), encoded once
+//! into the `tpcp-trace` codec. Every lane then consumes the *encoded*
+//! buffers, so a lane's cost is decode + its own work:
+//!
+//! * the `*_streaming` lanes go through [`StreamingDecoder`] and never
+//!   materialize a [`RecordedTrace`];
+//! * the `*_eager` lanes decode into a full `RecordedTrace` first and
+//!   then replay it — the pre-engine pipeline.
+//!
+//! Each lane folds what it saw into a checksum ([`LaneRun::checksum`]);
+//! paired lanes must agree, which both prevents the optimizer from
+//! discarding the work and re-proves streaming/eager equivalence on every
+//! perf run.
+
+use bytes::Bytes;
+use tpcp_core::{ClassifierConfig, PhaseClassifier};
+use tpcp_experiments::{Engine, EngineStats, SuiteParams, TraceCache};
+use tpcp_trace::{
+    decode_trace, IntervalSource, PhaseSpec, RecordedTrace, StreamingDecoder, SyntheticTrace,
+};
+use tpcp_workloads::BenchmarkKind;
+
+/// One synthetic program of the perf suite, in encoded form.
+#[derive(Debug, Clone)]
+pub struct PerfTrace {
+    /// Short stable name, for logs.
+    pub name: &'static str,
+    /// The `TPCPTRC2` buffer every lane decodes from.
+    pub encoded: Bytes,
+    /// Interval count (decoded once at suite-build time).
+    pub intervals: u64,
+    /// Event count (decoded once at suite-build time).
+    pub events: u64,
+}
+
+impl PerfTrace {
+    /// Encodes a generated trace and records its totals.
+    pub fn from_trace(name: &'static str, trace: &RecordedTrace) -> Self {
+        let intervals = trace.len() as u64;
+        let events = trace
+            .intervals
+            .iter()
+            .map(|iv| iv.events.len() as u64)
+            .sum();
+        Self {
+            name,
+            encoded: tpcp_trace::encode_trace(trace),
+            intervals,
+            events,
+        }
+    }
+}
+
+/// Suite sizing: `Smoke` is the CI-friendly quarter-length variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Quarter-length schedules for CI smoke runs.
+    Smoke,
+    /// The default measurement size.
+    Full,
+}
+
+/// A phase whose blocks are `insns`-instruction basic blocks in a bank of
+/// `n_blocks` PCs — denser branches than [`PhaseSpec::uniform`], matching
+/// branch-per-handful-of-instructions integer code.
+fn dense(base_pc: u64, n_blocks: u64, insns: u32, cpi: f64) -> PhaseSpec {
+    PhaseSpec {
+        blocks: (0..n_blocks).map(|i| (base_pc + i * 0x40, insns)).collect(),
+        cpi,
+        cpi_jitter: 0.01,
+    }
+}
+
+/// Builds and encodes the three-program synthetic perf suite.
+///
+/// Deterministic: the same [`Scale`] always produces byte-identical
+/// buffers, so intervals/sec is comparable across runs and commits (as
+/// long as the trace codec and workload scripts are unchanged).
+pub fn perf_suite(scale: Scale) -> Vec<PerfTrace> {
+    let run = |n: u64| match scale {
+        Scale::Smoke => (n / 4).max(1),
+        Scale::Full => n,
+    };
+    // 256k-instruction intervals of 16-instruction blocks: 16 384 events
+    // per interval, in the regime the paper profiles (branch every
+    // handful of instructions over long intervals). Eager replay must
+    // materialize a multi-hundred-KB event vector per interval and tens
+    // of MB per trace; streaming holds only the scratch state.
+    let interval_size = 256_000;
+
+    let steady = SyntheticTrace::new(interval_size)
+        .phase(dense(0x10_000, 64, 16, 1.0))
+        .phase(dense(0x90_000, 64, 16, 2.4))
+        .schedule(&[(0, run(32)), (1, run(32)), (0, run(32))]);
+
+    let mut alternating = SyntheticTrace::new(interval_size)
+        .phase(dense(0x10_000, 48, 16, 0.8))
+        .phase(dense(0x50_000, 48, 16, 1.9));
+    for _ in 0..run(8) {
+        alternating = alternating.schedule(&[(0, 6), (1, 6)]);
+    }
+
+    let mut many_phase = SyntheticTrace::new(interval_size);
+    for p in 0..6u64 {
+        many_phase = many_phase.phase(dense(
+            0x10_000 + p * 0x40_000,
+            32 + (p as usize as u64) * 8,
+            16,
+            0.9 + 0.3 * p as f64,
+        ));
+    }
+    for round in 0..run(4) {
+        for p in 0..6 {
+            many_phase = many_phase.schedule(&[((p + round as usize) % 6, 4)]);
+        }
+    }
+
+    [
+        ("steady-2phase", steady),
+        ("alternating", alternating),
+        ("many-phase", many_phase),
+    ]
+    .into_iter()
+    .map(|(name, script)| PerfTrace::from_trace(name, &script.generate()))
+    .collect()
+}
+
+/// Totals for a suite: `(intervals, events, encoded bytes)`.
+pub fn suite_totals(suite: &[PerfTrace]) -> (u64, u64, u64) {
+    suite.iter().fold((0, 0, 0), |(i, e, b), t| {
+        (i + t.intervals, e + t.events, b + t.encoded.len() as u64)
+    })
+}
+
+/// What one lane repetition processed, plus an order-sensitive checksum
+/// over everything it observed. Paired eager/streaming lanes must produce
+/// identical checksums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneRun {
+    /// Intervals delivered.
+    pub intervals: u64,
+    /// Events delivered (for classify lanes: taken from the suite totals).
+    pub events: u64,
+    /// FNV-style fold of the delivered stream.
+    pub checksum: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fold(acc: u64, x: u64) -> u64 {
+    (acc ^ x).wrapping_mul(FNV_PRIME)
+}
+
+/// Decode-only, streaming: every event and interval summary is delivered
+/// from the encoded buffer without materializing anything.
+pub fn decode_streaming(suite: &[PerfTrace]) -> LaneRun {
+    let mut intervals = 0u64;
+    let mut events = 0u64;
+    let mut checksum = 0u64;
+    for t in suite {
+        let mut decoder =
+            StreamingDecoder::new(&t.encoded).expect("perf suite traces are well-formed");
+        loop {
+            let next = decoder
+                .try_next_interval_with(&mut |ev: tpcp_trace::BranchEvent| {
+                    events += 1;
+                    checksum = fold(checksum, ev.pc ^ u64::from(ev.insns));
+                })
+                .expect("perf suite traces are well-formed");
+            let Some(summary) = next else { break };
+            intervals += 1;
+            checksum = fold(checksum, summary.instructions ^ summary.cycles);
+        }
+    }
+    LaneRun {
+        intervals,
+        events,
+        checksum,
+    }
+}
+
+/// Decode-only, eager: materialize the whole [`RecordedTrace`], then
+/// deliver the same stream by replaying it.
+pub fn decode_eager(suite: &[PerfTrace]) -> LaneRun {
+    let mut intervals = 0u64;
+    let mut events = 0u64;
+    let mut checksum = 0u64;
+    for t in suite {
+        let trace = decode_trace(t.encoded.clone()).expect("perf suite traces are well-formed");
+        let mut replay = trace.replay();
+        while let Some(summary) = replay.next_interval(&mut |ev| {
+            events += 1;
+            checksum = fold(checksum, ev.pc ^ u64::from(ev.insns));
+        }) {
+            intervals += 1;
+            checksum = fold(checksum, summary.instructions ^ summary.cycles);
+        }
+    }
+    LaneRun {
+        intervals,
+        events,
+        checksum,
+    }
+}
+
+/// Replay+classify, streaming: a fresh [`PhaseClassifier`] per trace fed
+/// straight from the encoded buffer. The checksum folds the phase-ID
+/// stream, so it certifies identical classifications, not just identical
+/// bytes.
+pub fn classify_streaming(suite: &[PerfTrace], config: ClassifierConfig) -> LaneRun {
+    let mut intervals = 0u64;
+    let mut events = 0u64;
+    let mut checksum = 0u64;
+    for t in suite {
+        let mut classifier = PhaseClassifier::new(config);
+        let mut decoder =
+            StreamingDecoder::new(&t.encoded).expect("perf suite traces are well-formed");
+        loop {
+            let next = decoder
+                .try_next_interval_with(&mut |ev| classifier.observe(ev))
+                .expect("perf suite traces are well-formed");
+            let Some(summary) = next else { break };
+            let id = classifier.end_interval(summary.cpi());
+            intervals += 1;
+            checksum = fold(checksum, u64::from(u32::from(id)));
+        }
+        events += t.events;
+        checksum = fold(checksum, classifier.phases_created());
+    }
+    LaneRun {
+        intervals,
+        events,
+        checksum,
+    }
+}
+
+/// Replay+classify, eager: identical classifier work, but decoding into a
+/// materialized [`RecordedTrace`] first — the pre-engine pipeline this
+/// harness exists to measure against.
+pub fn classify_eager(suite: &[PerfTrace], config: ClassifierConfig) -> LaneRun {
+    let mut intervals = 0u64;
+    let mut events = 0u64;
+    let mut checksum = 0u64;
+    for t in suite {
+        let trace = decode_trace(t.encoded.clone()).expect("perf suite traces are well-formed");
+        let mut classifier = PhaseClassifier::new(config);
+        let mut replay = trace.replay();
+        while let Some(summary) = replay.next_interval(&mut |ev| classifier.observe(ev)) {
+            let id = classifier.end_interval(summary.cpi());
+            intervals += 1;
+            checksum = fold(checksum, u64::from(u32::from(id)));
+        }
+        events += t.events;
+        checksum = fold(checksum, classifier.phases_created());
+    }
+    LaneRun {
+        intervals,
+        events,
+        checksum,
+    }
+}
+
+/// One full experiment-engine sweep: every benchmark of the simulated
+/// suite under two classifier configurations, streamed through the engine
+/// exactly once per trace. The cache must be warm for the timing to
+/// measure replay rather than simulation — run once untimed first.
+pub fn engine_suite(cache: &TraceCache, params: &SuiteParams) -> EngineStats {
+    let configs = [
+        ClassifierConfig::hpca2005(),
+        ClassifierConfig::builder().best_match(false).build(),
+    ];
+    let mut engine = Engine::new(*params);
+    let cells: Vec<_> = BenchmarkKind::ALL
+        .iter()
+        .flat_map(|&kind| configs.iter().map(move |&config| (kind, config)))
+        .map(|(kind, config)| engine.classified(kind, config))
+        .collect();
+    let stats = engine.run(cache);
+    for cell in cells {
+        std::hint::black_box(cell.take());
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately tiny suite so debug-mode tests stay fast.
+    fn tiny_suite() -> Vec<PerfTrace> {
+        let script = SyntheticTrace::new(4_000)
+            .phase(dense(0x1000, 8, 16, 1.0))
+            .phase(dense(0x9000, 8, 16, 2.0))
+            .schedule(&[(0, 10), (1, 10), (0, 10)]);
+        vec![PerfTrace::from_trace("tiny", &script.generate())]
+    }
+
+    #[test]
+    fn decode_lanes_agree() {
+        let suite = tiny_suite();
+        let streaming = decode_streaming(&suite);
+        let eager = decode_eager(&suite);
+        assert_eq!(streaming, eager);
+        assert_eq!(streaming.intervals, 30);
+        assert_eq!(streaming.events, suite_totals(&suite).1);
+        assert_ne!(streaming.checksum, 0);
+    }
+
+    #[test]
+    fn classify_lanes_agree() {
+        let suite = tiny_suite();
+        let config = ClassifierConfig::hpca2005();
+        let streaming = classify_streaming(&suite, config);
+        let eager = classify_eager(&suite, config);
+        assert_eq!(streaming, eager);
+        assert_eq!(streaming.intervals, 30);
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = perf_suite(Scale::Smoke);
+        let b = perf_suite(Scale::Smoke);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.encoded.as_slice(), y.encoded.as_slice(), "{}", x.name);
+            assert_eq!((x.intervals, x.events), (y.intervals, y.events));
+        }
+    }
+
+    #[test]
+    fn smoke_suite_is_smaller_than_full() {
+        let smoke = suite_totals(&perf_suite(Scale::Smoke));
+        let full = suite_totals(&perf_suite(Scale::Full));
+        assert!(smoke.0 < full.0);
+        assert!(smoke.1 < full.1);
+    }
+}

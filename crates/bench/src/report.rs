@@ -1,0 +1,474 @@
+//! Machine-readable perf reports for the `tpcp-perf` harness.
+//!
+//! A run produces a [`PerfReport`] — per-lane wall-clock statistics plus
+//! process-level facts (peak RSS, git revision, engine replay counts) —
+//! serialized as `BENCH_<git-sha>.json` so CI can archive one data point
+//! per commit. The JSON is hand-rolled (the workspace deliberately has no
+//! JSON dependency); [`parse_lane_rates`] reads back exactly the subset a
+//! regression check needs, so the emitter and parser must stay in sync:
+//! `"name"` keys appear only inside lane objects, and each lane object
+//! carries an `"intervals_per_sec"` field after its `"name"`.
+
+use std::time::Duration;
+
+/// Timing statistics for one measured lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneStats {
+    /// Lane identifier (stable across runs; baseline keys match on it).
+    pub name: String,
+    /// Number of timed repetitions (warm-up excluded).
+    pub iters: u32,
+    /// Median wall-clock per repetition, milliseconds.
+    pub median_ms: f64,
+    /// 90th-percentile (nearest-rank) wall-clock per repetition, ms.
+    pub p90_ms: f64,
+    /// Intervals processed per second at the median repetition.
+    pub intervals_per_sec: f64,
+    /// Events processed per second at the median repetition.
+    pub events_per_sec: f64,
+    /// Intervals processed by one repetition.
+    pub intervals: u64,
+    /// Events processed by one repetition.
+    pub events: u64,
+}
+
+/// Collapses raw per-repetition durations into a [`LaneStats`].
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn summarize(name: &str, samples: &[Duration], intervals: u64, events: u64) -> LaneStats {
+    assert!(!samples.is_empty(), "lane {name} measured zero repetitions");
+    let mut ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    ms.sort_by(f64::total_cmp);
+    let median_ms = median(&ms);
+    let p90_ms = percentile(&ms, 0.90);
+    let median_s = median_ms / 1e3;
+    let rate = |n: u64| {
+        if median_s > 0.0 {
+            n as f64 / median_s
+        } else {
+            0.0
+        }
+    };
+    LaneStats {
+        name: name.to_owned(),
+        iters: samples.len() as u32,
+        median_ms,
+        p90_ms,
+        intervals_per_sec: rate(intervals),
+        events_per_sec: rate(events),
+        intervals,
+        events,
+    }
+}
+
+/// Median of an already-sorted slice.
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted slice (`p` in `0.0..=1.0`).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// What the experiment-engine lane did, beyond its timing.
+#[derive(Debug, Clone, Default)]
+pub struct EngineSummary {
+    /// Distinct traces replayed per engine run.
+    pub traces_replayed: usize,
+    /// Largest per-trace replay count (the engine invariant: `<= 1`).
+    pub max_replays_per_trace: u64,
+    /// Total intervals fanned out per engine run.
+    pub total_intervals: u64,
+    /// Per-trace replay counts, keyed by `<benchmark>-<fingerprint>`.
+    pub replay_counts: Vec<(String, u64)>,
+}
+
+/// One full `tpcp-perf` run, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Abbreviated git revision the binary was built from.
+    pub git_sha: String,
+    /// Whether this was a `--smoke` run (reduced suite and iterations).
+    pub smoke: bool,
+    /// Number of synthetic traces in the measured suite.
+    pub suite_traces: usize,
+    /// Intervals one repetition of a suite-wide lane processes.
+    pub suite_intervals: u64,
+    /// Events one repetition of a suite-wide lane processes.
+    pub suite_events: u64,
+    /// Total encoded size of the suite, bytes.
+    pub suite_encoded_bytes: u64,
+    /// Process peak resident set size, bytes (0 if unavailable).
+    pub peak_rss_bytes: u64,
+    /// Streaming-over-eager intervals/sec ratio on the replay+classify lane.
+    pub replay_classify_speedup: f64,
+    /// Per-lane timing statistics.
+    pub lanes: Vec<LaneStats>,
+    /// Engine lane facts, if the engine lane ran.
+    pub engine: Option<EngineSummary>,
+}
+
+impl PerfReport {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"tpcp-bench-v1\",\n");
+        s.push_str(&format!("  \"git_sha\": {},\n", json_string(&self.git_sha)));
+        s.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        s.push_str("  \"suite\": {\n");
+        s.push_str(&format!("    \"traces\": {},\n", self.suite_traces));
+        s.push_str(&format!("    \"intervals\": {},\n", self.suite_intervals));
+        s.push_str(&format!("    \"events\": {},\n", self.suite_events));
+        s.push_str(&format!(
+            "    \"encoded_bytes\": {}\n  }},\n",
+            self.suite_encoded_bytes
+        ));
+        s.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
+        s.push_str(&format!(
+            "  \"replay_classify_speedup\": {},\n",
+            json_f64(self.replay_classify_speedup)
+        ));
+        s.push_str("  \"lanes\": [\n");
+        for (i, lane) in self.lanes.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": {},\n", json_string(&lane.name)));
+            s.push_str(&format!("      \"iters\": {},\n", lane.iters));
+            s.push_str(&format!(
+                "      \"median_ms\": {},\n",
+                json_f64(lane.median_ms)
+            ));
+            s.push_str(&format!("      \"p90_ms\": {},\n", json_f64(lane.p90_ms)));
+            s.push_str(&format!(
+                "      \"intervals_per_sec\": {},\n",
+                json_f64(lane.intervals_per_sec)
+            ));
+            s.push_str(&format!(
+                "      \"events_per_sec\": {},\n",
+                json_f64(lane.events_per_sec)
+            ));
+            s.push_str(&format!("      \"intervals\": {},\n", lane.intervals));
+            s.push_str(&format!("      \"events\": {}\n", lane.events));
+            s.push_str(if i + 1 == self.lanes.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        s.push_str("  ],\n");
+        match &self.engine {
+            None => s.push_str("  \"engine\": null\n"),
+            Some(engine) => {
+                s.push_str("  \"engine\": {\n");
+                s.push_str(&format!(
+                    "    \"traces_replayed\": {},\n",
+                    engine.traces_replayed
+                ));
+                s.push_str(&format!(
+                    "    \"max_replays_per_trace\": {},\n",
+                    engine.max_replays_per_trace
+                ));
+                s.push_str(&format!(
+                    "    \"total_intervals\": {},\n",
+                    engine.total_intervals
+                ));
+                s.push_str("    \"replay_counts\": {");
+                for (i, (key, count)) in engine.replay_counts.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("\n      {}: {}", json_string(key), count));
+                }
+                if !engine.replay_counts.is_empty() {
+                    s.push_str("\n    ");
+                }
+                s.push_str("}\n  }\n");
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// JSON-escapes and quotes a string.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (finite, fixed 3-decimal precision).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "0.000".to_owned()
+    }
+}
+
+/// Extracts `(lane name, intervals_per_sec)` pairs from a report produced
+/// by [`PerfReport::to_json`].
+///
+/// This is a deliberately narrow scanner, not a JSON parser: it relies on
+/// the emitter's invariant that `"name"` keys occur only in lane objects
+/// and are followed by that lane's `"intervals_per_sec"`. Lanes it cannot
+/// make sense of are skipped rather than reported as errors.
+pub fn parse_lane_rates(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"name\"") {
+        rest = &rest[at + "\"name\"".len()..];
+        let Some((name, after_name)) = scan_string_value(rest) else {
+            continue;
+        };
+        // The rate must belong to this lane object: stop at the next lane.
+        let scope_end = after_name.find("\"name\"").unwrap_or(after_name.len());
+        if let Some(rate) = scan_number_after(&after_name[..scope_end], "\"intervals_per_sec\"") {
+            out.push((name, rate));
+        }
+        rest = after_name;
+    }
+    out
+}
+
+/// After a key, skips `: "` and returns the quoted value plus the rest.
+fn scan_string_value(s: &str) -> Option<(String, &str)> {
+    let open = s.find('"')?;
+    let body = &s[open + 1..];
+    let close = body.find('"')?;
+    Some((body[..close].to_owned(), &body[close + 1..]))
+}
+
+/// Finds `key` in `s` and parses the number following its colon.
+fn scan_number_after(s: &str, key: &str) -> Option<f64> {
+    let at = s.find(key)?;
+    let after = &s[at + key.len()..];
+    let colon = after.find(':')?;
+    let num: String = after[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
+}
+
+/// The verdict for one lane of a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneCheck {
+    /// Lane name common to both runs.
+    pub name: String,
+    /// Baseline intervals/sec.
+    pub baseline: f64,
+    /// Current intervals/sec.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Whether the lane regressed beyond the tolerance.
+    pub regressed: bool,
+}
+
+/// Compares the current lanes against a baseline report's JSON.
+///
+/// A lane regresses when its intervals/sec falls below
+/// `baseline * (1 - tolerance)`. Lanes present on only one side are
+/// ignored (new lanes must not fail an old baseline, and retired lanes
+/// must not block forever).
+pub fn check_against_baseline(
+    current: &[LaneStats],
+    baseline_json: &str,
+    tolerance: f64,
+) -> Vec<LaneCheck> {
+    let baseline = parse_lane_rates(baseline_json);
+    let mut checks = Vec::new();
+    for lane in current {
+        let Some(&(_, base_rate)) = baseline.iter().find(|(name, _)| *name == lane.name) else {
+            continue;
+        };
+        let ratio = if base_rate > 0.0 {
+            lane.intervals_per_sec / base_rate
+        } else {
+            1.0
+        };
+        checks.push(LaneCheck {
+            name: lane.name.clone(),
+            baseline: base_rate,
+            current: lane.intervals_per_sec,
+            ratio,
+            regressed: base_rate > 0.0 && ratio < 1.0 - tolerance,
+        });
+    }
+    checks
+}
+
+/// The process's peak resident set size in bytes (`VmHWM`), or 0 when the
+/// platform does not expose `/proc/self/status`.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// The abbreviated git revision of the working tree, falling back to the
+/// `GITHUB_SHA` environment variable, then `"unknown"`.
+pub fn git_sha() -> String {
+    let from_git = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty());
+    from_git
+        .or_else(|| {
+            std::env::var("GITHUB_SHA")
+                .ok()
+                .map(|s| s.chars().take(12).collect())
+        })
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane(name: &str, rate: f64) -> LaneStats {
+        LaneStats {
+            name: name.to_owned(),
+            iters: 3,
+            median_ms: 10.0,
+            p90_ms: 11.0,
+            intervals_per_sec: rate,
+            events_per_sec: rate * 100.0,
+            intervals: 1000,
+            events: 100_000,
+        }
+    }
+
+    fn sample_report() -> PerfReport {
+        PerfReport {
+            git_sha: "abc123".to_owned(),
+            smoke: true,
+            suite_traces: 3,
+            suite_intervals: 1000,
+            suite_events: 100_000,
+            suite_encoded_bytes: 42_000,
+            peak_rss_bytes: 1 << 20,
+            replay_classify_speedup: 2.5,
+            lanes: vec![
+                lane("decode_eager", 50_000.0),
+                lane("decode_streaming", 90_000.0),
+            ],
+            engine: Some(EngineSummary {
+                traces_replayed: 11,
+                max_replays_per_trace: 1,
+                total_intervals: 5000,
+                replay_counts: vec![("mcf-v1".to_owned(), 1)],
+            }),
+        }
+    }
+
+    #[test]
+    fn summarize_median_and_p90() {
+        let samples: Vec<Duration> = [5, 1, 4, 2, 3]
+            .iter()
+            .map(|&s| Duration::from_millis(s))
+            .collect();
+        let stats = summarize("x", &samples, 300, 30_000);
+        assert_eq!(stats.median_ms, 3.0);
+        assert_eq!(stats.p90_ms, 5.0);
+        assert_eq!(stats.iters, 5);
+        assert!((stats.intervals_per_sec - 100_000.0).abs() < 1e-6);
+        assert!((stats.events_per_sec - 10_000_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn summarize_even_sample_count_averages_middle() {
+        let samples: Vec<Duration> = [2, 4].iter().map(|&s| Duration::from_millis(s)).collect();
+        assert_eq!(summarize("x", &samples, 1, 1).median_ms, 3.0);
+    }
+
+    #[test]
+    fn emitted_json_round_trips_through_the_rate_parser() {
+        let report = sample_report();
+        let json = report.to_json();
+        let rates = parse_lane_rates(&json);
+        assert_eq!(rates.len(), 2);
+        assert_eq!(rates[0].0, "decode_eager");
+        assert!((rates[0].1 - 50_000.0).abs() < 0.01);
+        assert_eq!(rates[1].0, "decode_streaming");
+        assert!((rates[1].1 - 90_000.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(f64::NAN), "0.000");
+        assert_eq!(json_f64(f64::INFINITY), "0.000");
+    }
+
+    #[test]
+    fn regression_detected_beyond_tolerance() {
+        let baseline = sample_report().to_json();
+        let current = vec![
+            lane("decode_eager", 50_000.0 * 0.80),    // -20%: regression
+            lane("decode_streaming", 90_000.0 * 0.9), // -10%: within tolerance
+            lane("brand_new_lane", 1.0),              // not in baseline: skipped
+        ];
+        let checks = check_against_baseline(&current, &baseline, 0.15);
+        assert_eq!(checks.len(), 2);
+        assert!(checks[0].regressed, "{checks:?}");
+        assert!(!checks[1].regressed, "{checks:?}");
+        assert!((checks[0].ratio - 0.80).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_never_regresses() {
+        let baseline = sample_report().to_json();
+        let current = vec![lane("decode_eager", 500_000.0)];
+        let checks = check_against_baseline(&current, &baseline, 0.15);
+        assert_eq!(checks.len(), 1);
+        assert!(!checks[0].regressed);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0);
+        }
+    }
+}

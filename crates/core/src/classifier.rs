@@ -59,6 +59,13 @@ pub struct PhaseClassifier {
     next_phase_id: u32,
     intervals_seen: u64,
     transition_intervals: u64,
+    /// Recycled dimension buffer: each interval's signature is projected
+    /// into this storage, and when the signature matches a table entry the
+    /// displaced entry's buffer comes back here. Steady-state
+    /// classification therefore allocates only when a *new* signature is
+    /// inserted. Scratch state, excluded from snapshots.
+    #[serde(skip)]
+    scratch: Vec<u16>,
 }
 
 impl PhaseClassifier {
@@ -77,6 +84,7 @@ impl PhaseClassifier {
             next_phase_id: 1,
             intervals_seen: 0,
             transition_intervals: 0,
+            scratch: Vec::with_capacity(config.accumulators),
         }
     }
 
@@ -106,13 +114,15 @@ impl PhaseClassifier {
 
     /// [`end_interval`](Self::end_interval) with full diagnostics.
     pub fn end_interval_detailed(&mut self, cpi: f64) -> Classification {
+        let buf = std::mem::take(&mut self.scratch);
         let sig = match self.config.bit_selection {
             crate::config::BitSelectionMode::Dynamic => {
-                Signature::from_accumulator(&self.accumulator, self.config.bits_per_dim)
+                Signature::from_accumulator_in(&self.accumulator, self.config.bits_per_dim, buf)
             }
-            crate::config::BitSelectionMode::Static { low_bit } => Signature::with_selection(
+            crate::config::BitSelectionMode::Static { low_bit } => Signature::with_selection_in(
                 &self.accumulator,
                 crate::signature::BitSelection::fixed(low_bit, self.config.bits_per_dim),
+                buf,
             ),
         };
         self.accumulator.reset();
@@ -126,7 +136,7 @@ impl PhaseClassifier {
 
         let classification = match outcome {
             MatchOutcome::Matched { index, distance } => {
-                self.table.touch(index, sig);
+                self.scratch = self.table.touch(index, sig).into_dims();
                 let min_count = self.config.min_count;
                 let adaptive = self.config.adaptive;
                 let mut promoted = false;

@@ -105,6 +105,10 @@ impl BitSelection {
 pub struct Signature {
     dims: Vec<u16>,
     selection: BitSelection,
+    /// Sum of `dims`, cached at construction. The table search compares
+    /// the probe signature against every entry; caching the weight keeps
+    /// each comparison to one pass over the dimensions instead of three.
+    weight: u64,
 }
 
 impl Signature {
@@ -116,16 +120,38 @@ impl Signature {
         Self::with_selection(acc, selection)
     }
 
+    /// Like [`from_accumulator`](Self::from_accumulator), but reuses `buf`
+    /// as the dimension storage instead of allocating. Pair with
+    /// [`into_dims`](Self::into_dims) to recycle one buffer across
+    /// intervals — the classifier's steady state allocates nothing.
+    pub fn from_accumulator_in(acc: &AccumulatorTable, bits_per_dim: u32, buf: Vec<u16>) -> Self {
+        let selection = BitSelection::for_average(acc.average(), bits_per_dim);
+        Self::with_selection_in(acc, selection, buf)
+    }
+
     /// Forms a signature using an explicit bit selection (for modeling the
     /// static selection of prior work and for ablation experiments).
     pub fn with_selection(acc: &AccumulatorTable, selection: BitSelection) -> Self {
+        Self::with_selection_in(acc, selection, Vec::with_capacity(acc.len()))
+    }
+
+    /// [`with_selection`](Self::with_selection) into a reused buffer.
+    pub fn with_selection_in(
+        acc: &AccumulatorTable,
+        selection: BitSelection,
+        mut buf: Vec<u16>,
+    ) -> Self {
+        buf.clear();
+        let mut weight = 0u64;
+        buf.extend(acc.counters().iter().map(|&c| {
+            let d = selection.compress(c);
+            weight += u64::from(d);
+            d
+        }));
         Self {
-            dims: acc
-                .counters()
-                .iter()
-                .map(|&c| selection.compress(c))
-                .collect(),
+            dims: buf,
             selection,
+            weight,
         }
     }
 
@@ -134,14 +160,20 @@ impl Signature {
         &self.dims
     }
 
+    /// Consumes the signature, returning its dimension buffer for reuse.
+    pub fn into_dims(self) -> Vec<u16> {
+        self.dims
+    }
+
     /// The bit selection this signature was formed under.
     pub fn selection(&self) -> BitSelection {
         self.selection
     }
 
-    /// Sum of all dimension values (the signature's "weight").
+    /// Sum of all dimension values (the signature's "weight"), cached at
+    /// construction.
     pub fn weight(&self) -> u64 {
-        self.dims.iter().map(|&d| u64::from(d)).sum()
+        self.weight
     }
 
     /// Raw Manhattan distance between two signatures.
@@ -277,6 +309,30 @@ mod tests {
         let b = Signature::from_accumulator(&acc_from(&[(1, 9_500), (2, 5_400), (3, 150)], 16), 6);
         let d = a.normalized_distance(&b);
         assert!(d < 0.125, "similar intervals should be within 12.5%: {d}");
+    }
+
+    #[test]
+    fn cached_weight_matches_dims_sum() {
+        let sig = Signature::from_accumulator(&acc_from(&[(1, 500), (7, 12_000)], 16), 6);
+        let recomputed: u64 = sig.dims().iter().map(|&d| u64::from(d)).sum();
+        assert_eq!(sig.weight(), recomputed);
+    }
+
+    #[test]
+    fn buffer_reuse_builds_identical_signatures() {
+        let acc = acc_from(&[(1, 10_000), (2, 5_000), (3, 100)], 16);
+        let fresh = Signature::from_accumulator(&acc, 6);
+        // A dirty recycled buffer (wrong contents, wrong length) must not
+        // leak into the rebuilt signature.
+        let recycled = vec![0xffffu16 >> 4; 3];
+        let reused = Signature::from_accumulator_in(&acc, 6, recycled);
+        assert_eq!(fresh, reused);
+        assert_eq!(fresh.weight(), reused.weight());
+        // The buffer round-trips out for the next interval.
+        let buf = reused.into_dims();
+        assert_eq!(buf.len(), 16);
+        let again = Signature::from_accumulator_in(&acc, 6, buf);
+        assert_eq!(fresh, again);
     }
 
     #[test]

@@ -189,12 +189,15 @@ impl SignatureTable {
 
     /// Marks an entry as just-used (moves it to MRU position in LRU order)
     /// and replaces its stored signature with the current one, as the
-    /// architecture does on every match.
-    pub fn touch(&mut self, index: usize, current: Signature) {
+    /// architecture does on every match. Returns the displaced signature
+    /// so callers can recycle its dimension buffer
+    /// ([`Signature::into_dims`]).
+    pub fn touch(&mut self, index: usize, current: Signature) -> Signature {
         self.clock += 1;
         let entry = &mut self.entries[index];
-        entry.signature = current;
+        let displaced = std::mem::replace(&mut entry.signature, current);
         entry.stamp = self.clock;
+        displaced
     }
 
     /// Inserts a new signature, evicting the LRU entry if at capacity.

@@ -2,18 +2,20 @@
 //!
 //! [`Engine::run`] claims trace groups off a shared queue with a small
 //! pool of crossbeam scoped worker threads (one per available core, at
-//! most one per group — a bounded pool keeps at most `workers` decoded
-//! traces in memory at once, unlike thread-per-trace). Each worker loads
-//! its group's trace from the [`TraceCache`], drives every lane through
-//! one [`drive`] pass, and finalizes the lanes, filling the
-//! [`Pending`](crate::engine::Pending) handles. Output is deterministic
-//! under any scheduling because each handle has exactly one writer.
+//! most one per group). Each worker loads its group's *encoded* trace
+//! bytes from the [`TraceCache`] and streams them through every lane with
+//! one [`drive`] pass over a [`StreamingDecoder`] — the trace is never
+//! materialized, so a worker's memory footprint is the encoded buffer
+//! plus the lanes' own state regardless of trace length. Lanes are then
+//! finalized, filling the [`Pending`](crate::engine::Pending) handles.
+//! Output is deterministic under any scheduling because each handle has
+//! exactly one writer.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use tpcp_trace::{drive, IntervalSink, RecordedTrace};
+use tpcp_trace::{drive, IntervalSink, StreamingDecoder};
 
 use crate::engine::{Engine, TraceGroup};
 use crate::suite::TraceCache;
@@ -84,8 +86,8 @@ impl Engine {
                         .take()
                         .expect("each group is claimed exactly once");
                     let key = format!("{}-{}", group.kind.label(), group.params.fingerprint());
-                    let trace = cache.load_or_simulate(group.kind, &group.params);
-                    let intervals = replay_group(group, &trace);
+                    let bytes = cache.load_bytes_or_simulate(group.kind, &group.params);
+                    let intervals = replay_group(group, &bytes);
                     let mut s = stats
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -101,10 +103,12 @@ impl Engine {
     }
 }
 
-/// Replays `trace` once through every lane of `group`, then finalizes the
-/// lanes. Returns the interval count.
-fn replay_group(mut group: TraceGroup, trace: &RecordedTrace) -> usize {
-    let mut replay = trace.replay();
+/// Streams the encoded trace `bytes` once through every lane of `group`,
+/// then finalizes the lanes. Returns the interval count.
+fn replay_group(mut group: TraceGroup, bytes: &[u8]) -> usize {
+    // The cache validated the buffer (and freshly encoded buffers are
+    // well-formed by construction), so streaming cannot fail mid-replay.
+    let mut replay = StreamingDecoder::new(bytes).expect("cache returned a validated trace buffer");
     let mut sinks: Vec<&mut dyn IntervalSink> =
         Vec::with_capacity(group.lanes.len() + group.raw.len());
     for lane in &mut group.lanes {
@@ -115,6 +119,11 @@ fn replay_group(mut group: TraceGroup, trace: &RecordedTrace) -> usize {
     }
     let intervals = drive(&mut replay, &mut sinks);
     drop(sinks);
+    assert!(
+        replay.error().is_none(),
+        "validated trace buffer failed to stream: {:?}",
+        replay.error()
+    );
     for lane in group.lanes {
         lane.finish();
     }

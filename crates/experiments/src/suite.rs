@@ -4,7 +4,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use tpcp_trace::{decode_trace, encode_trace, RecordedTrace};
+use bytes::Bytes;
+use tpcp_trace::{decode_trace, encode_trace, validate_trace, RecordedTrace};
 use tpcp_workloads::{BenchmarkKind, WorkloadParams};
 
 /// Parameters of one suite simulation (everything that affects the traces).
@@ -82,15 +83,33 @@ impl TraceCache {
 
     /// Loads the benchmark's trace from the cache, simulating and storing
     /// it on a miss.
+    ///
+    /// Materializes the full [`RecordedTrace`]; replay-only consumers
+    /// (the experiment engine) should prefer
+    /// [`load_bytes_or_simulate`](Self::load_bytes_or_simulate) and stream
+    /// the encoded buffer instead.
     pub fn load_or_simulate(&self, kind: BenchmarkKind, params: &SuiteParams) -> RecordedTrace {
+        let bytes = self.load_bytes_or_simulate(kind, params);
+        decode_trace(bytes).expect("cache buffer was validated or freshly encoded")
+    }
+
+    /// Loads the benchmark's *encoded* trace buffer from the cache,
+    /// simulating, encoding, and storing it on a miss (or on a corrupt
+    /// entry). The returned buffer is always a valid `TPCPTRC2` trace —
+    /// cached bytes are checked with [`validate_trace`] before being
+    /// returned — so callers can stream it straight into live consumers
+    /// with [`tpcp_trace::StreamingDecoder`] without materializing a
+    /// [`RecordedTrace`].
+    pub fn load_bytes_or_simulate(&self, kind: BenchmarkKind, params: &SuiteParams) -> Bytes {
         let path = self.path_for(kind, params);
         if let Ok(bytes) = fs::read(&path) {
-            if let Ok(trace) = decode_trace(bytes.into()) {
-                return trace;
+            if validate_trace(&bytes).is_ok() {
+                return bytes.into();
             }
             // Corrupt cache entry: fall through and re-simulate.
         }
         let trace = simulate_one(kind, params);
+        let encoded = encode_trace(&trace);
         if fs::create_dir_all(&self.dir).is_ok() {
             // Cache writes are best-effort; a read-only target dir only
             // costs re-simulation. Write-to-temp + rename keeps the final
@@ -105,11 +124,11 @@ impl TraceCache {
                 std::process::id(),
                 next_temp_id(),
             ));
-            if fs::write(&tmp, encode_trace(&trace)).is_ok() && fs::rename(&tmp, &path).is_err() {
+            if fs::write(&tmp, &encoded).is_ok() && fs::rename(&tmp, &path).is_err() {
                 let _ = fs::remove_file(&tmp);
             }
         }
-        trace
+        encoded
     }
 
     /// Loads or simulates all eleven benchmarks, in parallel (one thread

@@ -93,6 +93,61 @@ fn shared_engine_replays_each_trace_once() {
     assert_eq!(batch, alone);
 }
 
+/// Streaming replay (the engine's path: encoded bytes through a
+/// `StreamingDecoder`) and eager replay (materialized `RecordedTrace`)
+/// produce identical `ClassifiedRun`s — the zero-copy decode is
+/// observationally equivalent to full materialization.
+#[test]
+fn streaming_and_eager_replay_classify_identically() {
+    use tpcp_trace::{decode_trace, drive, IntervalSink, StreamingDecoder};
+
+    let cache = test_cache();
+    let params = SuiteParams::quick();
+    for kind in [BenchmarkKind::Mcf, BenchmarkKind::GzipGraphic] {
+        let bytes = cache.load_bytes_or_simulate(kind, &params);
+        let config = ClassifierConfig::hpca2005();
+
+        // Eager: materialize, then classify the replay.
+        let trace = decode_trace(bytes.clone()).unwrap();
+        let eager = run_classifier(&trace, config);
+
+        // Streaming: classify straight off the encoded buffer. The engine
+        // registers a classifier lane over the same byte stream.
+        let mut engine = Engine::new(params);
+        let cell = engine.classified(kind, config);
+        engine.run(&cache);
+        let streamed = cell.take();
+
+        assert_eq!(streamed, eager, "{}", kind.label());
+
+        // And the raw interval stream itself is identical: a counting sink
+        // driven from the decoder sees the same events and summaries.
+        #[derive(Default, PartialEq, Debug)]
+        struct Tally {
+            events: u64,
+            insns: u64,
+            intervals: u64,
+            cycles: u64,
+        }
+        impl IntervalSink for Tally {
+            fn observe(&mut self, ev: &tpcp_trace::BranchEvent) {
+                self.events += 1;
+                self.insns += u64::from(ev.insns);
+            }
+            fn end_interval(&mut self, summary: &tpcp_trace::IntervalSummary) {
+                self.intervals += 1;
+                self.cycles += summary.cycles;
+            }
+        }
+        let mut from_stream = Tally::default();
+        let mut decoder = StreamingDecoder::new(&bytes).unwrap();
+        drive(&mut decoder, &mut [&mut from_stream]);
+        let mut from_eager = Tally::default();
+        drive(&mut trace.replay(), &mut [&mut from_eager]);
+        assert_eq!(from_stream, from_eager, "{}", kind.label());
+    }
+}
+
 /// Two identical engine runs produce identical output: results are keyed
 /// by registration, not by worker scheduling.
 #[test]

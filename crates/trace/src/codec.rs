@@ -17,13 +17,34 @@
 //!   n_events: u64
 //!   per event: pc_delta_zigzag: varint, insns: varint
 //! ```
+//!
+//! Two decoders share one decode loop:
+//!
+//! - [`decode_trace`] materializes the whole buffer into a
+//!   [`RecordedTrace`] (archival, tooling, tests).
+//! - [`StreamingDecoder`] yields one interval at a time straight off the
+//!   borrowed buffer — no per-interval `Vec` is built unless the caller
+//!   asks for one — and implements
+//!   [`IntervalSource`](crate::IntervalSource), so a trace replays through
+//!   [`drive`](crate::drive) without ever being materialized. This is the
+//!   hot path of the experiment engine.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::event::BranchEvent;
+use crate::interval::{IntervalSource, IntervalSummary};
 use crate::recorded::{RecordedInterval, RecordedTrace};
 
 const MAGIC: &[u8; 8] = b"TPCPTRC2";
+
+/// Minimum encoded size of one interval: 3 fixed u64s, five 1-byte
+/// varints, and the 8-byte event count. Used to bound a declared
+/// `n_intervals` against the remaining buffer before allocating.
+const MIN_INTERVAL_BYTES: usize = 24 + 5 + 8;
+
+/// Minimum encoded size of one event (two 1-byte varints). Used to bound a
+/// declared `n_events` against the remaining buffer before allocating.
+const MIN_EVENT_BYTES: usize = 2;
 
 /// Errors produced when decoding a trace buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +55,11 @@ pub enum CodecError {
     Truncated,
     /// A varint ran past its maximum width.
     MalformedVarint,
+    /// A declared count (`n_intervals` or `n_events`) is larger than the
+    /// remaining buffer could possibly hold. Rejected before any
+    /// allocation, so a corrupt header cannot trigger an OOM-sized
+    /// `Vec::with_capacity`.
+    ImplausibleLength,
 }
 
 impl core::fmt::Display for CodecError {
@@ -42,6 +68,9 @@ impl core::fmt::Display for CodecError {
             CodecError::BadMagic => write!(f, "buffer is not a TPCP trace (bad magic)"),
             CodecError::Truncated => write!(f, "trace buffer ended prematurely"),
             CodecError::MalformedVarint => write!(f, "malformed varint in trace buffer"),
+            CodecError::ImplausibleLength => {
+                write!(f, "declared element count exceeds remaining buffer")
+            }
         }
     }
 }
@@ -68,13 +97,44 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+/// Reads a little-endian u64 at `*pos`, advancing it.
+#[inline]
+fn read_u64_le(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let end = pos.checked_add(8).ok_or(CodecError::Truncated)?;
+    let bytes = buf.get(*pos..end).ok_or(CodecError::Truncated)?;
+    *pos = end;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+}
+
+/// Decodes a varint at `*pos` in place, advancing it.
+#[inline]
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    // One- and two-byte fast paths: per-event PC deltas and instruction
+    // counts almost always fit in 14 bits, and this function dominates
+    // decode time.
+    let p = *pos;
+    if let Some(&b0) = buf.get(p) {
+        if b0 < 0x80 {
+            *pos = p + 1;
+            return Ok(u64::from(b0));
+        }
+        if let Some(&b1) = buf.get(p + 1) {
+            if b1 < 0x80 {
+                *pos = p + 2;
+                return Ok(u64::from(b0 & 0x7f) | u64::from(b1) << 7);
+            }
+        }
+    }
+    read_varint_general(buf, pos)
+}
+
+/// The general varint loop: any length up to ten bytes, shared by the
+/// fast-path fallthrough (including its truncated/overlong cases).
+fn read_varint_general(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     let mut out = 0u64;
     for shift in (0..64).step_by(7) {
-        if !buf.has_remaining() {
-            return Err(CodecError::Truncated);
-        }
-        let byte = buf.get_u8();
+        let byte = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
         out |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
             return Ok(out);
@@ -119,59 +179,237 @@ pub fn encode_trace(trace: &RecordedTrace) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes a buffer produced by [`encode_trace`].
+/// Decodes a buffer produced by [`encode_trace`] into a fully materialized
+/// [`RecordedTrace`].
+///
+/// Replay-only consumers should prefer [`StreamingDecoder`], which walks
+/// the same format without building per-interval event vectors.
 ///
 /// # Errors
 ///
 /// Returns [`CodecError`] if the buffer is not a trace, is truncated, or
 /// contains a malformed varint.
-pub fn decode_trace(mut buf: Bytes) -> Result<RecordedTrace, CodecError> {
-    if buf.remaining() < MAGIC.len() {
-        return Err(CodecError::Truncated);
-    }
-    let mut magic = [0u8; 8];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    if buf.remaining() < 8 {
-        return Err(CodecError::Truncated);
-    }
-    let n_intervals = buf.get_u64_le() as usize;
-    let mut intervals = Vec::with_capacity(n_intervals.min(1 << 20));
-    for _ in 0..n_intervals {
-        if buf.remaining() < 24 {
-            return Err(CodecError::Truncated);
-        }
-        let index = buf.get_u64_le();
-        let instructions = buf.get_u64_le();
-        let cycles = buf.get_u64_le();
-        let metrics = crate::metrics::MetricCounts {
-            il1_misses: get_varint(&mut buf)?,
-            dl1_misses: get_varint(&mut buf)?,
-            l2_misses: get_varint(&mut buf)?,
-            tlb_misses: get_varint(&mut buf)?,
-            branch_mispredictions: get_varint(&mut buf)?,
-        };
-        if buf.remaining() < 8 {
-            return Err(CodecError::Truncated);
-        }
-        let n_events = buf.get_u64_le() as usize;
-        let mut events = Vec::with_capacity(n_events.min(1 << 24));
-        let mut prev_pc = 0i64;
-        for _ in 0..n_events {
-            let delta = zigzag_decode(get_varint(&mut buf)?);
-            let insns = get_varint(&mut buf)?;
-            prev_pc = prev_pc.wrapping_add(delta);
-            events.push(BranchEvent::new(prev_pc as u64, insns as u32));
-        }
+pub fn decode_trace(buf: Bytes) -> Result<RecordedTrace, CodecError> {
+    let mut decoder = StreamingDecoder::new(&buf)?;
+    // Safe to allocate: `StreamingDecoder::new` bounded `n_intervals`
+    // against the buffer length.
+    let mut intervals = Vec::with_capacity(decoder.n_intervals() as usize);
+    let mut events: Vec<BranchEvent> = Vec::new();
+    while let Some(summary) = decoder.try_next_interval_with(&mut |ev| events.push(ev))? {
+        let hint = events.len();
         intervals.push(RecordedInterval {
-            events,
-            summary: crate::interval::IntervalSummary::new(index, instructions, cycles)
-                .with_metrics(metrics),
+            events: std::mem::take(&mut events),
+            summary,
         });
+        // Intervals of a trace are similar in size: sizing each fresh
+        // vector off its predecessor avoids regrowing from empty.
+        events.reserve(hint);
     }
     Ok(RecordedTrace { intervals })
+}
+
+/// Validates an encoded trace buffer without materializing anything.
+///
+/// Walks every interval and event frame, checking magic, bounds, and
+/// varint well-formedness. Returns the interval count on success. This is
+/// what cache readers run before streaming a buffer into live consumers:
+/// it costs one allocation-free pass and guarantees the subsequent replay
+/// cannot fail half-way through.
+pub fn validate_trace(buf: &[u8]) -> Result<u64, CodecError> {
+    let mut decoder = StreamingDecoder::new(buf)?;
+    while decoder.try_next_interval_with(&mut |_| {})?.is_some() {}
+    Ok(decoder.intervals_decoded())
+}
+
+/// A streaming, zero-copy decoder over an encoded trace buffer.
+///
+/// Yields one interval at a time straight off the borrowed bytes: PC
+/// deltas and instruction counts are zigzag/varint-decoded in place and
+/// handed to the caller's event callback, so replaying a multi-gigabyte
+/// trace needs no heap proportional to the trace. An optional scratch
+/// buffer ([`next_interval_buffered`](Self::next_interval_buffered)) is
+/// reused across intervals for callers that want a slice view.
+///
+/// `StreamingDecoder` implements [`IntervalSource`], so it can be driven
+/// through [`drive`](crate::drive) like any replay. Because
+/// `IntervalSource` cannot surface errors, a decode error in that mode
+/// ends the stream early and is reported by [`error`](Self::error);
+/// callers replaying untrusted bytes should run [`validate_trace`] first
+/// (or use [`try_next_interval`](Self::try_next_interval)).
+///
+/// # Example
+///
+/// ```
+/// use tpcp_trace::{encode_trace, IntervalSource, RecordedTrace, StreamingDecoder};
+/// # use tpcp_trace::{BranchEvent, IntervalCutter};
+///
+/// # let events = (0..40u64).map(|i| (BranchEvent::new(i % 2, 10), 10u64));
+/// # let trace = RecordedTrace::record(IntervalCutter::from_iter(100, events));
+/// let bytes = encode_trace(&trace);
+/// let mut decoder = StreamingDecoder::new(&bytes)?;
+/// let mut n = 0;
+/// while decoder.next_interval(&mut |_ev| n += 1).is_some() {}
+/// assert_eq!(decoder.error(), None);
+/// assert_eq!(decoder.intervals_decoded(), trace.len() as u64);
+/// # Ok::<(), tpcp_trace::CodecError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    n_intervals: u64,
+    decoded: u64,
+    scratch: Vec<BranchEvent>,
+    error: Option<CodecError>,
+}
+
+impl<'a> StreamingDecoder<'a> {
+    /// Opens a decoder over `buf`, validating the magic and header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::BadMagic`] for a non-trace buffer,
+    /// [`CodecError::Truncated`] for a short header, and
+    /// [`CodecError::ImplausibleLength`] when the declared interval count
+    /// cannot fit in the remaining bytes.
+    pub fn new(buf: &'a [u8]) -> Result<Self, CodecError> {
+        let mut pos = 0usize;
+        let magic = buf.get(..MAGIC.len()).ok_or(CodecError::Truncated)?;
+        if magic != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        pos += MAGIC.len();
+        let n_intervals = read_u64_le(buf, &mut pos)?;
+        let remaining = buf.len() - pos;
+        if n_intervals > (remaining / MIN_INTERVAL_BYTES) as u64 {
+            return Err(CodecError::ImplausibleLength);
+        }
+        Ok(Self {
+            buf,
+            pos,
+            n_intervals,
+            decoded: 0,
+            scratch: Vec::new(),
+            error: None,
+        })
+    }
+
+    /// Total intervals the header declares.
+    pub fn n_intervals(&self) -> u64 {
+        self.n_intervals
+    }
+
+    /// Intervals decoded so far.
+    pub fn intervals_decoded(&self) -> u64 {
+        self.decoded
+    }
+
+    /// The decode error that ended an [`IntervalSource`]-mode replay, if
+    /// any. `None` means every interval delivered so far decoded cleanly.
+    pub fn error(&self) -> Option<CodecError> {
+        self.error.clone()
+    }
+
+    /// Decodes the next interval, delivering each event to `on_event` in
+    /// program order, then returns the interval summary. `Ok(None)` means
+    /// every declared interval has been decoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a truncated or malformed frame. Events
+    /// already delivered for the failing interval are not recalled, so
+    /// callers feeding live consumers should pre-validate untrusted
+    /// buffers with [`validate_trace`].
+    pub fn try_next_interval(
+        &mut self,
+        on_event: &mut dyn FnMut(BranchEvent),
+    ) -> Result<Option<IntervalSummary>, CodecError> {
+        self.try_next_interval_with(&mut |ev| on_event(ev))
+    }
+
+    /// [`try_next_interval`](Self::try_next_interval) with a statically
+    /// dispatched callback. Single-consumer hot loops (the perf harness,
+    /// eager decode) get the event delivery inlined; multi-sink fan-out
+    /// goes through the `dyn` wrapper above.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a truncated or malformed frame, exactly
+    /// as [`try_next_interval`](Self::try_next_interval).
+    #[inline]
+    pub fn try_next_interval_with<F: FnMut(BranchEvent)>(
+        &mut self,
+        on_event: &mut F,
+    ) -> Result<Option<IntervalSummary>, CodecError> {
+        if self.decoded >= self.n_intervals {
+            return Ok(None);
+        }
+        let buf = self.buf;
+        let pos = &mut self.pos;
+        let index = read_u64_le(buf, pos)?;
+        let instructions = read_u64_le(buf, pos)?;
+        let cycles = read_u64_le(buf, pos)?;
+        let metrics = crate::metrics::MetricCounts {
+            il1_misses: read_varint(buf, pos)?,
+            dl1_misses: read_varint(buf, pos)?,
+            l2_misses: read_varint(buf, pos)?,
+            tlb_misses: read_varint(buf, pos)?,
+            branch_mispredictions: read_varint(buf, pos)?,
+        };
+        let n_events = read_u64_le(buf, pos)?;
+        if n_events > ((buf.len() - *pos) / MIN_EVENT_BYTES) as u64 {
+            return Err(CodecError::ImplausibleLength);
+        }
+        let mut prev_pc = 0i64;
+        for _ in 0..n_events {
+            let delta = zigzag_decode(read_varint(buf, pos)?);
+            let insns = read_varint(buf, pos)?;
+            prev_pc = prev_pc.wrapping_add(delta);
+            on_event(BranchEvent::new(prev_pc as u64, insns as u32));
+        }
+        self.decoded += 1;
+        Ok(Some(
+            IntervalSummary::new(index, instructions, cycles).with_metrics(metrics),
+        ))
+    }
+
+    /// Decodes the next interval into an internal scratch buffer that is
+    /// reused across calls, returning the events as a slice alongside the
+    /// summary. One allocation amortized over the whole trace, regardless
+    /// of interval count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on a truncated or malformed frame.
+    #[allow(clippy::type_complexity)]
+    pub fn next_interval_buffered(
+        &mut self,
+    ) -> Result<Option<(&[BranchEvent], IntervalSummary)>, CodecError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let result = self.try_next_interval(&mut |ev| scratch.push(ev));
+        self.scratch = scratch;
+        match result {
+            Ok(Some(summary)) => Ok(Some((&self.scratch, summary))),
+            Ok(None) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl IntervalSource for StreamingDecoder<'_> {
+    fn next_interval(&mut self, on_event: &mut dyn FnMut(BranchEvent)) -> Option<IntervalSummary> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.try_next_interval(on_event) {
+            Ok(summary) => summary,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +452,26 @@ mod tests {
     }
 
     #[test]
+    fn truncation_detected_at_every_byte_boundary() {
+        // Exhaustive: a cut anywhere strictly inside the buffer must fail
+        // both the eager and the streaming decoder — no frame boundary is
+        // silently tolerated as end-of-trace.
+        let data = encode_trace(&sample());
+        for cut in 0..data.len() {
+            let sliced = &data[..cut];
+            assert!(
+                validate_trace(sliced).is_err(),
+                "streaming validate of cut at {cut} should fail"
+            );
+            assert!(
+                decode_trace(data.slice(..cut)).is_err(),
+                "eager decode of cut at {cut} should fail"
+            );
+        }
+        assert!(validate_trace(&data).is_ok());
+    }
+
+    #[test]
     fn zigzag_round_trip() {
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 12345, -98765] {
             assert_eq!(zigzag_decode(zigzag_encode(v)), v);
@@ -227,16 +485,138 @@ mod tests {
         for &v in &values {
             put_varint(&mut buf, v);
         }
-        let mut bytes = buf.freeze();
+        let bytes = buf.freeze();
+        let mut pos = 0usize;
         for &v in &values {
-            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+            assert_eq!(read_varint(&bytes, &mut pos).unwrap(), v);
         }
+        assert_eq!(pos, bytes.len());
+    }
+
+    #[test]
+    fn malformed_varint_rejected() {
+        // 10 continuation bytes exceed the maximum 64-bit varint width.
+        let overlong = [0xffu8; 10];
+        let mut pos = 0usize;
+        assert_eq!(
+            read_varint(&overlong, &mut pos),
+            Err(CodecError::MalformedVarint)
+        );
+
+        // The same overlong varint planted in a real frame (first metric
+        // varint of the first interval) surfaces through both decoders.
+        let mut data = encode_trace(&sample()).to_vec();
+        let metrics_offset = 8 + 8 + 24; // magic + n_intervals + fixed summary
+        data.splice(metrics_offset..metrics_offset + 1, [0xff; 10]);
+        assert_eq!(
+            validate_trace(&data),
+            Err(CodecError::MalformedVarint),
+            "streaming decoder must reject an overlong varint"
+        );
+        assert_eq!(
+            decode_trace(Bytes::from(data)),
+            Err(CodecError::MalformedVarint)
+        );
+    }
+
+    #[test]
+    fn implausible_interval_count_rejected_before_allocating() {
+        // A corrupt header declaring u64::MAX intervals must fail fast
+        // with ImplausibleLength, not attempt a giant Vec::with_capacity.
+        let mut data = encode_trace(&sample()).to_vec();
+        data[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            decode_trace(Bytes::from(data.clone())),
+            Err(CodecError::ImplausibleLength)
+        );
+        assert_eq!(
+            StreamingDecoder::new(&data).err(),
+            Some(CodecError::ImplausibleLength)
+        );
+    }
+
+    #[test]
+    fn implausible_event_count_rejected_before_allocating() {
+        // Corrupt the first interval's n_events field (fixed offset:
+        // magic + n_intervals + 24-byte summary + five 1-byte varints —
+        // the sample's metrics are all zero).
+        let mut data = encode_trace(&sample()).to_vec();
+        let n_events_offset = 8 + 8 + 24 + 5;
+        data[n_events_offset..n_events_offset + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert_eq!(
+            decode_trace(Bytes::from(data.clone())),
+            Err(CodecError::ImplausibleLength)
+        );
+        assert_eq!(validate_trace(&data), Err(CodecError::ImplausibleLength));
+    }
+
+    #[test]
+    fn streaming_decode_matches_eager_decode() {
+        let trace = sample();
+        let bytes = encode_trace(&trace);
+        let eager = decode_trace(bytes.clone()).unwrap();
+
+        let mut decoder = StreamingDecoder::new(&bytes).unwrap();
+        let mut streamed = Vec::new();
+        let mut events = Vec::new();
+        while let Some(summary) = decoder
+            .try_next_interval(&mut |ev| events.push(ev))
+            .unwrap()
+        {
+            streamed.push(RecordedInterval {
+                events: std::mem::take(&mut events),
+                summary,
+            });
+        }
+        assert_eq!(eager.intervals, streamed);
+        assert_eq!(decoder.intervals_decoded(), trace.len() as u64);
+    }
+
+    #[test]
+    fn streaming_buffered_reuses_scratch() {
+        let trace = sample();
+        let bytes = encode_trace(&trace);
+        let mut decoder = StreamingDecoder::new(&bytes).unwrap();
+        let mut i = 0;
+        while let Some((events, summary)) = decoder.next_interval_buffered().unwrap() {
+            assert_eq!(events, &trace.intervals[i].events[..]);
+            assert_eq!(summary, trace.intervals[i].summary);
+            i += 1;
+        }
+        assert_eq!(i, trace.len());
+    }
+
+    #[test]
+    fn streaming_decoder_is_an_interval_source() {
+        let trace = sample();
+        let bytes = encode_trace(&trace);
+        let mut decoder = StreamingDecoder::new(&bytes).unwrap();
+        let replayed = RecordedTrace::record(&mut decoder);
+        assert_eq!(replayed, trace);
+        assert_eq!(decoder.error(), None);
+    }
+
+    #[test]
+    fn interval_source_mode_reports_error_and_stops() {
+        let trace = sample();
+        let data = encode_trace(&trace);
+        let cut = &data[..data.len() - 1];
+        let mut decoder = StreamingDecoder::new(cut).unwrap();
+        let mut n = 0usize;
+        while decoder.next_interval(&mut |_| {}).is_some() {
+            n += 1;
+        }
+        assert!(n < trace.len(), "truncated stream must end early");
+        assert_eq!(decoder.error(), Some(CodecError::Truncated));
+        // Stays finished: repeated polls keep returning None.
+        assert!(decoder.next_interval(&mut |_| {}).is_none());
     }
 
     #[test]
     fn empty_trace_round_trips() {
         let trace = RecordedTrace::default();
         assert_eq!(decode_trace(encode_trace(&trace)).unwrap(), trace);
+        assert_eq!(validate_trace(&encode_trace(&trace)).unwrap(), 0);
     }
 
     #[test]

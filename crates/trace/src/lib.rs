@@ -51,7 +51,7 @@ mod stats;
 mod synthetic;
 
 pub use bbv::{Bbv, BbvBuilder, BbvTrace};
-pub use codec::{decode_trace, encode_trace, CodecError};
+pub use codec::{decode_trace, encode_trace, validate_trace, CodecError, StreamingDecoder};
 pub use event::BranchEvent;
 pub use interval::{IntervalCutter, IntervalSource, IntervalSummary, TimedEvent};
 pub use metrics::MetricCounts;

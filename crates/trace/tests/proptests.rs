@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use tpcp_trace::{
-    decode_trace, encode_trace, BbvBuilder, BranchEvent, IntervalCutter, IntervalSource,
-    RecordedTrace,
+    decode_trace, encode_trace, validate_trace, BbvBuilder, BranchEvent, IntervalCutter,
+    IntervalSource, RecordedTrace, StreamingDecoder,
 };
 
 fn arb_event() -> impl Strategy<Value = (BranchEvent, u64)> {
@@ -51,6 +51,40 @@ proptest! {
         let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
         let decoded = decode_trace(encode_trace(&trace)).unwrap();
         prop_assert_eq!(trace, decoded);
+    }
+
+    /// Streaming decode of an encoded trace is indistinguishable from
+    /// eager decode: identical intervals, summaries, and event streams.
+    #[test]
+    fn streaming_decode_equals_eager_decode(
+        events in prop::collection::vec(arb_event(), 0..300),
+        interval_size in 1u64..3_000,
+    ) {
+        let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
+        let bytes = encode_trace(&trace);
+        let eager = decode_trace(bytes.clone()).unwrap();
+
+        prop_assert_eq!(validate_trace(&bytes).unwrap(), trace.len() as u64);
+        let mut decoder = StreamingDecoder::new(&bytes).unwrap();
+        let streamed = RecordedTrace::record(&mut decoder);
+        prop_assert_eq!(decoder.error(), None);
+        prop_assert_eq!(&streamed, &eager);
+        prop_assert_eq!(&streamed, &trace);
+    }
+
+    /// Any strict prefix of an encoded non-empty trace fails to decode —
+    /// truncation at every byte boundary is detected by both decoders.
+    #[test]
+    fn truncated_buffers_always_rejected(
+        events in prop::collection::vec(arb_event(), 1..100),
+        interval_size in 1u64..2_000,
+        cut_seed in any::<u64>(),
+    ) {
+        let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
+        let bytes = encode_trace(&trace);
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(validate_trace(&bytes[..cut]).is_err());
+        prop_assert!(decode_trace(bytes.slice(..cut)).is_err());
     }
 
     /// Replay of a recording is indistinguishable from the recording.
