@@ -1,0 +1,91 @@
+//! Micro-benchmarks for the thresholded signature distance: the
+//! early-exit `within_distance` scan against the unconditional
+//! `normalized_distance`, and a full table search routed through each.
+//!
+//! Three probe/entry relationships matter: *near* pairs (the scan runs to
+//! the end and accepts — the early exit must not cost anything), *far*
+//! pairs (the scan bails in the first chunks — the win case), and a
+//! realistic LRU table where most entries are far.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tpcp_core::{AccumulatorTable, Signature, SignatureTable};
+use tpcp_trace::BranchEvent;
+
+fn signature(seed: u64, n: usize) -> Signature {
+    let mut acc = AccumulatorTable::new(n);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for _ in 0..64 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        acc.observe(BranchEvent::new(state, (state % 10_000) as u32));
+    }
+    Signature::from_accumulator(&acc, 6)
+}
+
+/// A signature close to `base`: same code, slightly perturbed weights.
+fn near(base_seed: u64, n: usize) -> (Signature, Signature) {
+    let mut acc = AccumulatorTable::new(n);
+    let mut state = base_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut pcs = Vec::new();
+    for _ in 0..64 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        pcs.push(state);
+        acc.observe(BranchEvent::new(state, (state % 10_000) as u32));
+    }
+    let a = Signature::from_accumulator(&acc, 6);
+    acc.reset();
+    for &pc in &pcs {
+        acc.observe(BranchEvent::new(pc, (pc % 10_000) as u32 + 37));
+    }
+    (a, Signature::from_accumulator(&acc, 6))
+}
+
+fn bench_pairwise(c: &mut Criterion) {
+    for n in [16usize, 64] {
+        let mut group = c.benchmark_group(format!("distance/pairwise_{n}"));
+        let (a, b) = near(1, n);
+        let far_a = signature(2, n);
+        let far_b = signature(999_983, n);
+        group.bench_function("near_full", |bch| {
+            bch.iter(|| black_box(a.normalized_distance(&b)))
+        });
+        group.bench_function("near_within", |bch| {
+            bch.iter(|| black_box(a.within_distance(&b, 0.25)))
+        });
+        group.bench_function("far_full", |bch| {
+            bch.iter(|| black_box(far_a.normalized_distance(&far_b)))
+        });
+        group.bench_function("far_within", |bch| {
+            bch.iter(|| black_box(far_a.within_distance(&far_b, 0.25)))
+        });
+        group.finish();
+    }
+}
+
+fn bench_table_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance/table_search");
+    for n in [16usize, 64] {
+        let mut table = SignatureTable::new(Some(64), 0.25);
+        for seed in 10..74 {
+            table.insert(signature(seed, n));
+        }
+        // A probe unrelated to the stored entries: best-match still scans
+        // the whole table, so the per-entry early exit dominates the cost.
+        let probe = signature(1_000_003, n);
+        group.bench_function(format!("best_match_{n}"), |bch| {
+            bch.iter(|| black_box(table.find_best_match(&probe)))
+        });
+        group.bench_function(format!("first_match_{n}"), |bch| {
+            bch.iter(|| black_box(table.find_first_match(&probe)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise, bench_table_search);
+criterion_main!(benches);

@@ -23,8 +23,8 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use tpcp_bench::perf::{
-    classify_eager, classify_streaming, decode_eager, decode_streaming, engine_suite, perf_suite,
-    suite_totals, LaneRun, PerfTrace, Scale,
+    classify_eager, classify_streaming, decode_eager, decode_streaming, engine_lanes, engine_suite,
+    perf_suite, suite_totals, LaneRun, PerfTrace, Scale,
 };
 use tpcp_bench::report::{
     check_against_baseline, git_sha, peak_rss_bytes, summarize, EngineSummary, LaneStats,
@@ -40,11 +40,12 @@ struct Args {
     check: Option<PathBuf>,
     tolerance: f64,
     engine: bool,
+    lanes: Vec<usize>,
     refresh_baseline: bool,
 }
 
 const USAGE: &str = "usage: tpcp-perf [--smoke] [--iters N] [--out DIR] [--check FILE] \
-                     [--tolerance FRAC] [--no-engine] [--refresh-baseline]";
+                     [--tolerance FRAC] [--no-engine] [--lanes N,N,...] [--refresh-baseline]";
 
 fn parse_args() -> Result<Args, String> {
     let mut smoke = false;
@@ -53,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
     let mut check = None;
     let mut tolerance = 0.15;
     let mut engine = true;
+    let mut lanes = vec![1usize, 8, 32];
     let mut refresh_baseline = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -77,6 +79,16 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--tolerance: {e}"))?;
             }
             "--no-engine" => engine = false,
+            "--lanes" => {
+                lanes = value("--lanes")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("--lanes: {e}"))?;
+                if lanes.contains(&0) {
+                    return Err("--lanes: counts must be positive".to_owned());
+                }
+            }
             "--refresh-baseline" => refresh_baseline = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
@@ -89,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
         check,
         tolerance,
         engine,
+        lanes,
         refresh_baseline,
     })
 }
@@ -235,6 +248,34 @@ fn main() -> ExitCode {
     } else {
         None
     };
+
+    if args.engine && !args.lanes.is_empty() {
+        println!(
+            "timing lanes-scaling engine runs ({:?} lanes, {} iters) ...",
+            args.lanes, args.iters
+        );
+        let cache = TraceCache::default_location();
+        let params = SuiteParams::quick();
+        for &n in &args.lanes {
+            let (reference, fanned) = engine_lanes(&cache, &params, n); // warm-up + cache fill
+            assert!(
+                reference.max_replays_per_trace() <= 1,
+                "lanes-scaling run replayed a trace more than once"
+            );
+            let mut samples = Vec::with_capacity(args.iters as usize);
+            for _ in 0..args.iters {
+                let start = Instant::now();
+                let (stats, fanned_now) = engine_lanes(&cache, &params, n);
+                samples.push(start.elapsed());
+                assert_eq!(
+                    fanned_now, fanned,
+                    "lanes-scaling interval totals drifted across repetitions"
+                );
+                assert!(stats.max_replays_per_trace() <= 1);
+            }
+            lanes.push(summarize(&format!("engine_lanes_{n}"), &samples, fanned, 0));
+        }
+    }
 
     println!();
     for lane in &lanes {

@@ -286,6 +286,39 @@ pub fn engine_suite(cache: &TraceCache, params: &SuiteParams) -> EngineStats {
     stats
 }
 
+/// `n` distinct classifier configurations for the lanes-scaling lane,
+/// cycling through 16/32/64 accumulators the way an ablation sweep mixes
+/// dimensionalities. Each config is distinct (the engine deduplicates
+/// identical ones), so registering all of them yields exactly `n` lanes.
+pub fn lane_configs(n: usize) -> Vec<ClassifierConfig> {
+    (0..n)
+        .map(|i| {
+            ClassifierConfig::builder()
+                .accumulators([16, 32, 64][i % 3])
+                .table_entries(Some(24 + i))
+                .build()
+        })
+        .collect()
+}
+
+/// One lanes-scaling engine run: `n` classifier lanes riding a single
+/// benchmark trace. Returns the sweep stats plus the fanned-out interval
+/// count (`trace intervals × n`), which is what the lane's intervals/sec
+/// is measured over.
+pub fn engine_lanes(cache: &TraceCache, params: &SuiteParams, n: usize) -> (EngineStats, u64) {
+    let mut engine = Engine::new(*params);
+    let cells: Vec<_> = lane_configs(n)
+        .into_iter()
+        .map(|config| engine.classified(BenchmarkKind::Mcf, config))
+        .collect();
+    let stats = engine.run(cache);
+    for cell in cells {
+        std::hint::black_box(cell.take());
+    }
+    let fanned = stats.total_intervals() * n as u64;
+    (stats, fanned)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -115,17 +115,53 @@ impl PhaseClassifier {
     /// [`end_interval`](Self::end_interval) with full diagnostics.
     pub fn end_interval_detailed(&mut self, cpi: f64) -> Classification {
         let buf = std::mem::take(&mut self.scratch);
-        let sig = match self.config.bit_selection {
-            crate::config::BitSelectionMode::Dynamic => {
-                Signature::from_accumulator_in(&self.accumulator, self.config.bits_per_dim, buf)
-            }
-            crate::config::BitSelectionMode::Static { low_bit } => Signature::with_selection_in(
-                &self.accumulator,
-                crate::signature::BitSelection::fixed(low_bit, self.config.bits_per_dim),
-                buf,
-            ),
-        };
+        let sig = build_signature(&self.config, &self.accumulator, buf);
         self.accumulator.reset();
+        self.classify_signature(sig, cpi)
+    }
+
+    /// Ends the current interval against an *externally owned* accumulator
+    /// table, returning the interval's phase ID.
+    ///
+    /// This is the shared-accumulation entry point: many classifier
+    /// configurations that agree on the accumulator count can ride one
+    /// per-branch accumulation pass (the accumulator state depends only on
+    /// the event stream and the counter count), and each classifier reads
+    /// the finished counter snapshot at the interval boundary. The caller
+    /// owns the accumulator's lifecycle — this method does **not** reset
+    /// it, so it can be handed to the next classifier; the classifier's own
+    /// internal accumulator is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` does not have exactly the configured number of
+    /// accumulators (the signature dimensionality would not match the
+    /// table's stored signatures).
+    pub fn end_interval_from(&mut self, acc: &AccumulatorTable, cpi: f64) -> PhaseId {
+        self.end_interval_from_detailed(acc, cpi).phase_id
+    }
+
+    /// [`end_interval_from`](Self::end_interval_from) with full
+    /// diagnostics.
+    pub fn end_interval_from_detailed(
+        &mut self,
+        acc: &AccumulatorTable,
+        cpi: f64,
+    ) -> Classification {
+        assert_eq!(
+            acc.len(),
+            self.config.accumulators,
+            "shared accumulator count must match the classifier's configuration"
+        );
+        let buf = std::mem::take(&mut self.scratch);
+        let sig = build_signature(&self.config, acc, buf);
+        self.classify_signature(sig, cpi)
+    }
+
+    /// Classifies one finished interval signature: table search, transition
+    /// phase promotion, and adaptive threshold feedback. Shared by the
+    /// owned-accumulator and shared-accumulator interval boundaries.
+    fn classify_signature(&mut self, sig: Signature, cpi: f64) -> Classification {
         self.intervals_seen += 1;
 
         let outcome = if self.config.best_match {
@@ -254,6 +290,22 @@ impl PhaseClassifier {
     /// Read access to the signature table (for experiments and tests).
     pub fn table(&self) -> &SignatureTable {
         &self.table
+    }
+}
+
+/// Projects a finished accumulator table into a signature according to the
+/// configuration's bit-selection mode, recycling `buf` as the dimension
+/// storage.
+fn build_signature(config: &ClassifierConfig, acc: &AccumulatorTable, buf: Vec<u16>) -> Signature {
+    match config.bit_selection {
+        crate::config::BitSelectionMode::Dynamic => {
+            Signature::from_accumulator_in(acc, config.bits_per_dim, buf)
+        }
+        crate::config::BitSelectionMode::Static { low_bit } => Signature::with_selection_in(
+            acc,
+            crate::signature::BitSelection::fixed(low_bit, config.bits_per_dim),
+            buf,
+        ),
     }
 }
 
@@ -499,6 +551,58 @@ mod tests {
         d.observe(BranchEvent::new(0x9_0000, 200));
         let b = d.end_interval(3.0);
         assert_ne!(a, b, "dynamic selection adapts to the interval scale");
+    }
+
+    #[test]
+    fn shared_accumulator_matches_owned_path() {
+        // Driving a classifier through `end_interval_from` with an external
+        // accumulator must reproduce the owned-accumulator path exactly,
+        // including full diagnostics.
+        let mut owned = paper_classifier();
+        let mut shared = paper_classifier();
+        let mut acc = AccumulatorTable::new(ClassifierConfig::hpca2005().accumulators);
+        for (pc, cpi) in [
+            (0x1000u64, 1.0),
+            (0x2000, 2.0),
+            (0x1000, 1.1),
+            (0x1000, 0.9),
+            (0x3000, 4.0),
+            (0x1000, 1.0),
+        ]
+        .into_iter()
+        .cycle()
+        .take(40)
+        {
+            for i in 0..200u64 {
+                let ev = BranchEvent::new(pc + (i % 8) * 0x40, 50);
+                owned.observe(ev);
+                acc.observe(ev);
+            }
+            let a = owned.end_interval_detailed(cpi);
+            let b = shared.end_interval_from_detailed(&acc, cpi);
+            acc.reset();
+            assert_eq!(a, b);
+        }
+        assert_eq!(owned.phases_created(), shared.phases_created());
+        assert_eq!(owned.transition_intervals(), shared.transition_intervals());
+    }
+
+    #[test]
+    fn shared_accumulator_is_not_reset_by_classifier() {
+        let mut c = paper_classifier();
+        let mut acc = AccumulatorTable::new(ClassifierConfig::hpca2005().accumulators);
+        acc.observe(BranchEvent::new(0x1000, 100));
+        let before = acc.clone();
+        c.end_interval_from(&acc, 1.0);
+        assert_eq!(acc, before, "caller owns the accumulator lifecycle");
+    }
+
+    #[test]
+    #[should_panic(expected = "shared accumulator count")]
+    fn shared_accumulator_count_mismatch_panics() {
+        let mut c = paper_classifier(); // 16 accumulators
+        let acc = AccumulatorTable::new(64);
+        c.end_interval_from(&acc, 1.0);
     }
 
     #[test]

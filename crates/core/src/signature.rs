@@ -210,6 +210,66 @@ impl Signature {
         }
         self.manhattan_distance(other) as f64 / denom as f64
     }
+
+    /// Thresholded distance with early exit: returns the normalized
+    /// distance when it is strictly below `threshold`, or `None` without
+    /// finishing the scan once the running Manhattan total proves the
+    /// result cannot pass.
+    ///
+    /// The decision is *identical* to
+    /// `normalized_distance(other) < threshold` — including on the exact
+    /// boundary — because the early-exit cutoff is the conservative integer
+    /// truncation of `threshold × (weight + weight)` (a partial Manhattan
+    /// total strictly above it already implies the final normalized
+    /// distance is ≥ the threshold, since the total only grows), while the
+    /// accept decision re-applies the same floating-point predicate the
+    /// unthresholded path uses. The dimension scan runs in fixed-size
+    /// chunks of plain `abs_diff` adds so the compiler can vectorize it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signatures have different dimensionality.
+    pub fn within_distance(&self, other: &Signature, threshold: f64) -> Option<f64> {
+        assert_eq!(
+            self.dims.len(),
+            other.dims.len(),
+            "signatures must have equal dimensionality"
+        );
+        let denom = self.weight() + other.weight();
+        if denom == 0 {
+            // Both signatures are all-zero: defined distance 0.
+            return (0.0 < threshold).then_some(0.0);
+        }
+        if threshold <= 0.0 {
+            return None;
+        }
+        // Any partial total strictly above this bound makes the final
+        // normalized distance >= threshold, so the scan can stop early.
+        let bound = (threshold * denom as f64) as u64;
+
+        const CHUNK: usize = 16;
+        let mut total = 0u64;
+        let mut chunks = self.dims.chunks_exact(CHUNK);
+        let mut other_chunks = other.dims.chunks_exact(CHUNK);
+        for (a, b) in chunks.by_ref().zip(other_chunks.by_ref()) {
+            let mut partial = 0u64;
+            for i in 0..CHUNK {
+                partial += u64::from(a[i].abs_diff(b[i]));
+            }
+            total += partial;
+            if total > bound {
+                return None;
+            }
+        }
+        for (&a, &b) in chunks.remainder().iter().zip(other_chunks.remainder()) {
+            total += u64::from(a.abs_diff(b));
+        }
+        if total > bound {
+            return None;
+        }
+        let d = total as f64 / denom as f64;
+        (d < threshold).then_some(d)
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +393,72 @@ mod tests {
         assert_eq!(buf.len(), 16);
         let again = Signature::from_accumulator_in(&acc, 6, buf);
         assert_eq!(fresh, again);
+    }
+
+    #[test]
+    fn within_distance_matches_full_predicate_around_bound() {
+        let a = Signature::from_accumulator(&acc_from(&[(1, 10_000), (2, 5_000), (3, 100)], 16), 6);
+        let b = Signature::from_accumulator(&acc_from(&[(1, 9_500), (2, 5_400), (3, 150)], 16), 6);
+        let d = a.normalized_distance(&b);
+        assert!(d > 0.0, "fixture must have non-zero distance");
+
+        // Strictly above the distance: accepted, same value.
+        assert_eq!(a.within_distance(&b, d + 1e-9), Some(d));
+        // Exactly at the distance: the predicate is strict, so rejected.
+        assert_eq!(a.within_distance(&b, d), None);
+        // Below the distance: rejected via the early exit.
+        assert_eq!(a.within_distance(&b, d / 2.0), None);
+    }
+
+    #[test]
+    fn within_distance_agrees_with_normalized_distance_randomized() {
+        // Pseudo-random accumulator pairs at several dimensionalities and
+        // thresholds: the thresholded scan must agree with the reference
+        // predicate bit-for-bit.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [8usize, 16, 32, 64] {
+            for _ in 0..50 {
+                let pairs_a: Vec<_> = (0..20)
+                    .map(|_| (next(), (next() % 50_000) as u32))
+                    .collect();
+                let pairs_b: Vec<_> = (0..20)
+                    .map(|_| (next(), (next() % 50_000) as u32))
+                    .collect();
+                let a = Signature::from_accumulator(&acc_from(&pairs_a, n), 6);
+                let b = Signature::from_accumulator(&acc_from(&pairs_b, n), 6);
+                let reference = a.normalized_distance(&b);
+                for threshold in [0.0, 0.125, 0.25, 0.5, 1.0, reference] {
+                    let expect = (reference < threshold).then_some(reference);
+                    assert_eq!(
+                        a.within_distance(&b, threshold),
+                        expect,
+                        "n={n} threshold={threshold} reference={reference}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn within_distance_zero_denominator_is_identical() {
+        let a = Signature::from_accumulator(&AccumulatorTable::new(8), 6);
+        let b = Signature::from_accumulator(&AccumulatorTable::new(8), 6);
+        assert_eq!(a.within_distance(&b, 0.25), Some(0.0));
+        assert_eq!(a.within_distance(&b, 0.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn within_distance_mismatched_dims_panic() {
+        let a = Signature::from_accumulator(&AccumulatorTable::new(8), 6);
+        let b = Signature::from_accumulator(&AccumulatorTable::new(16), 6);
+        let _ = a.within_distance(&b, 0.25);
     }
 
     #[test]

@@ -161,9 +161,13 @@ impl SignatureTable {
     pub fn find_best_match(&self, sig: &Signature) -> MatchOutcome {
         let mut best: Option<(usize, f64)> = None;
         for (i, entry) in self.entries.iter().enumerate() {
-            let d = sig.normalized_distance(&entry.signature);
-            if d < entry.threshold && best.is_none_or(|(_, bd)| d < bd) {
-                best = Some((i, d));
+            // The per-entry threshold bounds the search, so the thresholded
+            // early-exit scan replaces the full distance computation; the
+            // running best is a further cutoff for entries that pass.
+            if let Some(d) = sig.within_distance(&entry.signature, entry.threshold) {
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
             }
         }
         match best {
@@ -176,8 +180,7 @@ impl SignatureTable {
     /// work's policy, kept for the ablation benchmark.
     pub fn find_first_match(&self, sig: &Signature) -> MatchOutcome {
         for (i, entry) in self.entries.iter().enumerate() {
-            let d = sig.normalized_distance(&entry.signature);
-            if d < entry.threshold {
+            if let Some(d) = sig.within_distance(&entry.signature, entry.threshold) {
                 return MatchOutcome::Matched {
                     index: i,
                     distance: d,

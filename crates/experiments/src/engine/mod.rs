@@ -11,10 +11,14 @@
 //! classification", "collect BBVs for X" — and receive [`Pending`]
 //! handles. [`Engine::run`] then replays each distinct `(benchmark,
 //! params)` trace **exactly once**, fanning every interval out to all
-//! registered lanes, and fills the handles. Benchmarks are swept
-//! concurrently with crossbeam scoped threads; results are deterministic
-//! because each handle is written by exactly one lane regardless of
-//! thread scheduling.
+//! registered lanes, and fills the handles. The sweep is two-level:
+//! benchmarks are swept concurrently with crossbeam scoped threads, a
+//! group's classifier lanes share one accumulation pass per distinct
+//! accumulator count, and wide groups shard their lanes across spare
+//! workers (see DESIGN.md). Results are deterministic because
+//! each handle is written by exactly one lane regardless of thread
+//! scheduling. Worker count is an [`Engine::with_workers`] knob,
+//! overridable via the `TPCP_WORKERS` environment variable.
 //!
 //! ```no_run
 //! use tpcp_core::ClassifierConfig;
@@ -104,6 +108,7 @@ pub(crate) struct TraceGroup {
 pub struct Engine {
     params: SuiteParams,
     groups: Vec<TraceGroup>,
+    workers: Option<usize>,
 }
 
 impl Engine {
@@ -112,7 +117,18 @@ impl Engine {
         Self {
             params,
             groups: Vec::new(),
+            workers: None,
         }
+    }
+
+    /// Pins the sweep's worker-thread count to exactly `n` (clamped to at
+    /// least 1), overriding both the `TPCP_WORKERS` environment variable
+    /// and the default of one worker per available core. Use `1` for
+    /// single-threaded debugging and a fixed value for reproducible perf
+    /// runs.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = Some(n.max(1));
+        self
     }
 
     /// The default suite parameters registrations run under.

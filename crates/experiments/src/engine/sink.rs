@@ -10,7 +10,7 @@
 //!   accumulators — so any number of measurements share one
 //!   classification pass.
 
-use tpcp_core::{ClassifierConfig, PhaseClassifier, PhaseId, PhaseObserver};
+use tpcp_core::{AccumulatorTable, ClassifierConfig, PhaseClassifier, PhaseId, PhaseObserver};
 use tpcp_metrics::{CovAccumulator, RunAccumulator};
 use tpcp_trace::{BbvBuilder, BbvTrace, BranchEvent, IntervalSink, IntervalSummary};
 
@@ -104,6 +104,36 @@ impl ClassifierLane {
         self.sinks.push(sink);
     }
 
+    /// The lane's accumulator count — the key the sweep groups lanes by
+    /// when sharing accumulation front-ends.
+    pub(crate) fn accumulator_count(&self) -> usize {
+        self.config.accumulators
+    }
+
+    /// Interval boundary on the shared-accumulation path: classifies the
+    /// group's finished accumulator snapshot instead of a lane-owned one.
+    pub(crate) fn end_interval_shared(
+        &mut self,
+        acc: &AccumulatorTable,
+        summary: &IntervalSummary,
+    ) {
+        let cpi = summary.cpi();
+        let id = self.classifier.end_interval_from(acc, cpi);
+        self.record(id, cpi, summary);
+    }
+
+    /// Classified-interval bookkeeping shared by the owned-accumulator and
+    /// shared-accumulator paths.
+    fn record(&mut self, id: PhaseId, cpi: f64, summary: &IntervalSummary) {
+        self.ids.push(id);
+        self.cpis.push(cpi);
+        self.cov.observe(id, cpi);
+        self.runs.observe(id);
+        for sink in &mut self.sinks {
+            sink.observe_phase(id, summary);
+        }
+    }
+
     /// Finalizes the lane: builds the [`ClassifiedRun`], runs every
     /// probe's reduction against it, and fills all requested run cells.
     pub(crate) fn finish(self) {
@@ -132,13 +162,7 @@ impl IntervalSink for ClassifierLane {
     fn end_interval(&mut self, summary: &IntervalSummary) {
         let cpi = summary.cpi();
         let id = self.classifier.end_interval(cpi);
-        self.ids.push(id);
-        self.cpis.push(cpi);
-        self.cov.observe(id, cpi);
-        self.runs.observe(id);
-        for sink in &mut self.sinks {
-            sink.observe_phase(id, summary);
-        }
+        self.record(id, cpi, summary);
     }
 }
 

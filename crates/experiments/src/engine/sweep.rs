@@ -1,24 +1,53 @@
-//! The sweep driver: replays each registered trace exactly once.
+//! The sweep driver: replays each registered trace exactly once, with a
+//! two-level division of work.
 //!
-//! [`Engine::run`] claims trace groups off a shared queue with a small
-//! pool of crossbeam scoped worker threads (one per available core, at
-//! most one per group). Each worker loads its group's *encoded* trace
-//! bytes from the [`TraceCache`] and streams them through every lane with
-//! one [`drive`] pass over a [`StreamingDecoder`] — the trace is never
-//! materialized, so a worker's memory footprint is the encoded buffer
-//! plus the lanes' own state regardless of trace length. Lanes are then
-//! finalized, filling the [`Pending`](crate::engine::Pending) handles.
-//! Output is deterministic under any scheduling because each handle has
-//! exactly one writer.
+//! **Level 1 — groups.** [`Engine::run`] claims trace groups off a shared
+//! queue with a pool of crossbeam scoped worker threads. Each claimer
+//! loads its group's *encoded* trace bytes from the [`TraceCache`] and
+//! streams them with one [`drive`] pass over a [`StreamingDecoder`] — the
+//! trace is never materialized, so a worker's memory footprint is the
+//! encoded buffer plus the lanes' own state regardless of trace length.
+//!
+//! **Level 2 — lanes.** Inside a group, classifier lanes do not each
+//! re-run the per-branch accumulator work. A shared front-end keeps one
+//! [`AccumulatorTable`] per *distinct accumulator count* among the
+//! group's lanes and hands every lane the finished counter snapshot at
+//! each interval boundary ([`ClassifierLane::end_interval_shared`]),
+//! turning O(lanes × events) hashing into O(distinct_counts × events +
+//! lanes × intervals). When the pool has spare workers beyond the group
+//! count, wide groups additionally shard their lanes across those
+//! workers: the replaying thread broadcasts an [`Arc`]'d per-interval
+//! snapshot over bounded channels and each shard thread classifies its
+//! own lanes. Raw (unclassified) sinks always stay inline with the
+//! replay.
+//!
+//! Output is deterministic under any scheduling: every lane lives on
+//! exactly one thread, snapshots arrive in interval order through its
+//! channel, and each [`Pending`](crate::engine::Pending) handle has
+//! exactly one writer. The `max_replays_per_trace <= 1` invariant is
+//! untouched — sharding divides consumers of one replay, never adds a
+//! replay.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use tpcp_trace::{drive, IntervalSink, StreamingDecoder};
+use tpcp_core::AccumulatorTable;
+use tpcp_trace::{drive, BranchEvent, IntervalSink, IntervalSummary, StreamingDecoder};
 
+use crate::engine::sink::ClassifierLane;
 use crate::engine::{Engine, TraceGroup};
 use crate::suite::TraceCache;
+
+/// A group only shards when each shard thread gets at least this many
+/// lanes; below that the per-interval snapshot clone + channel hop costs
+/// more than the classification it offloads.
+const MIN_LANES_PER_SHARD: usize = 4;
+
+/// In-flight snapshots per shard channel. Bounded so a slow shard applies
+/// backpressure to the replay instead of queueing unbounded accumulator
+/// clones.
+const SNAPSHOT_CHANNEL_DEPTH: usize = 2;
 
 /// What the sweep did: per-trace replay counts and interval totals.
 ///
@@ -30,6 +59,7 @@ use crate::suite::TraceCache;
 pub struct EngineStats {
     replays: BTreeMap<String, u64>,
     intervals: u64,
+    sharded_groups: u64,
 }
 
 impl EngineStats {
@@ -49,10 +79,38 @@ impl EngineStats {
         self.intervals
     }
 
+    /// Number of groups whose classifier lanes were sharded across
+    /// multiple worker threads (0 when the pool had no spare workers or
+    /// no group was wide enough).
+    pub fn lane_sharded_groups(&self) -> u64 {
+        self.sharded_groups
+    }
+
     /// Per-trace replay counts, keyed by `<benchmark>-<fingerprint>`.
     pub fn replay_counts(&self) -> &BTreeMap<String, u64> {
         &self.replays
     }
+}
+
+/// Resolves the worker-thread count: an explicit [`Engine::with_workers`]
+/// override wins, then a positive `TPCP_WORKERS` environment variable,
+/// then one worker per available core. Overrides pin the pool size
+/// exactly (no clamping to the group count) so perf runs are reproducible
+/// and `workers = 1` really is single-threaded classification.
+fn resolve_workers(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("TPCP_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 impl Engine {
@@ -63,20 +121,20 @@ impl Engine {
     ///
     /// Panics if a worker thread panics (a classifier or probe bug).
     pub fn run(self, cache: &TraceCache) -> EngineStats {
+        let workers = resolve_workers(self.workers);
         let groups: Vec<Mutex<Option<TraceGroup>>> = self
             .into_groups()
             .into_iter()
             .map(|g| Mutex::new(Some(g)))
             .collect();
+        // One claimer per group at most; leftover workers become each
+        // claimer's budget for sharding its group's lanes.
+        let claimers = workers.min(groups.len()).max(1);
+        let lane_budget = (workers / claimers).max(1);
         let next = AtomicUsize::new(0);
         let stats = Mutex::new(EngineStats::default());
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(groups.len())
-            .max(1);
         crossbeam::scope(|scope| {
-            for _ in 0..workers {
+            for _ in 0..claimers {
                 scope.spawn(|_| loop {
                     let i = next.fetch_add(1, Ordering::SeqCst);
                     let Some(slot) = groups.get(i) else { break };
@@ -87,12 +145,13 @@ impl Engine {
                         .expect("each group is claimed exactly once");
                     let key = format!("{}-{}", group.kind.label(), group.params.fingerprint());
                     let bytes = cache.load_bytes_or_simulate(group.kind, &group.params);
-                    let intervals = replay_group(group, &bytes);
+                    let (intervals, sharded) = replay_group(group, &bytes, lane_budget);
                     let mut s = stats
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                     *s.replays.entry(key).or_insert(0) += 1;
                     s.intervals += intervals as u64;
+                    s.sharded_groups += u64::from(sharded);
                 });
             }
         })
@@ -103,32 +162,174 @@ impl Engine {
     }
 }
 
+/// A classifier lane paired with the index of the shared accumulator
+/// (keyed by distinct accumulator count) it reads snapshots from.
+type KeyedLane = (usize, ClassifierLane);
+
+/// Groups a trace group's classifier lanes by accumulator count: returns
+/// one accumulator per distinct count plus each lane tagged with its
+/// accumulator's index.
+fn keyed_lanes(lanes: Vec<ClassifierLane>) -> (Vec<AccumulatorTable>, Vec<KeyedLane>) {
+    let mut counts: Vec<usize> = Vec::new();
+    let keyed = lanes
+        .into_iter()
+        .map(|lane| {
+            let n = lane.accumulator_count();
+            let idx = counts.iter().position(|&c| c == n).unwrap_or_else(|| {
+                counts.push(n);
+                counts.len() - 1
+            });
+            (idx, lane)
+        })
+        .collect();
+    (
+        counts.into_iter().map(AccumulatorTable::new).collect(),
+        keyed,
+    )
+}
+
+/// The inline shared-accumulation front-end: one accumulator per distinct
+/// count, every lane classified on the replay thread at each boundary.
+struct SharedFrontEnd {
+    accs: Vec<AccumulatorTable>,
+    lanes: Vec<KeyedLane>,
+}
+
+impl IntervalSink for SharedFrontEnd {
+    fn observe(&mut self, ev: &BranchEvent) {
+        for acc in &mut self.accs {
+            acc.observe(*ev);
+        }
+    }
+
+    fn end_interval(&mut self, summary: &IntervalSummary) {
+        for (ai, lane) in &mut self.lanes {
+            lane.end_interval_shared(&self.accs[*ai], summary);
+        }
+        for acc in &mut self.accs {
+            acc.reset();
+        }
+    }
+}
+
+/// One interval's finished accumulation state, broadcast to shard
+/// threads. `Arc`'d so a snapshot is cloned once per interval, not once
+/// per shard.
+struct Snapshot {
+    accs: Vec<AccumulatorTable>,
+    summary: IntervalSummary,
+}
+
+/// The sharded front-end: accumulates inline, and at each boundary sends
+/// the snapshot to every shard's bounded channel instead of classifying.
+struct BroadcastFrontEnd {
+    accs: Vec<AccumulatorTable>,
+    senders: Vec<crossbeam::channel::Sender<Arc<Snapshot>>>,
+}
+
+impl IntervalSink for BroadcastFrontEnd {
+    fn observe(&mut self, ev: &BranchEvent) {
+        for acc in &mut self.accs {
+            acc.observe(*ev);
+        }
+    }
+
+    fn end_interval(&mut self, summary: &IntervalSummary) {
+        let snap = Arc::new(Snapshot {
+            accs: self.accs.clone(),
+            summary: *summary,
+        });
+        for tx in &self.senders {
+            tx.send(Arc::clone(&snap))
+                .expect("shard threads outlive the replay");
+        }
+        for acc in &mut self.accs {
+            acc.reset();
+        }
+    }
+}
+
+/// Splits `lanes` into `shards` contiguous chunks of near-equal size.
+fn split_lanes(mut lanes: Vec<KeyedLane>, shards: usize) -> Vec<Vec<KeyedLane>> {
+    let mut out = Vec::with_capacity(shards);
+    let total = lanes.len();
+    for s in 0..shards {
+        // Distribute the remainder over the leading shards.
+        let take = total / shards + usize::from(s < total % shards);
+        let rest = lanes.split_off(take);
+        out.push(lanes);
+        lanes = rest;
+    }
+    out
+}
+
 /// Streams the encoded trace `bytes` once through every lane of `group`,
-/// then finalizes the lanes. Returns the interval count.
-fn replay_group(mut group: TraceGroup, bytes: &[u8]) -> usize {
+/// then finalizes the lanes. Returns the interval count and whether the
+/// group's classifier lanes were sharded across threads.
+fn replay_group(mut group: TraceGroup, bytes: &[u8], lane_budget: usize) -> (usize, bool) {
     // The cache validated the buffer (and freshly encoded buffers are
     // well-formed by construction), so streaming cannot fail mid-replay.
     let mut replay = StreamingDecoder::new(bytes).expect("cache returned a validated trace buffer");
-    let mut sinks: Vec<&mut dyn IntervalSink> =
-        Vec::with_capacity(group.lanes.len() + group.raw.len());
-    for lane in &mut group.lanes {
-        sinks.push(lane);
-    }
-    for raw in &mut group.raw {
-        sinks.push(raw.as_mut() as &mut dyn IntervalSink);
-    }
-    let intervals = drive(&mut replay, &mut sinks);
-    drop(sinks);
+    let (accs, keyed) = keyed_lanes(std::mem::take(&mut group.lanes));
+    let shards = lane_budget.min(keyed.len() / MIN_LANES_PER_SHARD);
+    let sharded = shards >= 2;
+
+    let intervals = if sharded {
+        let shard_lanes = split_lanes(keyed, shards);
+        crossbeam::scope(|scope| {
+            let mut front = BroadcastFrontEnd {
+                accs,
+                senders: Vec::with_capacity(shards),
+            };
+            for mut lanes in shard_lanes {
+                let (tx, rx) = crossbeam::channel::bounded::<Arc<Snapshot>>(SNAPSHOT_CHANNEL_DEPTH);
+                front.senders.push(tx);
+                scope.spawn(move |_| {
+                    while let Ok(snap) = rx.recv() {
+                        for (ai, lane) in &mut lanes {
+                            lane.end_interval_shared(&snap.accs[*ai], &snap.summary);
+                        }
+                    }
+                    // Channel closed: the replay is over; finalize here so
+                    // probe reductions also run off the replay thread.
+                    for (_, lane) in lanes {
+                        lane.finish();
+                    }
+                });
+            }
+            let mut sinks: Vec<&mut dyn IntervalSink> = Vec::with_capacity(1 + group.raw.len());
+            sinks.push(&mut front);
+            for raw in &mut group.raw {
+                sinks.push(raw.as_mut() as &mut dyn IntervalSink);
+            }
+            let intervals = drive(&mut replay, &mut sinks);
+            drop(sinks);
+            drop(front); // closes every shard channel; the scope joins
+            intervals
+        })
+        .expect("lane shard threads do not panic")
+    } else {
+        let mut front = SharedFrontEnd { accs, lanes: keyed };
+        let mut sinks: Vec<&mut dyn IntervalSink> = Vec::with_capacity(1 + group.raw.len());
+        sinks.push(&mut front);
+        for raw in &mut group.raw {
+            sinks.push(raw.as_mut() as &mut dyn IntervalSink);
+        }
+        let intervals = drive(&mut replay, &mut sinks);
+        drop(sinks);
+        for (_, lane) in front.lanes {
+            lane.finish();
+        }
+        intervals
+    };
+
     assert!(
         replay.error().is_none(),
         "validated trace buffer failed to stream: {:?}",
         replay.error()
     );
-    for lane in group.lanes {
-        lane.finish();
-    }
     for raw in group.raw {
         raw.finish();
     }
-    intervals
+    (intervals, sharded)
 }

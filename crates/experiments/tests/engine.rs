@@ -162,3 +162,121 @@ fn engine_output_is_deterministic() {
     };
     assert_eq!(run_once(), run_once());
 }
+
+/// A spread of configurations mixing every supported accumulator count,
+/// so one group carries three shared accumulation front-ends.
+fn mixed_count_configs() -> Vec<ClassifierConfig> {
+    (0..24)
+        .map(|i| {
+            ClassifierConfig::builder()
+                .accumulators([16, 32, 64][i % 3])
+                .table_entries(Some(16 + i))
+                .best_match(i % 2 == 0)
+                .build()
+        })
+        .collect()
+}
+
+/// The shared accumulation front-end plus lane sharding must reproduce
+/// the serial per-lane classifier bit for bit: 24 lanes mixing 16/32/64
+/// accumulators over one trace, swept with 8 workers so the single group
+/// shards its lanes across threads.
+#[test]
+fn shared_front_end_and_sharding_match_serial_reference() {
+    let cache = test_cache();
+    let params = SuiteParams::quick();
+    let kind = BenchmarkKind::Mcf;
+    let configs = mixed_count_configs();
+
+    let mut engine = Engine::new(params).with_workers(8);
+    let cells: Vec<_> = configs
+        .iter()
+        .map(|&config| engine.classified(kind, config))
+        .collect();
+    let stats = engine.run(&cache);
+    assert_eq!(stats.max_replays_per_trace(), 1);
+    assert!(
+        stats.lane_sharded_groups() >= 1,
+        "8 workers over 1 group of 24 lanes must shard"
+    );
+
+    let trace = cache.load_or_simulate(kind, &params);
+    for (config, cell) in configs.iter().zip(&cells) {
+        let serial = run_classifier(&trace, *config);
+        assert_eq!(cell.take(), serial, "{config:?}");
+    }
+}
+
+/// The worker count changes scheduling, never results: the same
+/// registrations under 1, 2, and 8 workers produce identical runs.
+#[test]
+fn worker_count_does_not_change_results() {
+    let cache = test_cache();
+    let params = SuiteParams::quick();
+    let configs = mixed_count_configs();
+    let run_with = |workers: usize| {
+        let mut engine = Engine::new(params).with_workers(workers);
+        let cells: Vec<_> = [BenchmarkKind::Mcf, BenchmarkKind::GzipGraphic]
+            .into_iter()
+            .flat_map(|kind| {
+                configs
+                    .iter()
+                    .map(move |&config| (kind, config))
+                    .collect::<Vec<_>>()
+            })
+            .map(|(kind, config)| engine.classified(kind, config))
+            .collect();
+        let stats = engine.run(&cache);
+        assert_eq!(stats.max_replays_per_trace(), 1, "workers={workers}");
+        cells.into_iter().map(|c| c.take()).collect::<Vec<_>>()
+    };
+    let single = run_with(1);
+    assert_eq!(single, run_with(2));
+    assert_eq!(single, run_with(8));
+}
+
+mod randomized {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_config() -> impl Strategy<Value = ClassifierConfig> {
+        (0usize..3, 1usize..40, any::<bool>(), any::<bool>()).prop_map(
+            |(acc_idx, entries, best_match, unbounded)| {
+                ClassifierConfig::builder()
+                    .accumulators([16, 32, 64][acc_idx])
+                    .table_entries((!unbounded).then_some(entries))
+                    .best_match(best_match)
+                    .build()
+            },
+        )
+    }
+
+    proptest! {
+        /// Randomized lane mixes (counts, table capacities, match
+        /// policies) swept through the shared front-end match the serial
+        /// reference classifier on every lane.
+        #[test]
+        fn randomized_configs_match_serial_reference(
+            configs in prop::collection::vec(arb_config(), 1..6),
+            workers in 1usize..9,
+        ) {
+            let cache = test_cache();
+            let params = SuiteParams::quick();
+            let kind = BenchmarkKind::GzipGraphic;
+
+            let mut engine = Engine::new(params).with_workers(workers);
+            let cells: Vec<_> = configs
+                .iter()
+                .map(|&config| engine.classified(kind, config))
+                .collect();
+            let stats = engine.run(&cache);
+            prop_assert!(stats.max_replays_per_trace() <= 1);
+
+            let trace = cache.load_or_simulate(kind, &params);
+            for (config, cell) in configs.iter().zip(&cells) {
+                let serial = run_classifier(&trace, *config);
+                prop_assert_eq!(cell.take(), serial);
+            }
+        }
+    }
+}

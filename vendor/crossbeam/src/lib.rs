@@ -1,14 +1,98 @@
-//! Offline stand-in for `crossbeam`'s scoped threads.
+//! Offline stand-in for `crossbeam`'s scoped threads and bounded channels.
 //!
 //! Wraps `std::thread::scope` (stable since Rust 1.63) behind crossbeam's
 //! 0.8 API shape: `crossbeam::scope(|s| ...)` returns a `Result` that is
 //! `Err` when a spawned thread panicked, and spawn closures receive the
-//! scope handle so they can spawn nested work.
+//! scope handle so they can spawn nested work. The `channel` module covers
+//! the bounded MPMC subset the engine needs (here multi-producer,
+//! single-consumer per receiver) on top of `std::sync::mpsc::sync_channel`.
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 pub use thread::scope;
+
+/// Bounded channels behind crossbeam's `channel` API shape.
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone; gives
+    /// back the unsent message.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when every sender is gone and
+    /// the channel is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a bounded channel. Cloning adds a producer.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while the channel is at capacity.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(msg)
+                .map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next message, blocking until one is available.
+        /// Returns `Err(RecvError)` once all senders are dropped and the
+        /// buffer is drained — the idiomatic end-of-stream signal.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// Iterates until the channel closes.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.recv().ok())
+        }
+    }
+
+    /// Creates a bounded channel holding at most `cap` in-flight messages.
+    /// A `cap` of 0 makes every send a rendezvous with a receive.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
 
 /// Scoped-thread primitives.
 pub mod thread {
@@ -80,5 +164,42 @@ mod tests {
             scope.spawn(|_| panic!("boom"));
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn bounded_channel_delivers_in_order() {
+        let (tx, rx) = super::channel::bounded(2);
+        super::scope(|scope| {
+            scope.spawn(move |_| {
+                for i in 0..100u32 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = rx.iter().collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bounded_channel_fans_out_to_cloned_senders() {
+        let (tx, rx) = super::channel::bounded(1);
+        let tx2 = tx.clone();
+        super::scope(|scope| {
+            scope.spawn(move |_| tx.send(1u32).unwrap());
+            scope.spawn(move |_| tx2.send(2u32).unwrap());
+            let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+            assert!(rx.recv().is_err(), "all senders dropped closes the channel");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_message() {
+        let (tx, rx) = super::channel::bounded::<u32>(4);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(super::channel::SendError(7)));
     }
 }
