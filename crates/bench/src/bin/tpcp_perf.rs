@@ -131,6 +131,21 @@ fn lane_line(stats: &LaneStats) {
     );
 }
 
+/// Unwraps an engine-lane result; on a `tpcp_experiments::EngineError`
+/// prints the one-line cause (trace name, lane, cause) and exits nonzero
+/// instead of unwinding with a backtrace.
+macro_rules! try_engine {
+    ($result:expr) => {
+        match $result {
+            Ok(value) => value,
+            Err(e) => {
+                eprintln!("tpcp-perf: engine failure: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -217,11 +232,11 @@ fn main() -> ExitCode {
         println!("timing engine suite (quick params; first run warms the trace cache) ...");
         let cache = TraceCache::default_location();
         let params = SuiteParams::quick();
-        let reference = engine_suite(&cache, &params); // warm-up + cache fill
+        let reference = try_engine!(engine_suite(&cache, &params)); // warm-up + cache fill
         let mut samples = Vec::with_capacity(args.iters as usize);
         for _ in 0..args.iters {
             let start = Instant::now();
-            let stats = engine_suite(&cache, &params);
+            let stats = try_engine!(engine_suite(&cache, &params));
             samples.push(start.elapsed());
             assert_eq!(
                 stats.total_intervals(),
@@ -257,7 +272,7 @@ fn main() -> ExitCode {
         let cache = TraceCache::default_location();
         let params = SuiteParams::quick();
         for &n in &args.lanes {
-            let (reference, fanned) = engine_lanes(&cache, &params, n); // warm-up + cache fill
+            let (reference, fanned) = try_engine!(engine_lanes(&cache, &params, n)); // warm-up + cache fill
             assert!(
                 reference.max_replays_per_trace() <= 1,
                 "lanes-scaling run replayed a trace more than once"
@@ -265,7 +280,7 @@ fn main() -> ExitCode {
             let mut samples = Vec::with_capacity(args.iters as usize);
             for _ in 0..args.iters {
                 let start = Instant::now();
-                let (stats, fanned_now) = engine_lanes(&cache, &params, n);
+                let (stats, fanned_now) = try_engine!(engine_lanes(&cache, &params, n));
                 samples.push(start.elapsed());
                 assert_eq!(
                     fanned_now, fanned,

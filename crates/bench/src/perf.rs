@@ -17,7 +17,7 @@
 
 use bytes::Bytes;
 use tpcp_core::{ClassifierConfig, PhaseClassifier};
-use tpcp_experiments::{Engine, EngineStats, SuiteParams, TraceCache};
+use tpcp_experiments::{Engine, EngineError, EngineStats, SuiteParams, TraceCache};
 use tpcp_trace::{
     decode_trace, IntervalSource, PhaseSpec, RecordedTrace, StreamingDecoder, SyntheticTrace,
 };
@@ -268,7 +268,13 @@ pub fn classify_eager(suite: &[PerfTrace], config: ClassifierConfig) -> LaneRun 
 /// suite under two classifier configurations, streamed through the engine
 /// exactly once per trace. The cache must be warm for the timing to
 /// measure replay rather than simulation — run once untimed first.
-pub fn engine_suite(cache: &TraceCache, params: &SuiteParams) -> EngineStats {
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] from the sweep's failure report; a
+/// perf lane over a failed sweep would time a different workload than the
+/// baseline.
+pub fn engine_suite(cache: &TraceCache, params: &SuiteParams) -> Result<EngineStats, EngineError> {
     let configs = [
         ClassifierConfig::hpca2005(),
         ClassifierConfig::builder().best_match(false).build(),
@@ -281,9 +287,9 @@ pub fn engine_suite(cache: &TraceCache, params: &SuiteParams) -> EngineStats {
         .collect();
     let stats = engine.run(cache);
     for cell in cells {
-        std::hint::black_box(cell.take());
+        std::hint::black_box(cell.try_take()?);
     }
-    stats
+    Ok(stats)
 }
 
 /// `n` distinct classifier configurations for the lanes-scaling lane,
@@ -305,7 +311,16 @@ pub fn lane_configs(n: usize) -> Vec<ClassifierConfig> {
 /// benchmark trace. Returns the sweep stats plus the fanned-out interval
 /// count (`trace intervals × n`), which is what the lane's intervals/sec
 /// is measured over.
-pub fn engine_lanes(cache: &TraceCache, params: &SuiteParams, n: usize) -> (EngineStats, u64) {
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] from the sweep, like
+/// [`engine_suite`].
+pub fn engine_lanes(
+    cache: &TraceCache,
+    params: &SuiteParams,
+    n: usize,
+) -> Result<(EngineStats, u64), EngineError> {
     let mut engine = Engine::new(*params);
     let cells: Vec<_> = lane_configs(n)
         .into_iter()
@@ -313,10 +328,10 @@ pub fn engine_lanes(cache: &TraceCache, params: &SuiteParams, n: usize) -> (Engi
         .collect();
     let stats = engine.run(cache);
     for cell in cells {
-        std::hint::black_box(cell.take());
+        std::hint::black_box(cell.try_take()?);
     }
     let fanned = stats.total_intervals() * n as u64;
-    (stats, fanned)
+    Ok((stats, fanned))
 }
 
 #[cfg(test)]

@@ -155,6 +155,21 @@ fn main() {
         stats.max_replays_per_trace(),
         stats.total_intervals()
     );
+    let report = stats.failure_report();
+    for path in report.quarantined() {
+        eprintln!(
+            "# quarantined corrupt cache entry {} (re-simulated)",
+            path.display()
+        );
+    }
+    if !report.is_empty() {
+        // Bail before rendering: a failed lane's Pending cells hold
+        // errors, so the table closures below would panic on take().
+        for err in report.failures() {
+            eprintln!("error: {err}");
+        }
+        std::process::exit(1);
+    }
 
     for (name, pending_tables) in pending {
         let tables = pending_tables();

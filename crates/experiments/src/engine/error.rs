@@ -1,0 +1,186 @@
+//! Structured failure types for the fault-isolated sweep.
+//!
+//! A sweep used to have exactly two outcomes: every lane succeeds, or the
+//! whole process aborts on the first panic. This module is the third
+//! outcome: a failed lane or group resolves its [`Pending`] handles to a
+//! typed [`EngineError`], the sweep keeps going, and
+//! [`EngineStats`](crate::EngineStats) carries a [`FailureReport`]
+//! describing exactly what went wrong — so a 100-lane ablation run loses
+//! one lane to a buggy probe, not the night's batch.
+//!
+//! [`Pending`]: crate::engine::Pending
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+use tpcp_trace::CodecError;
+
+use crate::suite::CacheError;
+
+/// Why a lane or group failed during the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureCause {
+    /// A lane, sink, or probe reduction panicked; the payload message is
+    /// captured (the panic never crosses a thread boundary un-caught).
+    Panic(String),
+    /// The trace stream failed to decode mid-replay. Unreachable from
+    /// cache-validated buffers; kept as a handled error rather than an
+    /// assert so a validator/decoder disagreement degrades one group.
+    Decode(CodecError),
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Panic(msg) => write!(f, "panic: {msg}"),
+            Self::Decode(e) => write!(f, "trace decode failed mid-replay: {e}"),
+        }
+    }
+}
+
+/// One classifier lane failed; its sibling lanes (and the replay) carried
+/// on untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneFailure {
+    /// The trace group key, `<benchmark>-<fingerprint>`.
+    pub group: String,
+    /// A human-readable lane label (the classifier configuration).
+    pub lane: String,
+    /// What killed the lane.
+    pub cause: FailureCause,
+}
+
+impl fmt::Display for LaneFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} lane {}: {}", self.group, self.lane, self.cause)
+    }
+}
+
+/// A failure inside the replay sweep itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// A single classifier lane died; the rest of its group survived.
+    Lane(LaneFailure),
+    /// A whole trace group failed — its replay loop, a raw sink, or a
+    /// finalization panicked, or the stream broke mid-decode. Every
+    /// still-unfilled handle registered on the group resolves to this.
+    Group {
+        /// The trace group key, `<benchmark>-<fingerprint>`.
+        group: String,
+        /// What killed the group.
+        cause: FailureCause,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lane(lane) => lane.fmt(f),
+            Self::Group { group, cause } => write!(f, "{group}: {cause}"),
+        }
+    }
+}
+
+/// The top of the engine's error hierarchy: everything a [`Pending`]
+/// handle can resolve to instead of a value.
+///
+/// [`Pending`]: crate::engine::Pending
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The trace cache could not produce a valid buffer for a group even
+    /// after quarantining the entry and re-simulating once.
+    Cache {
+        /// The trace group key, `<benchmark>-<fingerprint>`.
+        group: String,
+        /// The cache-level failure.
+        error: CacheError,
+    },
+    /// The group's bytes loaded fine but the sweep failed.
+    Sweep(SweepError),
+}
+
+/// `Display` is a single line (trace name, lane, cause) by construction —
+/// binaries print it verbatim as their exit message.
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Cache { group, error } => write!(f, "{group}: {error}"),
+            Self::Sweep(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+impl std::error::Error for SweepError {}
+impl std::error::Error for FailureCause {}
+
+/// Everything that went wrong (or was repaired) during one sweep,
+/// attached to [`EngineStats`](crate::EngineStats).
+///
+/// Failures and quarantines are sorted before the report is returned, so
+/// the report is deterministic regardless of worker scheduling.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FailureReport {
+    failures: Vec<EngineError>,
+    quarantined: Vec<PathBuf>,
+}
+
+impl FailureReport {
+    /// `true` when nothing failed. Quarantined-and-repaired entries do
+    /// not count as failures — the sweep recovered from those.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Every lane/group/cache failure, sorted by display string.
+    pub fn failures(&self) -> &[EngineError] {
+        &self.failures
+    }
+
+    /// Cache entries found corrupt, renamed `*.corrupt`, and successfully
+    /// re-simulated during this sweep.
+    pub fn quarantined(&self) -> &[PathBuf] {
+        &self.quarantined
+    }
+
+    pub(crate) fn record_failure(&mut self, err: EngineError) {
+        self.failures.push(err);
+    }
+
+    pub(crate) fn record_quarantine(&mut self, path: PathBuf) {
+        self.quarantined.push(path);
+    }
+
+    pub(crate) fn finalize(&mut self) {
+        self.failures.sort_by_key(ToString::to_string);
+        self.quarantined.sort();
+    }
+}
+
+/// A type-erased hook that resolves one still-unfilled [`Pending`] cell
+/// to an error. Collected from a group *before* its replay is moved into
+/// `catch_unwind`, so the cells stay reachable after a panic consumes the
+/// group.
+///
+/// [`Pending`]: crate::engine::Pending
+pub(crate) type FailureHandle = Box<dyn Fn(&EngineError) + Send>;
+
+/// Locks a mutex, ignoring poisoning: every engine lock guards data whose
+/// writers are panic-isolated (a poisoned lock means a lane died after a
+/// complete write, never mid-write of engine state), so the value is
+/// still consistent.
+pub(crate) fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Extracts the human-readable message from a `catch_unwind` payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}

@@ -32,6 +32,13 @@
 //! println!("mcf CoV = {}", run.take().cov.weighted_cov());
 //! ```
 
+// The engine is the part of the codebase that must degrade, not die:
+// every panic escape hatch in this module tree is either proven
+// unreachable (and allow-listed with its invariant) or routed through
+// the structured failure path.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+mod error;
 mod sink;
 mod sweep;
 
@@ -45,8 +52,10 @@ use crate::classify::ClassifiedRun;
 use crate::report::Table;
 use crate::suite::SuiteParams;
 
+use error::{lock_ignore_poison, FailureHandle};
 use sink::{ClassifierLane, ErasedLane, Probe, RawProbe};
 
+pub use error::{EngineError, FailureCause, FailureReport, LaneFailure, SweepError};
 pub use sink::BbvSink;
 pub use sweep::EngineStats;
 
@@ -57,9 +66,11 @@ pub type PendingTables = Box<dyn FnOnce() -> Vec<Table>>;
 /// A handle to a result the engine has not produced yet.
 ///
 /// Returned by every [`Engine`] registration method; read it with
-/// [`Pending::take`] after [`Engine::run`] completes.
+/// [`Pending::take`] (or the fallible [`Pending::try_take`]) after
+/// [`Engine::run`] completes. If the lane or group backing the handle
+/// failed, the handle resolves to an [`EngineError`] instead of a value.
 #[derive(Debug)]
-pub struct Pending<T>(Arc<Mutex<Option<T>>>);
+pub struct Pending<T>(Arc<Mutex<Option<Result<T, EngineError>>>>);
 
 impl<T> Clone for Pending<T> {
     fn clone(&self) -> Self {
@@ -73,24 +84,56 @@ impl<T> Pending<T> {
     }
 
     pub(crate) fn set(&self, value: T) {
-        *self
-            .0
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+        *lock_ignore_poison(&self.0) = Some(Ok(value));
+    }
+
+    /// Resolves the cell to `err` — but only if its lane never filled it.
+    /// A lane that finished before its group failed keeps its value.
+    pub(crate) fn fail_if_unset(&self, err: &EngineError) {
+        let mut slot = lock_ignore_poison(&self.0);
+        if slot.is_none() {
+            *slot = Some(Err(err.clone()));
+        }
     }
 
     /// Takes the produced value.
     ///
     /// # Panics
     ///
-    /// Panics if the engine has not run yet (or if the value was already
-    /// taken).
+    /// Panics if the engine has not run yet, if the value was already
+    /// taken, or if the backing lane failed (use
+    /// [`try_take`](Self::try_take) to handle failures gracefully).
     pub fn take(&self) -> T {
-        self.0
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        match self.try_take() {
+            Ok(value) => value,
+            Err(e) => panic!("engine lane failed: {e}"),
+        }
+    }
+
+    /// Takes the produced value, or the [`EngineError`] that kept the
+    /// backing lane from producing one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has not run yet or the value was already
+    /// taken — those are caller sequencing bugs, not lane failures.
+    pub fn try_take(&self) -> Result<T, EngineError> {
+        // Invariant, not a runtime failure: `Engine::run` fills or fails
+        // every registered cell exactly once before returning.
+        #[allow(clippy::expect_used)]
+        lock_ignore_poison(&self.0)
             .take()
             .expect("Pending::take before Engine::run (or taken twice)")
+    }
+
+    /// A type-erased hook that fails this cell if it is still unset —
+    /// collected before a group's replay is moved into `catch_unwind`.
+    pub(crate) fn failure_handle(&self) -> FailureHandle
+    where
+        T: Send + 'static,
+    {
+        let cell = self.clone();
+        Box::new(move |err| cell.fail_if_unset(err))
     }
 }
 
@@ -103,12 +146,29 @@ pub(crate) struct TraceGroup {
     pub(crate) raw: Vec<Box<dyn ErasedLane>>,
 }
 
+impl TraceGroup {
+    /// Failure hooks for every cell registered anywhere in the group —
+    /// harvested before the group is consumed by a replay that may panic.
+    pub(crate) fn failure_handles(&self) -> Vec<FailureHandle> {
+        let mut handles = Vec::new();
+        for lane in &self.lanes {
+            lane.collect_failure_handles(&mut handles);
+        }
+        for raw in &self.raw {
+            handles.push(raw.failure_handle());
+        }
+        handles
+    }
+}
+
 /// Collects registered experiment lanes, then sweeps every needed trace
 /// once (see the [module docs](self)).
 pub struct Engine {
     params: SuiteParams,
     groups: Vec<TraceGroup>,
     workers: Option<usize>,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<Arc<crate::fault::FaultInjector>>,
 }
 
 impl Engine {
@@ -118,7 +178,17 @@ impl Engine {
             params,
             groups: Vec::new(),
             workers: None,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
         }
+    }
+
+    /// Attaches a fault injector: the sweep consults it for lane panics
+    /// and replay-byte truncations (chaos tests only).
+    #[cfg(feature = "fault-inject")]
+    pub fn with_faults(mut self, faults: Arc<crate::fault::FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Pins the sweep's worker-thread count to exactly `n` (clamped to at

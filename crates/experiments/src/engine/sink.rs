@@ -15,6 +15,7 @@ use tpcp_metrics::{CovAccumulator, RunAccumulator};
 use tpcp_trace::{BbvBuilder, BbvTrace, BranchEvent, IntervalSink, IntervalSummary};
 
 use crate::classify::ClassifiedRun;
+use crate::engine::error::{EngineError, FailureHandle};
 use crate::engine::Pending;
 
 /// A type-erased consumer of one lane's classified interval stream.
@@ -23,6 +24,8 @@ pub(crate) trait PhaseSink: Send {
     fn observe_phase(&mut self, id: PhaseId, summary: &IntervalSummary);
     /// Called once after the trace ends, with the lane's final run.
     fn finish(self: Box<Self>, run: &ClassifiedRun);
+    /// A hook that fails the sink's result cell if it is still unset.
+    fn failure_handle(&self) -> FailureHandle;
 }
 
 /// A typed [`PhaseObserver`] plus a reduction that fills a [`Pending`]
@@ -59,6 +62,10 @@ where
         let this = *self;
         this.cell.set((this.reduce)(this.observer, run));
     }
+
+    fn failure_handle(&self) -> FailureHandle {
+        self.cell.failure_handle()
+    }
 }
 
 /// One classifier configuration's lane: classifies the interval stream,
@@ -73,6 +80,9 @@ pub(crate) struct ClassifierLane {
     runs: RunAccumulator,
     sinks: Vec<Box<dyn PhaseSink>>,
     cells: Vec<Pending<ClassifiedRun>>,
+    /// Fault injection: panic when `ids.len()` reaches this interval.
+    #[cfg(feature = "fault-inject")]
+    panic_at: Option<u64>,
 }
 
 impl ClassifierLane {
@@ -86,11 +96,25 @@ impl ClassifierLane {
             runs: RunAccumulator::new(),
             sinks: Vec::new(),
             cells: Vec::new(),
+            #[cfg(feature = "fault-inject")]
+            panic_at: None,
         }
     }
 
     pub(crate) fn config(&self) -> ClassifierConfig {
         self.config
+    }
+
+    /// A human-readable label for failure reports: the lane *is* its
+    /// classifier configuration.
+    pub(crate) fn label(&self) -> String {
+        format!("{:?}", self.config)
+    }
+
+    /// Arms an injected panic at the given 0-based interval.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn set_panic_at(&mut self, interval: u64) {
+        self.panic_at = Some(interval);
     }
 
     /// Requests a copy of the lane's final [`ClassifiedRun`].
@@ -117,6 +141,10 @@ impl ClassifierLane {
         acc: &AccumulatorTable,
         summary: &IntervalSummary,
     ) {
+        #[cfg(feature = "fault-inject")]
+        if self.panic_at == Some(self.ids.len() as u64) {
+            panic!("fault-inject: lane panic at interval {}", self.ids.len());
+        }
         let cpi = summary.cpi();
         let id = self.classifier.end_interval_from(acc, cpi);
         self.record(id, cpi, summary);
@@ -131,6 +159,29 @@ impl ClassifierLane {
         self.runs.observe(id);
         for sink in &mut self.sinks {
             sink.observe_phase(id, summary);
+        }
+    }
+
+    /// Appends failure hooks for every cell this lane (and its attached
+    /// probes) would fill.
+    pub(crate) fn collect_failure_handles(&self, out: &mut Vec<FailureHandle>) {
+        for cell in &self.cells {
+            out.push(cell.failure_handle());
+        }
+        for sink in &self.sinks {
+            out.push(sink.failure_handle());
+        }
+    }
+
+    /// Resolves every still-unset cell the lane would have filled to
+    /// `err` — called when the lane dies mid-sweep while its siblings
+    /// carry on.
+    pub(crate) fn fail(self, err: &EngineError) {
+        for cell in &self.cells {
+            cell.fail_if_unset(err);
+        }
+        for sink in &self.sinks {
+            sink.failure_handle()(err);
         }
     }
 
@@ -169,6 +220,8 @@ impl IntervalSink for ClassifierLane {
 /// A raw lane: an [`IntervalSink`] that can be finalized after the sweep.
 pub(crate) trait ErasedLane: IntervalSink + Send {
     fn finish(self: Box<Self>);
+    /// A hook that fails the lane's result cell if it is still unset.
+    fn failure_handle(&self) -> FailureHandle;
 }
 
 /// A typed raw sink plus the reduction that fills its [`Pending`] cell.
@@ -203,6 +256,10 @@ where
     fn finish(self: Box<Self>) {
         let this = *self;
         this.cell.set((this.reduce)(this.sink));
+    }
+
+    fn failure_handle(&self) -> FailureHandle {
+        self.cell.failure_handle()
     }
 }
 

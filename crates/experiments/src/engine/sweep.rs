@@ -27,14 +27,36 @@
 //! exactly one writer. The `max_replays_per_trace <= 1` invariant is
 //! untouched — sharding divides consumers of one replay, never adds a
 //! replay.
+//!
+//! **Fault isolation.** A failure degrades the smallest unit that
+//! contains it and never escapes the sweep (see DESIGN.md "Failure
+//! model"). Each classifier lane's interval boundary runs under
+//! `catch_unwind`: a panicking lane is dropped from its group, its
+//! [`Pending`] cells resolve to [`SweepError::Lane`], and the sibling
+//! lanes — which only ever *read* the shared accumulator — continue
+//! bit-identically. Each group's replay runs under a second
+//! `catch_unwind`: a raw-sink panic, probe-reduction panic, or
+//! mid-stream decode error fails the whole group ([`SweepError::Group`])
+//! but leaves every other group untouched. Cache entries found corrupt
+//! are quarantined and re-simulated by the cache itself
+//! ([`TraceCache::try_load_bytes_or_simulate`]); a cache error after the
+//! bounded retry fails only that group. All failures are collected into
+//! the [`FailureReport`] carried by [`EngineStats`].
+//!
+//! [`Pending`]: crate::engine::Pending
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use tpcp_core::AccumulatorTable;
 use tpcp_trace::{drive, BranchEvent, IntervalSink, IntervalSummary, StreamingDecoder};
 
+use crate::engine::error::{
+    lock_ignore_poison, panic_message, EngineError, FailureCause, FailureReport, LaneFailure,
+    SweepError,
+};
 use crate::engine::sink::ClassifierLane;
 use crate::engine::{Engine, TraceGroup};
 use crate::suite::TraceCache;
@@ -49,7 +71,8 @@ const MIN_LANES_PER_SHARD: usize = 4;
 /// clones.
 const SNAPSHOT_CHANNEL_DEPTH: usize = 2;
 
-/// What the sweep did: per-trace replay counts and interval totals.
+/// What the sweep did: per-trace replay counts, interval totals, and the
+/// [`FailureReport`] of everything that went wrong (or was repaired).
 ///
 /// The headline invariant — the reason the engine exists — is
 /// [`max_replays_per_trace`](EngineStats::max_replays_per_trace)` <= 1`:
@@ -60,6 +83,7 @@ pub struct EngineStats {
     replays: BTreeMap<String, u64>,
     intervals: u64,
     sharded_groups: u64,
+    report: FailureReport,
 }
 
 impl EngineStats {
@@ -90,6 +114,12 @@ impl EngineStats {
     pub fn replay_counts(&self) -> &BTreeMap<String, u64> {
         &self.replays
     }
+
+    /// Everything that failed (or was quarantined and repaired) during
+    /// the sweep. Empty on a healthy run.
+    pub fn failure_report(&self) -> &FailureReport {
+        &self.report
+    }
 }
 
 /// Resolves the worker-thread count: an explicit [`Engine::with_workers`]
@@ -114,16 +144,37 @@ fn resolve_workers(explicit: Option<usize>) -> usize {
 }
 
 impl Engine {
-    /// Sweeps every registered trace once, filling all
+    /// Sweeps every registered trace once, filling or failing all
     /// [`Pending`](crate::engine::Pending) handles.
+    ///
+    /// The sweep is fault-isolated: a panicking lane, a panicking sink,
+    /// a mid-stream decode error, or an unrepairable cache entry fails
+    /// only the handles that depended on it — every other lane and group
+    /// completes normally, and the damage is itemized in
+    /// [`EngineStats::failure_report`].
     ///
     /// # Panics
     ///
-    /// Panics if a worker thread panics (a classifier or probe bug).
+    /// Panics only on an internal engine bug (a panic escaping the
+    /// worker loop outside the isolated replay), never on lane, sink, or
+    /// trace failures.
     pub fn run(self, cache: &TraceCache) -> EngineStats {
         let workers = resolve_workers(self.workers);
-        let groups: Vec<Mutex<Option<TraceGroup>>> = self
-            .into_groups()
+        #[cfg(feature = "fault-inject")]
+        let faults = self.faults.clone();
+        #[allow(unused_mut)]
+        let mut group_list = self.into_groups();
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = &faults {
+            for group in &mut group_list {
+                for (i, lane) in group.lanes.iter_mut().enumerate() {
+                    if let Some(at) = faults.lane_panic_at(group.kind.label(), i) {
+                        lane.set_panic_at(at);
+                    }
+                }
+            }
+        }
+        let groups: Vec<Mutex<Option<TraceGroup>>> = group_list
             .into_iter()
             .map(|g| Mutex::new(Some(g)))
             .collect();
@@ -133,32 +184,110 @@ impl Engine {
         let lane_budget = (workers / claimers).max(1);
         let next = AtomicUsize::new(0);
         let stats = Mutex::new(EngineStats::default());
-        crossbeam::scope(|scope| {
+        let lane_failures: Mutex<Vec<LaneFailure>> = Mutex::new(Vec::new());
+        let scope_result = crossbeam::scope(|scope| {
             for _ in 0..claimers {
                 scope.spawn(|_| loop {
                     let i = next.fetch_add(1, Ordering::SeqCst);
                     let Some(slot) = groups.get(i) else { break };
-                    let group = slot
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    // Invariant: `next` hands out each index once, so no
+                    // two claimers ever see the same slot.
+                    #[allow(clippy::expect_used)]
+                    let group = lock_ignore_poison(slot)
                         .take()
                         .expect("each group is claimed exactly once");
                     let key = format!("{}-{}", group.kind.label(), group.params.fingerprint());
-                    let bytes = cache.load_bytes_or_simulate(group.kind, &group.params);
-                    let (intervals, sharded) = replay_group(group, &bytes, lane_budget);
-                    let mut s = stats
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    *s.replays.entry(key).or_insert(0) += 1;
-                    s.intervals += intervals as u64;
-                    s.sharded_groups += u64::from(sharded);
+                    let load = match cache.try_load_bytes_or_simulate(group.kind, &group.params) {
+                        Ok(load) => load,
+                        Err(error) => {
+                            let err = EngineError::Cache { group: key, error };
+                            for handle in group.failure_handles() {
+                                handle(&err);
+                            }
+                            lock_ignore_poison(&stats).report.record_failure(err);
+                            continue;
+                        }
+                    };
+                    #[allow(unused_mut)]
+                    let mut bytes = load.bytes;
+                    #[cfg(feature = "fault-inject")]
+                    if let Some(faults) = &faults {
+                        if let Some(offset) = faults.replay_truncation(group.kind.label()) {
+                            bytes = bytes.slice(..offset.min(bytes.len()));
+                        }
+                    }
+                    // Harvest the failure hooks *before* the replay can
+                    // consume the group by panicking.
+                    let handles = group.failure_handles();
+                    let ctx = ReplayCtx {
+                        group: &key,
+                        failures: &lane_failures,
+                    };
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        replay_group(group, &bytes, lane_budget, &ctx)
+                    }));
+                    let mut s = lock_ignore_poison(&stats);
+                    if let Some(path) = load.quarantined {
+                        s.report.record_quarantine(path);
+                    }
+                    *s.replays.entry(key.clone()).or_insert(0) += 1;
+                    let cause = match outcome {
+                        Ok(Ok((intervals, sharded))) => {
+                            s.intervals += intervals as u64;
+                            s.sharded_groups += u64::from(sharded);
+                            continue;
+                        }
+                        Ok(Err(cause)) => cause,
+                        Err(payload) => FailureCause::Panic(panic_message(payload.as_ref())),
+                    };
+                    let err = EngineError::Sweep(SweepError::Group { group: key, cause });
+                    for handle in &handles {
+                        handle(&err);
+                    }
+                    s.report.record_failure(err);
                 });
             }
-        })
-        .expect("sweep workers do not panic");
-        stats
+        });
+        if let Err(payload) = scope_result {
+            // Only reachable through an engine bug in the claimer loop
+            // itself; every lane/sink/replay panic is caught above.
+            resume_unwind(payload);
+        }
+        let mut stats = stats
             .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let failures = lane_failures
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for failure in failures {
+            stats
+                .report
+                .record_failure(EngineError::Sweep(SweepError::Lane(failure)));
+        }
+        stats.report.finalize();
+        stats
+    }
+}
+
+/// Shared context for one group's replay: the group key plus the
+/// sweep-wide collector that lane failures are reported into.
+struct ReplayCtx<'a> {
+    group: &'a str,
+    failures: &'a Mutex<Vec<LaneFailure>>,
+}
+
+impl ReplayCtx<'_> {
+    /// Buries a lane that panicked: resolves its cells to
+    /// [`SweepError::Lane`] and records the failure. The sweep-wide lock
+    /// is only ever taken here — the happy path never touches it.
+    fn fail_lane(&self, lane: ClassifierLane, payload: &(dyn std::any::Any + Send)) {
+        let failure = LaneFailure {
+            group: self.group.to_owned(),
+            lane: lane.label(),
+            cause: FailureCause::Panic(panic_message(payload)),
+        };
+        lane.fail(&EngineError::Sweep(SweepError::Lane(failure.clone())));
+        lock_ignore_poison(self.failures).push(failure);
     }
 }
 
@@ -188,14 +317,40 @@ fn keyed_lanes(lanes: Vec<ClassifierLane>) -> (Vec<AccumulatorTable>, Vec<KeyedL
     )
 }
 
-/// The inline shared-accumulation front-end: one accumulator per distinct
-/// count, every lane classified on the replay thread at each boundary.
-struct SharedFrontEnd {
-    accs: Vec<AccumulatorTable>,
-    lanes: Vec<KeyedLane>,
+/// Runs one interval boundary over `lanes` with per-lane panic isolation:
+/// a panicking lane is removed and buried, the survivors continue. Lanes
+/// only *read* the shared accumulators, so a mid-boundary panic cannot
+/// corrupt any state a sibling observes — survivors stay bit-identical
+/// to a fault-free run.
+fn end_interval_isolated(
+    lanes: &mut Vec<KeyedLane>,
+    accs: &[AccumulatorTable],
+    summary: &IntervalSummary,
+    ctx: &ReplayCtx<'_>,
+) {
+    let mut i = 0;
+    while i < lanes.len() {
+        let (ai, lane) = &mut lanes[i];
+        let acc = &accs[*ai];
+        match catch_unwind(AssertUnwindSafe(|| lane.end_interval_shared(acc, summary))) {
+            Ok(()) => i += 1,
+            Err(payload) => {
+                let (_, lane) = lanes.swap_remove(i);
+                ctx.fail_lane(lane, payload.as_ref());
+            }
+        }
+    }
 }
 
-impl IntervalSink for SharedFrontEnd {
+/// The inline shared-accumulation front-end: one accumulator per distinct
+/// count, every lane classified on the replay thread at each boundary.
+struct SharedFrontEnd<'a> {
+    accs: Vec<AccumulatorTable>,
+    lanes: Vec<KeyedLane>,
+    ctx: &'a ReplayCtx<'a>,
+}
+
+impl IntervalSink for SharedFrontEnd<'_> {
     fn observe(&mut self, ev: &BranchEvent) {
         for acc in &mut self.accs {
             acc.observe(*ev);
@@ -203,9 +358,7 @@ impl IntervalSink for SharedFrontEnd {
     }
 
     fn end_interval(&mut self, summary: &IntervalSummary) {
-        for (ai, lane) in &mut self.lanes {
-            lane.end_interval_shared(&self.accs[*ai], summary);
-        }
+        end_interval_isolated(&mut self.lanes, &self.accs, summary, self.ctx);
         for acc in &mut self.accs {
             acc.reset();
         }
@@ -240,8 +393,13 @@ impl IntervalSink for BroadcastFrontEnd {
             summary: *summary,
         });
         for tx in &self.senders {
-            tx.send(Arc::clone(&snap))
-                .expect("shard threads outlive the replay");
+            if tx.send(Arc::clone(&snap)).is_err() {
+                // A shard thread died mid-replay (only possible through
+                // an engine bug — lane panics are caught in the shard
+                // loop). Panic here so the group-level catch_unwind
+                // turns it into a group failure instead of a hang.
+                panic!("lane shard channel closed mid-replay");
+            }
         }
         for acc in &mut self.accs {
             acc.reset();
@@ -265,18 +423,29 @@ fn split_lanes(mut lanes: Vec<KeyedLane>, shards: usize) -> Vec<Vec<KeyedLane>> 
 
 /// Streams the encoded trace `bytes` once through every lane of `group`,
 /// then finalizes the lanes. Returns the interval count and whether the
-/// group's classifier lanes were sharded across threads.
-fn replay_group(mut group: TraceGroup, bytes: &[u8], lane_budget: usize) -> (usize, bool) {
-    // The cache validated the buffer (and freshly encoded buffers are
-    // well-formed by construction), so streaming cannot fail mid-replay.
-    let mut replay = StreamingDecoder::new(bytes).expect("cache returned a validated trace buffer");
+/// group's classifier lanes were sharded across threads, or the
+/// [`FailureCause`] that stopped the stream. Runs under the caller's
+/// `catch_unwind`; panics escaping this function become group failures.
+fn replay_group(
+    mut group: TraceGroup,
+    bytes: &[u8],
+    lane_budget: usize,
+    ctx: &ReplayCtx<'_>,
+) -> Result<(usize, bool), FailureCause> {
+    // The cache validated the buffer, so streaming "cannot" fail — but a
+    // validator/decoder disagreement should cost one group, not the run.
+    let mut replay = match StreamingDecoder::new(bytes) {
+        Ok(replay) => replay,
+        Err(e) => return Err(FailureCause::Decode(e)),
+    };
     let (accs, keyed) = keyed_lanes(std::mem::take(&mut group.lanes));
     let shards = lane_budget.min(keyed.len() / MIN_LANES_PER_SHARD);
     let sharded = shards >= 2;
 
     let intervals = if sharded {
         let shard_lanes = split_lanes(keyed, shards);
-        crossbeam::scope(|scope| {
+        let abort = AtomicBool::new(false);
+        let scope_result = crossbeam::scope(|scope| {
             let mut front = BroadcastFrontEnd {
                 accs,
                 senders: Vec::with_capacity(shards),
@@ -284,16 +453,19 @@ fn replay_group(mut group: TraceGroup, bytes: &[u8], lane_budget: usize) -> (usi
             for mut lanes in shard_lanes {
                 let (tx, rx) = crossbeam::channel::bounded::<Arc<Snapshot>>(SNAPSHOT_CHANNEL_DEPTH);
                 front.senders.push(tx);
+                let abort = &abort;
                 scope.spawn(move |_| {
                     while let Ok(snap) = rx.recv() {
-                        for (ai, lane) in &mut lanes {
-                            lane.end_interval_shared(&snap.accs[*ai], &snap.summary);
-                        }
+                        end_interval_isolated(&mut lanes, &snap.accs, &snap.summary, ctx);
                     }
                     // Channel closed: the replay is over; finalize here so
-                    // probe reductions also run off the replay thread.
-                    for (_, lane) in lanes {
-                        lane.finish();
+                    // probe reductions also run off the replay thread. On
+                    // a mid-stream decode error the lanes hold partial
+                    // state — leave their cells for the group failure.
+                    if !abort.load(Ordering::SeqCst) {
+                        for (_, lane) in lanes {
+                            lane.finish();
+                        }
                     }
                 });
             }
@@ -303,13 +475,27 @@ fn replay_group(mut group: TraceGroup, bytes: &[u8], lane_budget: usize) -> (usi
                 sinks.push(raw.as_mut() as &mut dyn IntervalSink);
             }
             let intervals = drive(&mut replay, &mut sinks);
+            if replay.error().is_some() {
+                // Must be set before the channels close below, so shard
+                // threads observe it when their `recv` loop ends.
+                abort.store(true, Ordering::SeqCst);
+            }
             drop(sinks);
             drop(front); // closes every shard channel; the scope joins
             intervals
-        })
-        .expect("lane shard threads do not panic")
+        });
+        match scope_result {
+            Ok(intervals) => intervals,
+            // A shard thread panicked outside the per-lane isolation
+            // (probe-reduction bug); escalate to the group-level catch.
+            Err(payload) => resume_unwind(payload),
+        }
     } else {
-        let mut front = SharedFrontEnd { accs, lanes: keyed };
+        let mut front = SharedFrontEnd {
+            accs,
+            lanes: keyed,
+            ctx,
+        };
         let mut sinks: Vec<&mut dyn IntervalSink> = Vec::with_capacity(1 + group.raw.len());
         sinks.push(&mut front);
         for raw in &mut group.raw {
@@ -317,19 +503,19 @@ fn replay_group(mut group: TraceGroup, bytes: &[u8], lane_budget: usize) -> (usi
         }
         let intervals = drive(&mut replay, &mut sinks);
         drop(sinks);
-        for (_, lane) in front.lanes {
-            lane.finish();
+        if replay.error().is_none() {
+            for (_, lane) in front.lanes {
+                lane.finish();
+            }
         }
         intervals
     };
 
-    assert!(
-        replay.error().is_none(),
-        "validated trace buffer failed to stream: {:?}",
-        replay.error()
-    );
+    if let Some(e) = replay.error() {
+        return Err(FailureCause::Decode(e));
+    }
     for raw in group.raw {
         raw.finish();
     }
-    (intervals, sharded)
+    Ok((intervals, sharded))
 }

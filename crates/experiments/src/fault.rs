@@ -1,0 +1,227 @@
+//! Deterministic fault injection for chaos-testing the sweep engine.
+//!
+//! Only compiled under the `fault-inject` cargo feature. A [`FaultPlan`]
+//! describes faults declaratively — truncate a benchmark's cached bytes
+//! at a byte offset, fail a cache read, panic a classifier lane at an
+//! interval — and builds into a shared [`FaultInjector`] that
+//! [`TraceCache::with_faults`](crate::TraceCache::with_faults) and
+//! [`Engine::with_faults`](crate::Engine::with_faults) consult at their
+//! hook points. Every fault is keyed by benchmark label and carries a
+//! bounded trigger count, so a plan injects *exactly* the faults it
+//! names, deterministically, regardless of worker scheduling.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Truncate a benchmark's cache bytes to `offset` bytes when loaded.
+#[derive(Debug, Clone)]
+struct TruncateLoad {
+    group: String,
+    offset: usize,
+    times: u32,
+}
+
+/// Make a benchmark's cache-file read fail (treated as a cache miss).
+#[derive(Debug, Clone)]
+struct FailRead {
+    group: String,
+    times: u32,
+}
+
+/// Panic one classifier lane of a benchmark's group at interval `interval`.
+#[derive(Debug, Clone)]
+struct PanicLane {
+    group: String,
+    lane: usize,
+    interval: u64,
+}
+
+/// Truncate the *validated* bytes handed to a group's replay — the only
+/// way to reach the engine's mid-stream decode-error path, which is
+/// unreachable through the cache (it validates before returning).
+#[derive(Debug, Clone)]
+struct TruncateReplay {
+    group: String,
+    offset: usize,
+    times: u32,
+}
+
+/// A declarative, seedable set of faults to inject into one sweep.
+///
+/// Build with the chained constructors, then [`FaultPlan::build`] into an
+/// injector shared between the cache and the engine:
+///
+/// ```no_run
+/// use tpcp_experiments::fault::FaultPlan;
+/// use tpcp_experiments::{Engine, SuiteParams, TraceCache};
+///
+/// let faults = FaultPlan::new()
+///     .truncate_load("mcf", 64, 1) // one corrupt read, then healed
+///     .panic_lane("gzip/g", 0, 5)
+///     .build();
+/// let cache = TraceCache::default_location().with_faults(faults.clone());
+/// let engine = Engine::new(SuiteParams::quick()).with_faults(faults);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    truncate_load: Vec<TruncateLoad>,
+    fail_read: Vec<FailRead>,
+    panic_lane: Vec<PanicLane>,
+    truncate_replay: Vec<TruncateReplay>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Truncates `group`'s cache bytes to `offset` bytes on the next
+    /// `times` loads (cached reads *and* freshly encoded buffers, so
+    /// `times >= 2` also corrupts the post-quarantine retry).
+    pub fn truncate_load(mut self, group: &str, offset: usize, times: u32) -> Self {
+        self.truncate_load.push(TruncateLoad {
+            group: group.to_owned(),
+            offset,
+            times,
+        });
+        self
+    }
+
+    /// Fails `group`'s next `times` cache-file reads; the cache treats a
+    /// failed read as a miss and re-simulates.
+    pub fn fail_read(mut self, group: &str, times: u32) -> Self {
+        self.fail_read.push(FailRead {
+            group: group.to_owned(),
+            times,
+        });
+        self
+    }
+
+    /// Panics `group`'s classifier lane number `lane` (registration
+    /// order) when it reaches interval `interval` (0-based).
+    pub fn panic_lane(mut self, group: &str, lane: usize, interval: u64) -> Self {
+        self.panic_lane.push(PanicLane {
+            group: group.to_owned(),
+            lane,
+            interval,
+        });
+        self
+    }
+
+    /// Truncates the validated bytes handed to `group`'s replay to
+    /// `offset` bytes on the next `times` replays, forcing a mid-stream
+    /// decode error past the cache's validation.
+    pub fn truncate_replay(mut self, group: &str, offset: usize, times: u32) -> Self {
+        self.truncate_replay.push(TruncateReplay {
+            group: group.to_owned(),
+            offset,
+            times,
+        });
+        self
+    }
+
+    /// A seed-derived plan: one pseudo-random fault (truncation, failed
+    /// read, or lane panic) per listed group. Identical seeds yield
+    /// identical plans — randomized chaos runs stay reproducible.
+    pub fn randomized(seed: u64, groups: &[&str], lanes_per_group: usize) -> Self {
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            // splitmix64: full-period, seedable, no external dependency.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut plan = Self::new();
+        for &group in groups {
+            plan = match next() % 3 {
+                0 => plan.truncate_load(group, 8 + (next() % 256) as usize, 1),
+                1 => plan.fail_read(group, 1),
+                _ => plan.panic_lane(
+                    group,
+                    (next() as usize) % lanes_per_group.max(1),
+                    next() % 32,
+                ),
+            };
+        }
+        plan
+    }
+
+    /// Freezes the plan into a shareable injector with per-fault
+    /// remaining-trigger counters.
+    pub fn build(self) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            truncate_load: self
+                .truncate_load
+                .into_iter()
+                .map(|f| (f.clone(), AtomicU32::new(f.times)))
+                .collect(),
+            fail_read: self
+                .fail_read
+                .into_iter()
+                .map(|f| (f.clone(), AtomicU32::new(f.times)))
+                .collect(),
+            panic_lane: self.panic_lane,
+            truncate_replay: self
+                .truncate_replay
+                .into_iter()
+                .map(|f| (f.clone(), AtomicU32::new(f.times)))
+                .collect(),
+        })
+    }
+}
+
+/// A built [`FaultPlan`]: consulted by the cache and engine hook points,
+/// decrementing each fault's bounded trigger count atomically.
+#[derive(Debug)]
+pub struct FaultInjector {
+    truncate_load: Vec<(TruncateLoad, AtomicU32)>,
+    fail_read: Vec<(FailRead, AtomicU32)>,
+    panic_lane: Vec<PanicLane>,
+    truncate_replay: Vec<(TruncateReplay, AtomicU32)>,
+}
+
+/// Atomically consumes one trigger if any remain.
+fn consume(remaining: &AtomicU32) -> bool {
+    remaining
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+impl FaultInjector {
+    /// The truncation length to apply to `group`'s loaded cache bytes,
+    /// if a truncate-load fault has triggers left. Consumes one trigger.
+    pub(crate) fn load_truncation(&self, group: &str) -> Option<usize> {
+        self.truncate_load
+            .iter()
+            .find(|(f, remaining)| f.group == group && consume(remaining))
+            .map(|(f, _)| f.offset)
+    }
+
+    /// Whether `group`'s next cache-file read should fail. Consumes one
+    /// trigger.
+    pub(crate) fn read_should_fail(&self, group: &str) -> bool {
+        self.fail_read
+            .iter()
+            .any(|(f, remaining)| f.group == group && consume(remaining))
+    }
+
+    /// The interval at which `group`'s lane number `lane` should panic.
+    pub(crate) fn lane_panic_at(&self, group: &str, lane: usize) -> Option<u64> {
+        self.panic_lane
+            .iter()
+            .find(|f| f.group == group && f.lane == lane)
+            .map(|f| f.interval)
+    }
+
+    /// The truncation length to apply to `group`'s replay bytes, if a
+    /// truncate-replay fault has triggers left. Consumes one trigger.
+    pub(crate) fn replay_truncation(&self, group: &str) -> Option<usize> {
+        self.truncate_replay
+            .iter()
+            .find(|(f, remaining)| f.group == group && consume(remaining))
+            .map(|(f, _)| f.offset)
+    }
+}

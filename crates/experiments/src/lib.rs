@@ -16,11 +16,16 @@
 
 pub mod classify;
 pub mod engine;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod figures;
 pub mod report;
 pub mod suite;
 
 pub use classify::{run_classifier, ClassifiedRun};
-pub use engine::{BbvSink, Engine, EngineStats, Pending, PendingTables};
+pub use engine::{
+    BbvSink, Engine, EngineError, EngineStats, FailureCause, FailureReport, LaneFailure, Pending,
+    PendingTables, SweepError,
+};
 pub use report::Table;
-pub use suite::{SuiteParams, TraceCache};
+pub use suite::{CacheError, CacheLoad, SuiteParams, TraceCache};

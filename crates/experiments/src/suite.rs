@@ -1,12 +1,52 @@
 //! Suite simulation and on-disk trace caching.
 
+use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
-use tpcp_trace::{decode_trace, encode_trace, validate_trace, RecordedTrace};
+use tpcp_trace::{decode_trace, encode_trace, validate_trace, CodecError, RecordedTrace};
 use tpcp_workloads::{BenchmarkKind, WorkloadParams};
+
+/// A cache failure the bounded retry could not repair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheError {
+    /// The cached entry was corrupt, was quarantined (renamed
+    /// `*.corrupt`), and the freshly re-simulated replacement *still*
+    /// failed validation — the one-retry bound is exhausted. Outside
+    /// fault injection this means the encoder itself is broken.
+    CorruptAfterRetry {
+        /// The benchmark label whose trace could not be produced.
+        trace: String,
+        /// The validation error on the retried buffer.
+        error: CodecError,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CorruptAfterRetry { trace, error } => write!(
+                f,
+                "trace {trace} still corrupt after quarantine and one re-simulation: {error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// A successful cache load: the validated encoded buffer, plus the path
+/// of the corrupt entry that was quarantined on the way (if any).
+#[derive(Debug, Clone)]
+pub struct CacheLoad {
+    /// The validated `TPCPTRC2` trace buffer.
+    pub bytes: Bytes,
+    /// `Some(path)` when a corrupt cache entry was renamed `*.corrupt`
+    /// and the buffer came from a re-simulation instead.
+    pub quarantined: Option<PathBuf>,
+}
 
 /// Parameters of one suite simulation (everything that affects the traces).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -60,6 +100,8 @@ impl SuiteParams {
 #[derive(Debug, Clone)]
 pub struct TraceCache {
     dir: PathBuf,
+    #[cfg(feature = "fault-inject")]
+    faults: Option<std::sync::Arc<crate::fault::FaultInjector>>,
 }
 
 impl TraceCache {
@@ -67,12 +109,22 @@ impl TraceCache {
     pub fn new<P: AsRef<Path>>(dir: P) -> Self {
         Self {
             dir: dir.as_ref().to_owned(),
+            #[cfg(feature = "fault-inject")]
+            faults: None,
         }
     }
 
     /// The default cache location inside the workspace target directory.
     pub fn default_location() -> Self {
         Self::new("target/tpcp-traces")
+    }
+
+    /// Attaches a fault injector: subsequent loads consult it for read
+    /// failures and byte truncations (chaos tests only).
+    #[cfg(feature = "fault-inject")]
+    pub fn with_faults(mut self, faults: std::sync::Arc<crate::fault::FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     fn path_for(&self, kind: BenchmarkKind, params: &SuiteParams) -> PathBuf {
@@ -86,27 +138,69 @@ impl TraceCache {
     ///
     /// Materializes the full [`RecordedTrace`]; replay-only consumers
     /// (the experiment engine) should prefer
-    /// [`load_bytes_or_simulate`](Self::load_bytes_or_simulate) and stream
-    /// the encoded buffer instead.
+    /// [`try_load_bytes_or_simulate`](Self::try_load_bytes_or_simulate)
+    /// and stream the encoded buffer instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`CacheError`] — unreachable without fault injection
+    /// (see [`try_load_bytes_or_simulate`](Self::try_load_bytes_or_simulate)).
     pub fn load_or_simulate(&self, kind: BenchmarkKind, params: &SuiteParams) -> RecordedTrace {
         let bytes = self.load_bytes_or_simulate(kind, params);
-        decode_trace(bytes).expect("cache buffer was validated or freshly encoded")
+        match decode_trace(bytes) {
+            Ok(trace) => trace,
+            // The buffer passed `validate_trace` moments ago, so a decode
+            // failure here means the validator and decoder disagree.
+            Err(e) => panic!("validated trace buffer failed to decode: {e}"),
+        }
+    }
+
+    /// Infallible wrapper around
+    /// [`try_load_bytes_or_simulate`](Self::try_load_bytes_or_simulate)
+    /// for callers without an error channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`CacheError`]: the entry was corrupt *and* the
+    /// quarantine-plus-one-retry repair failed, which cannot happen
+    /// outside fault injection unless the encoder itself is broken.
+    pub fn load_bytes_or_simulate(&self, kind: BenchmarkKind, params: &SuiteParams) -> Bytes {
+        match self.try_load_bytes_or_simulate(kind, params) {
+            Ok(load) => load.bytes,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Loads the benchmark's *encoded* trace buffer from the cache,
-    /// simulating, encoding, and storing it on a miss (or on a corrupt
-    /// entry). The returned buffer is always a valid `TPCPTRC2` trace —
-    /// cached bytes are checked with [`validate_trace`] before being
-    /// returned — so callers can stream it straight into live consumers
-    /// with [`tpcp_trace::StreamingDecoder`] without materializing a
+    /// simulating, encoding, and storing it on a miss. The returned
+    /// buffer is always a valid `TPCPTRC2` trace — cached bytes are
+    /// checked with [`validate_trace`] before being returned — so callers
+    /// can stream it straight into live consumers with
+    /// [`tpcp_trace::StreamingDecoder`] without materializing a
     /// [`RecordedTrace`].
-    pub fn load_bytes_or_simulate(&self, kind: BenchmarkKind, params: &SuiteParams) -> Bytes {
+    ///
+    /// A corrupt entry (whether the header or a byte mid-stream) is
+    /// **quarantined** — renamed `<entry>.corrupt`, preserving the
+    /// evidence — and repaired with a bounded retry: one re-simulation.
+    /// If the retried buffer still fails validation the error is
+    /// returned, never looped on.
+    pub fn try_load_bytes_or_simulate(
+        &self,
+        kind: BenchmarkKind,
+        params: &SuiteParams,
+    ) -> Result<CacheLoad, CacheError> {
         let path = self.path_for(kind, params);
-        if let Ok(bytes) = fs::read(&path) {
+        let mut quarantined = None;
+        if let Some(bytes) = self.read_entry(kind, &path) {
+            let bytes = self.inject_truncation(kind, bytes.into());
             if validate_trace(&bytes).is_ok() {
-                return bytes.into();
+                return Ok(CacheLoad {
+                    bytes,
+                    quarantined: None,
+                });
             }
-            // Corrupt cache entry: fall through and re-simulate.
+            // Corrupt cache entry: quarantine it and re-simulate once.
+            quarantined = quarantine(&path);
         }
         let trace = simulate_one(kind, params);
         let encoded = encode_trace(&trace);
@@ -128,7 +222,46 @@ impl TraceCache {
                 let _ = fs::remove_file(&tmp);
             }
         }
-        encoded
+        let encoded = self.inject_truncation(kind, encoded);
+        // Freshly encoded buffers are well-formed by construction; this
+        // pass (negligible next to the simulation that produced them) is
+        // the retry bound — if it fails, we report instead of looping.
+        match validate_trace(&encoded) {
+            Ok(_) => Ok(CacheLoad {
+                bytes: encoded,
+                quarantined,
+            }),
+            Err(error) => Err(CacheError::CorruptAfterRetry {
+                trace: kind.label().to_owned(),
+                error,
+            }),
+        }
+    }
+
+    /// Reads a cache entry, honoring injected read failures (a failed
+    /// read is a miss — the caller falls through to re-simulation).
+    #[allow(unused_variables)]
+    fn read_entry(&self, kind: BenchmarkKind, path: &Path) -> Option<Vec<u8>> {
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = &self.faults {
+            if faults.read_should_fail(kind.label()) {
+                return None;
+            }
+        }
+        fs::read(path).ok()
+    }
+
+    /// Applies an injected byte truncation to a loaded buffer (identity
+    /// without the `fault-inject` feature or an attached injector).
+    #[allow(unused_variables, unused_mut, clippy::let_and_return)]
+    fn inject_truncation(&self, kind: BenchmarkKind, mut bytes: Bytes) -> Bytes {
+        #[cfg(feature = "fault-inject")]
+        if let Some(faults) = &self.faults {
+            if let Some(offset) = faults.load_truncation(kind.label()) {
+                bytes = bytes.slice(..offset.min(bytes.len()));
+            }
+        }
+        bytes
     }
 
     /// Loads or simulates all eleven benchmarks, in parallel (one thread
@@ -150,6 +283,17 @@ impl TraceCache {
             .map(|r| r.expect("every slot was filled"))
             .collect()
     }
+}
+
+/// Quarantines a corrupt cache entry: renames it to `<entry>.corrupt` so
+/// the bad bytes stay inspectable and the path is free for the repaired
+/// entry. Best-effort — a concurrent quarantine of the same entry (or a
+/// read-only directory) loses the rename race benignly.
+fn quarantine(path: &Path) -> Option<PathBuf> {
+    let mut name = path.as_os_str().to_owned();
+    name.push(".corrupt");
+    let target = PathBuf::from(name);
+    fs::rename(path, &target).ok().map(|()| target)
 }
 
 /// A process-unique suffix for cache temp files so concurrent misses in
@@ -246,6 +390,45 @@ mod tests {
         std::fs::write(&path, b"garbage").unwrap();
         let again = cache.load_or_simulate(BenchmarkKind::PerlDiffmail, &params);
         assert_eq!(good, again);
+        // The corrupt bytes were quarantined for post-mortem, not destroyed.
+        let evidence = PathBuf::from(format!("{}.corrupt", path.display()));
+        assert_eq!(std::fs::read(&evidence).unwrap(), b"garbage");
+        // The repaired entry is valid: a third load hits the cache cleanly.
+        assert_eq!(
+            cache.load_or_simulate(BenchmarkKind::PerlDiffmail, &params),
+            good
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn try_load_reports_the_quarantined_path() {
+        let dir = std::env::temp_dir().join(format!("tpcp-cache-qrtn-{}", std::process::id()));
+        let cache = TraceCache::new(&dir);
+        let params = tiny_params();
+        let kind = BenchmarkKind::Galgel;
+
+        // A miss simulates; no quarantine involved.
+        let fresh = cache
+            .try_load_bytes_or_simulate(kind, &params)
+            .expect("miss simulates");
+        assert!(fresh.quarantined.is_none());
+
+        std::fs::write(cache.path_for(kind, &params), b"not a trace").unwrap();
+        let repaired = cache
+            .try_load_bytes_or_simulate(kind, &params)
+            .expect("quarantine + one re-simulation converges");
+        let evidence = repaired.quarantined.expect("corrupt entry was quarantined");
+        assert!(
+            evidence.to_string_lossy().ends_with(".corrupt"),
+            "{evidence:?}"
+        );
+        assert!(evidence.exists());
+        assert_eq!(repaired.bytes, fresh.bytes, "repair is bit-identical");
+
+        // The repaired entry loads cleanly afterwards.
+        let healed = cache.try_load_bytes_or_simulate(kind, &params).unwrap();
+        assert!(healed.quarantined.is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,351 @@
+//! Chaos tests: deterministic fault injection against the sweep engine.
+//!
+//! Each test builds a [`FaultPlan`], wires it into the cache and/or the
+//! engine, and asserts the sweep's *contract under faults*: it never
+//! hangs, never unwinds, reports exactly the injected failures in
+//! [`EngineStats::failure_report`], and leaves every surviving lane
+//! bit-identical to a fault-free run over the same cache.
+//!
+//! Compiled only under the `fault-inject` feature:
+//! `cargo test -p tpcp-experiments --features fault-inject`.
+#![cfg(feature = "fault-inject")]
+
+use std::path::PathBuf;
+
+use tpcp_core::ClassifierConfig;
+use tpcp_experiments::fault::FaultPlan;
+use tpcp_experiments::{
+    CacheError, ClassifiedRun, Engine, EngineError, FailureCause, Pending, SuiteParams, SweepError,
+    TraceCache,
+};
+use tpcp_workloads::{BenchmarkKind, WorkloadParams};
+
+const MCF: BenchmarkKind = BenchmarkKind::Mcf;
+const GZIP: BenchmarkKind = BenchmarkKind::GzipGraphic;
+
+fn tiny_params() -> SuiteParams {
+    SuiteParams {
+        workload: WorkloadParams {
+            length_scale: 0.01,
+            ..Default::default()
+        },
+    }
+}
+
+/// A private cache directory per test: chaos tests rename and rewrite
+/// entries, so they must not share the repo-wide test cache.
+fn fresh_cache(tag: &str) -> (TraceCache, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("tpcp-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (TraceCache::new(&dir), dir)
+}
+
+fn configs(n: usize) -> Vec<ClassifierConfig> {
+    (0..n)
+        .map(|i| {
+            ClassifierConfig::builder()
+                .accumulators([16, 32, 64][i % 3])
+                .table_entries(Some(20 + i))
+                .build()
+        })
+        .collect()
+}
+
+/// Registers `n` classifier lanes on each of mcf and gzip/g, returning
+/// each cell with its (kind, lane index).
+fn register(engine: &mut Engine, n: usize) -> Vec<(BenchmarkKind, usize, Pending<ClassifiedRun>)> {
+    let mut cells = Vec::new();
+    for kind in [MCF, GZIP] {
+        for (i, config) in configs(n).into_iter().enumerate() {
+            cells.push((kind, i, engine.classified(kind, config)));
+        }
+    }
+    cells
+}
+
+/// Fault-free reference run; also warms the cache so the faulted run
+/// under test starts from on-disk entries.
+fn baseline(cache: &TraceCache, n: usize) -> Vec<(BenchmarkKind, usize, ClassifiedRun)> {
+    let mut engine = Engine::new(tiny_params());
+    let cells = register(&mut engine, n);
+    let stats = engine.run(cache);
+    assert!(stats.failure_report().is_empty(), "baseline must be clean");
+    cells
+        .into_iter()
+        .map(|(k, i, c)| (k, i, c.take()))
+        .collect()
+}
+
+/// An injected lane panic fails exactly that lane; its siblings on the
+/// same trace and every other benchmark stay bit-identical.
+#[test]
+fn lane_panic_is_isolated_to_its_lane() {
+    let (cache, dir) = fresh_cache("lane-panic");
+    let reference = baseline(&cache, 3);
+    let faults = FaultPlan::new().panic_lane("mcf", 1, 3).build();
+    let mut engine = Engine::new(tiny_params()).with_faults(faults);
+    let cells = register(&mut engine, 3);
+    let stats = engine.run(&cache);
+
+    let report = stats.failure_report();
+    assert_eq!(report.failures().len(), 1, "{:?}", report.failures());
+    match &report.failures()[0] {
+        EngineError::Sweep(SweepError::Lane(f)) => {
+            assert!(f.group.starts_with("mcf-"), "{}", f.group);
+            assert!(matches!(f.cause, FailureCause::Panic(_)));
+        }
+        other => panic!("expected a lane failure, got {other}"),
+    }
+    assert!(report.quarantined().is_empty());
+    assert_eq!(stats.max_replays_per_trace(), 1);
+
+    for ((kind, lane, cell), (_, _, want)) in cells.iter().zip(&reference) {
+        if *kind == MCF && *lane == 1 {
+            let err = cell.try_take().expect_err("injected lane must fail");
+            assert!(matches!(err, EngineError::Sweep(SweepError::Lane(_))));
+        } else {
+            assert_eq!(&cell.take(), want, "{kind:?} lane {lane} must survive");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupt cache entry (truncated past the header, so validation fails
+/// mid-stream) is quarantined and re-simulated; the sweep converges with
+/// zero failures, one quarantine, and bit-identical results.
+#[test]
+fn midstream_corruption_is_quarantined_and_retried() {
+    let (cache, dir) = fresh_cache("quarantine");
+    let reference = baseline(&cache, 2);
+    let faults = FaultPlan::new().truncate_load("mcf", 64, 1).build();
+    let faulted_cache = cache.clone().with_faults(faults);
+    let mut engine = Engine::new(tiny_params());
+    let cells = register(&mut engine, 2);
+    let stats = engine.run(&faulted_cache);
+
+    let report = stats.failure_report();
+    assert!(
+        report.is_empty(),
+        "quarantine + retry must converge: {:?}",
+        report.failures()
+    );
+    assert_eq!(report.quarantined().len(), 1);
+    let evidence = &report.quarantined()[0];
+    assert!(
+        evidence.to_string_lossy().ends_with(".corrupt"),
+        "{evidence:?}"
+    );
+    assert!(evidence.exists(), "quarantined evidence file must persist");
+    for ((kind, lane, cell), (_, _, want)) in cells.iter().zip(&reference) {
+        assert_eq!(&cell.take(), want, "{kind:?} lane {lane}");
+    }
+
+    // The repaired entry is valid: a fresh fault-free load hits cleanly.
+    let healed = cache
+        .try_load_bytes_or_simulate(MCF, &tiny_params())
+        .unwrap();
+    assert!(healed.quarantined.is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corruption that survives the one re-simulation retry is a hard,
+/// structured error on that group — bounded, not an infinite retry loop —
+/// while other groups complete.
+#[test]
+fn persistent_corruption_is_a_bounded_hard_error() {
+    let (cache, dir) = fresh_cache("persistent");
+    let reference = baseline(&cache, 2);
+    let faults = FaultPlan::new().truncate_load("mcf", 64, 2).build();
+    let faulted_cache = cache.clone().with_faults(faults);
+    let mut engine = Engine::new(tiny_params());
+    let cells = register(&mut engine, 2);
+    let stats = engine.run(&faulted_cache);
+
+    let report = stats.failure_report();
+    assert_eq!(report.failures().len(), 1, "{:?}", report.failures());
+    match &report.failures()[0] {
+        EngineError::Cache {
+            group,
+            error: CacheError::CorruptAfterRetry { trace, .. },
+        } => {
+            assert!(group.starts_with("mcf-"), "{group}");
+            assert_eq!(trace, "mcf");
+        }
+        other => panic!("expected CorruptAfterRetry, got {other}"),
+    }
+    for ((kind, lane, cell), (_, _, want)) in cells.iter().zip(&reference) {
+        if *kind == MCF {
+            assert!(matches!(
+                cell.try_take().expect_err("mcf group must fail"),
+                EngineError::Cache { .. }
+            ));
+        } else {
+            assert_eq!(&cell.take(), want, "{kind:?} lane {lane}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A failed cache-file read degrades to a miss: the trace is re-simulated
+/// and the sweep completes with no failures and no quarantine.
+#[test]
+fn failed_cache_read_degrades_to_resimulation() {
+    let (cache, dir) = fresh_cache("fail-read");
+    let reference = baseline(&cache, 2);
+    let faults = FaultPlan::new().fail_read("mcf", 1).build();
+    let faulted_cache = cache.clone().with_faults(faults);
+    let mut engine = Engine::new(tiny_params());
+    let cells = register(&mut engine, 2);
+    let stats = engine.run(&faulted_cache);
+
+    let report = stats.failure_report();
+    assert!(report.is_empty(), "{:?}", report.failures());
+    assert!(report.quarantined().is_empty());
+    for ((kind, lane, cell), (_, _, want)) in cells.iter().zip(&reference) {
+        assert_eq!(&cell.take(), want, "{kind:?} lane {lane}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A decode error *past the cache's validation* (injected into the bytes
+/// handed to the replay) fails that whole group with a structured decode
+/// cause; other groups are untouched.
+#[test]
+fn midreplay_decode_error_fails_only_that_group() {
+    let (cache, dir) = fresh_cache("midreplay");
+    let reference = baseline(&cache, 2);
+    let faults = FaultPlan::new().truncate_replay("mcf", 64, 1).build();
+    let mut engine = Engine::new(tiny_params()).with_faults(faults);
+    let cells = register(&mut engine, 2);
+    let stats = engine.run(&cache);
+
+    let report = stats.failure_report();
+    assert_eq!(report.failures().len(), 1, "{:?}", report.failures());
+    match &report.failures()[0] {
+        EngineError::Sweep(SweepError::Group { group, cause }) => {
+            assert!(group.starts_with("mcf-"), "{group}");
+            assert!(
+                matches!(cause, FailureCause::Decode(_)),
+                "mid-replay truncation must surface as a decode error, got {cause:?}"
+            );
+        }
+        other => panic!("expected a group failure, got {other}"),
+    }
+    for ((kind, lane, cell), (_, _, want)) in cells.iter().zip(&reference) {
+        if *kind == MCF {
+            assert!(cell.try_take().is_err(), "partial results must not leak");
+        } else {
+            assert_eq!(&cell.take(), want, "{kind:?} lane {lane}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance scenario: one injected lane panic *and* one injected
+/// mid-stream cache corruption in the same sweep. The sweep completes,
+/// the report itemizes exactly the injected faults, and every unaffected
+/// lane is bit-identical to the fault-free run.
+#[test]
+fn combined_lane_panic_and_corruption_in_one_sweep() {
+    let (cache, dir) = fresh_cache("combined");
+    let reference = baseline(&cache, 2);
+    let faults = FaultPlan::new()
+        .truncate_load("mcf", 100, 1)
+        .panic_lane("gzip/g", 0, 2)
+        .build();
+    let faulted_cache = cache.clone().with_faults(faults.clone());
+    let mut engine = Engine::new(tiny_params()).with_faults(faults);
+    let cells = register(&mut engine, 2);
+    let stats = engine.run(&faulted_cache);
+
+    let report = stats.failure_report();
+    assert_eq!(report.failures().len(), 1, "{:?}", report.failures());
+    assert!(matches!(
+        &report.failures()[0],
+        EngineError::Sweep(SweepError::Lane(f)) if f.group.starts_with("gzip/g-")
+    ));
+    assert_eq!(report.quarantined().len(), 1, "mcf entry was quarantined");
+    assert_eq!(stats.traces_replayed(), 2, "both groups replayed");
+    assert_eq!(stats.max_replays_per_trace(), 1);
+
+    for ((kind, lane, cell), (_, _, want)) in cells.iter().zip(&reference) {
+        if *kind == GZIP && *lane == 0 {
+            assert!(cell.try_take().is_err());
+        } else {
+            assert_eq!(&cell.take(), want, "{kind:?} lane {lane} not bit-identical");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Lane panics under the sharded (broadcast) front-end: 24 lanes over one
+/// trace with 8 workers shard across threads; a panic on shard thread N
+/// must not poison the snapshot channels or the other shards.
+#[test]
+fn sharded_lane_panic_keeps_survivors_bit_identical() {
+    let (cache, dir) = fresh_cache("sharded");
+    let n = 24;
+    let reference: Vec<ClassifiedRun> = {
+        let mut engine = Engine::new(tiny_params()).with_workers(8);
+        let cells: Vec<_> = configs(n)
+            .into_iter()
+            .map(|c| engine.classified(MCF, c))
+            .collect();
+        let stats = engine.run(&cache);
+        assert!(stats.failure_report().is_empty());
+        assert!(stats.lane_sharded_groups() >= 1, "24 lanes must shard");
+        cells.into_iter().map(|c| c.take()).collect()
+    };
+
+    let faults = FaultPlan::new().panic_lane("mcf", 13, 5).build();
+    let mut engine = Engine::new(tiny_params())
+        .with_workers(8)
+        .with_faults(faults);
+    let cells: Vec<_> = configs(n)
+        .into_iter()
+        .map(|c| engine.classified(MCF, c))
+        .collect();
+    let stats = engine.run(&cache);
+
+    assert_eq!(stats.failure_report().failures().len(), 1);
+    assert!(stats.lane_sharded_groups() >= 1);
+    for (i, (cell, want)) in cells.iter().zip(&reference).enumerate() {
+        if i == 13 {
+            assert!(cell.try_take().is_err());
+        } else {
+            assert_eq!(&cell.take(), want, "sharded lane {i} must survive");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Seed-randomized chaos: across several seeds, each generated plan's
+/// sweep terminates (no hang, no poisoned-mutex unwind), and every cell
+/// resolves to either a bit-identical value or a typed error.
+#[test]
+fn randomized_seeded_chaos_terminates_and_stays_deterministic() {
+    let (cache, dir) = fresh_cache("randomized");
+    let reference = baseline(&cache, 2);
+    for seed in 0..6u64 {
+        let faults = FaultPlan::randomized(seed, &["mcf", "gzip/g"], 2).build();
+        let faulted_cache = cache.clone().with_faults(faults.clone());
+        let mut engine = Engine::new(tiny_params()).with_faults(faults);
+        let cells = register(&mut engine, 2);
+        let stats = engine.run(&faulted_cache);
+
+        // At most one fault was planned per group.
+        assert!(
+            stats.failure_report().failures().len() <= 2,
+            "seed {seed}: {:?}",
+            stats.failure_report().failures()
+        );
+        for ((kind, lane, cell), (_, _, want)) in cells.iter().zip(&reference) {
+            if let Ok(run) = cell.try_take() {
+                assert_eq!(&run, want, "seed {seed}: {kind:?} lane {lane}");
+            }
+        }
+        // Randomized truncations use a single trigger, so any damaged
+        // entry was quarantined and healed for the next seed's run.
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

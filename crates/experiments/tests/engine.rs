@@ -6,7 +6,7 @@
 use tpcp_core::ClassifierConfig;
 use tpcp_experiments::figures;
 use tpcp_experiments::suite::test_cache;
-use tpcp_experiments::{run_classifier, Engine, SuiteParams, Table};
+use tpcp_experiments::{run_classifier, Engine, EngineError, SuiteParams, SweepError, Table};
 use tpcp_workloads::BenchmarkKind;
 
 fn pct(x: f64) -> String {
@@ -233,6 +233,143 @@ fn worker_count_does_not_change_results() {
     let single = run_with(1);
     assert_eq!(single, run_with(2));
     assert_eq!(single, run_with(8));
+}
+
+/// A healthy sweep reports no failures and no quarantines.
+#[test]
+fn healthy_run_has_empty_failure_report() {
+    let cache = test_cache();
+    let mut engine = Engine::new(SuiteParams::quick());
+    let cell = engine.classified(BenchmarkKind::Mcf, ClassifierConfig::hpca2005());
+    let stats = engine.run(&cache);
+    assert!(stats.failure_report().is_empty());
+    assert!(stats.failure_report().failures().is_empty());
+    assert!(stats.failure_report().quarantined().is_empty());
+    let run = cell.try_take().expect("healthy lane resolves Ok");
+    assert!(!run.ids.is_empty());
+}
+
+/// A probe whose observer panics mid-stream kills only its own lane: the
+/// sibling lane on the same trace and the other benchmark still match the
+/// serial reference bit for bit, and the sweep reports exactly one
+/// structured lane failure instead of unwinding.
+#[test]
+fn panicking_probe_fails_only_its_lane() {
+    use tpcp_core::{PhaseId, PhaseObserver};
+    use tpcp_trace::IntervalSummary;
+
+    struct Grenade {
+        seen: u64,
+    }
+    impl PhaseObserver for Grenade {
+        fn observe_phase(&mut self, _id: PhaseId, _summary: &IntervalSummary) {
+            self.seen += 1;
+            assert!(self.seen < 4, "injected probe bug");
+        }
+    }
+
+    let cache = test_cache();
+    let params = SuiteParams::quick();
+    let good_config = ClassifierConfig::hpca2005();
+    let bad_config = ClassifierConfig::builder().best_match(false).build();
+
+    let mut engine = Engine::new(params);
+    let sibling = engine.classified(BenchmarkKind::Mcf, good_config);
+    let other_bench = engine.classified(BenchmarkKind::GzipGraphic, good_config);
+    let doomed_run = engine.classified(BenchmarkKind::Mcf, bad_config);
+    let doomed_probe = engine.probe(
+        BenchmarkKind::Mcf,
+        bad_config,
+        Grenade { seen: 0 },
+        |g, _| g.seen,
+    );
+    let stats = engine.run(&cache);
+
+    let failures = stats.failure_report().failures();
+    assert_eq!(failures.len(), 1, "{failures:?}");
+    match &failures[0] {
+        EngineError::Sweep(SweepError::Lane(f)) => {
+            assert!(f.group.starts_with("mcf-"), "{}", f.group);
+            assert_eq!(f.lane, format!("{bad_config:?}"), "failure names the lane");
+        }
+        other => panic!("expected a lane failure, got {other}"),
+    }
+    // Both cells of the dead lane resolve to that error...
+    assert!(matches!(
+        doomed_run.try_take(),
+        Err(EngineError::Sweep(SweepError::Lane(_)))
+    ));
+    assert!(doomed_probe.try_take().is_err());
+    // ...while the survivors match the serial reference exactly.
+    let trace = cache.load_or_simulate(BenchmarkKind::Mcf, &params);
+    assert_eq!(sibling.take(), run_classifier(&trace, good_config));
+    let trace = cache.load_or_simulate(BenchmarkKind::GzipGraphic, &params);
+    assert_eq!(other_bench.take(), run_classifier(&trace, good_config));
+}
+
+/// A raw interval sink that panics mid-stream fails its whole group (raw
+/// sinks run inside the shared replay, so the group's lanes saw a
+/// truncated stream), but other benchmarks' groups are untouched.
+#[test]
+fn panicking_raw_sink_fails_only_its_group() {
+    use tpcp_trace::{BranchEvent, IntervalSink, IntervalSummary};
+
+    #[derive(Default)]
+    struct Bomb {
+        events: u64,
+    }
+    impl IntervalSink for Bomb {
+        fn observe(&mut self, _ev: &BranchEvent) {
+            self.events += 1;
+            assert!(self.events < 1000, "injected sink bug");
+        }
+        fn end_interval(&mut self, _summary: &IntervalSummary) {}
+    }
+
+    let cache = test_cache();
+    let params = SuiteParams::quick();
+    let config = ClassifierConfig::hpca2005();
+    let mut engine = Engine::new(params);
+    let doomed_classified = engine.classified(BenchmarkKind::Mcf, config);
+    let doomed_raw = engine.interval_sink(BenchmarkKind::Mcf, Bomb::default(), |b| b.events);
+    let unaffected = engine.classified(BenchmarkKind::GzipGraphic, config);
+    let stats = engine.run(&cache);
+
+    let failures = stats.failure_report().failures();
+    assert_eq!(failures.len(), 1, "{failures:?}");
+    assert!(matches!(
+        &failures[0],
+        EngineError::Sweep(SweepError::Group { group, .. }) if group.starts_with("mcf-")
+    ));
+    assert!(doomed_raw.try_take().is_err());
+    assert!(matches!(
+        doomed_classified.try_take(),
+        Err(EngineError::Sweep(SweepError::Group { .. }))
+    ));
+    let trace = cache.load_or_simulate(BenchmarkKind::GzipGraphic, &params);
+    assert_eq!(unaffected.take(), run_classifier(&trace, config));
+}
+
+/// A probe whose *reduction* panics (after the replay finished cleanly)
+/// still resolves every cell: the sweep converts the finish-stage panic
+/// into a structured group failure rather than hanging or unwinding.
+#[test]
+fn panicking_reduction_is_a_structured_group_failure() {
+    let cache = test_cache();
+    let config = ClassifierConfig::hpca2005();
+    let mut engine = Engine::new(SuiteParams::quick());
+    let doomed = engine.probe(BenchmarkKind::Mcf, config, (), |(), _| -> u64 {
+        panic!("injected reduction bug")
+    });
+    let unaffected = engine.classified(BenchmarkKind::GzipGraphic, config);
+    let stats = engine.run(&cache);
+
+    assert_eq!(stats.failure_report().failures().len(), 1);
+    assert!(matches!(
+        doomed.try_take(),
+        Err(EngineError::Sweep(SweepError::Group { .. }))
+    ));
+    assert!(unaffected.try_take().is_ok());
 }
 
 mod randomized {

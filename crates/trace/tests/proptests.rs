@@ -87,6 +87,44 @@ proptest! {
         prop_assert!(decode_trace(bytes.slice(..cut)).is_err());
     }
 
+    /// Randomized byte corruption (XOR flips anywhere in the buffer, not
+    /// just truncation) never panics the decoders: validation, eager
+    /// decode, and a full streaming drain all terminate with `Ok` or a
+    /// typed `CodecError`.
+    #[test]
+    fn corrupted_buffers_never_panic_decoders(
+        events in prop::collection::vec(arb_event(), 1..100),
+        interval_size in 1u64..2_000,
+        flips in prop::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
+        let mut corrupted = encode_trace(&trace).to_vec();
+        for &(pos, mask) in &flips {
+            let i = pos % corrupted.len();
+            corrupted[i] ^= mask;
+        }
+
+        let validated = validate_trace(&corrupted);
+        let decoded = decode_trace(bytes::Bytes::from(corrupted.clone()));
+        // Eager decode and validation agree on whether the buffer is a
+        // trace at all.
+        prop_assert_eq!(validated.is_ok(), decoded.is_ok());
+        if let Ok(mut decoder) = StreamingDecoder::new(&corrupted) {
+            let drained = RecordedTrace::record(&mut decoder);
+            if decoder.error().is_none() {
+                // A clean streaming drain (e.g. zero masks, or flips that
+                // landed in representable fields) means the buffer is a
+                // valid trace; the paths must then agree on its contents.
+                prop_assert_eq!(validated.unwrap(), drained.len() as u64);
+                prop_assert_eq!(decoded.unwrap(), drained);
+            } else {
+                prop_assert!(validated.is_err());
+            }
+        } else {
+            prop_assert!(validated.is_err());
+        }
+    }
+
     /// Replay of a recording is indistinguishable from the recording.
     #[test]
     fn replay_identity(events in prop::collection::vec(arb_event(), 0..200),
