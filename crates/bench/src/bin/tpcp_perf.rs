@@ -16,6 +16,7 @@
 //! ```text
 //! tpcp-perf [--smoke] [--iters N] [--out DIR] [--check FILE]
 //!           [--tolerance FRAC] [--no-engine] [--refresh-baseline]
+//!           [--telemetry PATH]
 //! ```
 
 use std::path::PathBuf;
@@ -42,10 +43,12 @@ struct Args {
     engine: bool,
     lanes: Vec<usize>,
     refresh_baseline: bool,
+    telemetry: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: tpcp-perf [--smoke] [--iters N] [--out DIR] [--check FILE] \
-                     [--tolerance FRAC] [--no-engine] [--lanes N,N,...] [--refresh-baseline]";
+                     [--tolerance FRAC] [--no-engine] [--lanes N,N,...] [--refresh-baseline] \
+                     [--telemetry PATH]";
 
 fn parse_args() -> Result<Args, String> {
     let mut smoke = false;
@@ -56,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
     let mut engine = true;
     let mut lanes = vec![1usize, 8, 32];
     let mut refresh_baseline = false;
+    let mut telemetry = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |flag: &str| {
@@ -90,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--refresh-baseline" => refresh_baseline = true,
+            "--telemetry" => telemetry = Some(PathBuf::from(value("--telemetry")?)),
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
@@ -103,6 +108,7 @@ fn parse_args() -> Result<Args, String> {
         engine,
         lanes,
         refresh_baseline,
+        telemetry,
     })
 }
 
@@ -259,6 +265,7 @@ fn main() -> ExitCode {
                 .iter()
                 .map(|(k, &v)| (k.clone(), v))
                 .collect(),
+            telemetry: reference.telemetry().clone(),
         })
     } else {
         None
@@ -322,6 +329,20 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     println!("wrote {}", bench_path.display());
+    if let Some(path) = &args.telemetry {
+        // An engine-less run exports an empty (disabled) snapshot so the
+        // output file always exists and parses.
+        let snapshot = report
+            .engine
+            .as_ref()
+            .map(|e| e.telemetry.to_json())
+            .unwrap_or_else(|| tpcp_experiments::TelemetrySnapshot::default().to_json());
+        if let Err(e) = std::fs::write(path, snapshot) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
     if args.refresh_baseline {
         let baseline_path = args.out.join("bench-baseline.json");
         if let Err(e) = std::fs::write(&baseline_path, &json) {

@@ -11,6 +11,8 @@
 
 use std::time::Duration;
 
+use tpcp_experiments::TelemetrySnapshot;
+
 /// Timing statistics for one measured lane.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LaneStats {
@@ -85,12 +87,17 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 pub struct EngineSummary {
     /// Distinct traces replayed per engine run.
     pub traces_replayed: usize,
-    /// Largest per-trace replay count (the engine invariant: `<= 1`).
+    /// Largest per-trace replay count. The engine invariant is `1` on a
+    /// healthy run; `2` means a corrupt cache entry was quarantined and
+    /// its trace re-simulated.
     pub max_replays_per_trace: u64,
     /// Total intervals fanned out per engine run.
     pub total_intervals: u64,
     /// Per-trace replay counts, keyed by `<benchmark>-<fingerprint>`.
     pub replay_counts: Vec<(String, u64)>,
+    /// The engine's own telemetry snapshot (per-stage timings, cache and
+    /// shard counters) from the reference run.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// One full `tpcp-perf` run, ready to serialize.
@@ -192,7 +199,12 @@ impl PerfReport {
                 if !engine.replay_counts.is_empty() {
                     s.push_str("\n    ");
                 }
-                s.push_str("}\n  }\n");
+                s.push_str("},\n    \"telemetry\": ");
+                // Telemetry lane objects use "label" keys, so embedding
+                // them here cannot confuse `parse_lane_rates`' reliance
+                // on "name" appearing only in lane objects.
+                engine.telemetry.write_json(&mut s, 2);
+                s.push_str("\n  }\n");
             }
         }
         s.push_str("}\n");
@@ -398,6 +410,7 @@ mod tests {
                 max_replays_per_trace: 1,
                 total_intervals: 5000,
                 replay_counts: vec![("mcf-v1".to_owned(), 1)],
+                telemetry: TelemetrySnapshot::default(),
             }),
         }
     }

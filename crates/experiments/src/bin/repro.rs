@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--csv-dir DIR] [--figure NAME]... [fig2|...|all]...
+//! repro [--quick] [--csv-dir DIR] [--telemetry PATH] [--figure NAME]... [fig2|...|all]...
 //! repro --list                         # print known figure names
 //! repro timeline <benchmark-label>     # per-interval phase/CPI dump
 //! ```
@@ -73,12 +73,20 @@ fn main() {
     let mut quick = false;
     let mut bars = false;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut telemetry_out: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--bars" => bars = true,
+            "--telemetry" => {
+                let path = iter.next().unwrap_or_else(|| {
+                    eprintln!("--telemetry requires an output path");
+                    std::process::exit(2);
+                });
+                telemetry_out = Some(PathBuf::from(path));
+            }
             "--list" => {
                 for name in FIGURES {
                     println!("{name}");
@@ -105,7 +113,7 @@ fn main() {
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--csv-dir DIR] [--figure NAME]... <fig2..fig9|simpoint|all>..."
+            "usage: repro [--quick] [--csv-dir DIR] [--telemetry PATH] [--figure NAME]... <fig2..fig9|simpoint|all>..."
         );
         eprintln!("       repro --list");
         eprintln!("       repro timeline <benchmark-label>");
@@ -155,6 +163,28 @@ fn main() {
         stats.max_replays_per_trace(),
         stats.total_intervals()
     );
+    let telemetry = stats.telemetry();
+    eprintln!(
+        "# cache: {} hits, {} misses, {} quarantined; {} sharded groups",
+        telemetry.cache().hits,
+        telemetry.cache().misses,
+        telemetry.cache().quarantines,
+        telemetry.sharded_groups()
+    );
+    // Export before the failure bail: a damaged sweep's partial stage
+    // timings are exactly what a post-mortem wants.
+    if let Some(path) = &telemetry_out {
+        match fs::write(path, telemetry.to_json()) {
+            Ok(()) => eprintln!("# telemetry written to {}", path.display()),
+            Err(e) => {
+                eprintln!(
+                    "error: failed to write telemetry to {}: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     let report = stats.failure_report();
     for path in report.quarantined() {
         eprintln!(
@@ -186,6 +216,28 @@ fn main() {
                 fs::write(&path, table.to_csv()).expect("write csv");
             }
         }
+    }
+
+    append_telemetry_summary(telemetry);
+}
+
+/// Appends the one-page telemetry summary to `results/full_report.txt`
+/// (the locally generated, untracked report file). Best-effort: a
+/// read-only tree only costs the appended page, never the run.
+fn append_telemetry_summary(telemetry: &tpcp_experiments::TelemetrySnapshot) {
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join("full_report.txt");
+    let page = format!("\n{}", telemetry.summary());
+    let appended = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, page.as_bytes()));
+    if appended.is_ok() {
+        eprintln!("# telemetry summary appended to {}", path.display());
     }
 }
 

@@ -41,6 +41,7 @@
 mod error;
 mod sink;
 mod sweep;
+mod telemetry;
 
 use std::sync::{Arc, Mutex};
 
@@ -58,6 +59,7 @@ use sink::{ClassifierLane, ErasedLane, Probe, RawProbe};
 pub use error::{EngineError, FailureCause, FailureReport, LaneFailure, SweepError};
 pub use sink::BbvSink;
 pub use sweep::EngineStats;
+pub use telemetry::{CacheCounters, GroupTelemetry, LaneTelemetry, StageNanos, TelemetrySnapshot};
 
 /// A figure's deferred output: registration happens before the sweep,
 /// table construction after it.
@@ -167,6 +169,7 @@ pub struct Engine {
     params: SuiteParams,
     groups: Vec<TraceGroup>,
     workers: Option<usize>,
+    pub(crate) telemetry: bool,
     #[cfg(feature = "fault-inject")]
     faults: Option<Arc<crate::fault::FaultInjector>>,
 }
@@ -178,9 +181,19 @@ impl Engine {
             params,
             groups: Vec::new(),
             workers: None,
+            telemetry: true,
             #[cfg(feature = "fault-inject")]
             faults: None,
         }
+    }
+
+    /// Enables or disables telemetry collection (on by default). Engine
+    /// results are bit-identical either way — collection never feeds back
+    /// into classification — so disabling it only zeroes the clock reads
+    /// and leaves [`EngineStats::telemetry`] empty.
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
     }
 
     /// Attaches a fault injector: the sweep consults it for lane panics

@@ -24,9 +24,11 @@
 //! Output is deterministic under any scheduling: every lane lives on
 //! exactly one thread, snapshots arrive in interval order through its
 //! channel, and each [`Pending`](crate::engine::Pending) handle has
-//! exactly one writer. The `max_replays_per_trace <= 1` invariant is
-//! untouched — sharding divides consumers of one replay, never adds a
-//! replay.
+//! exactly one writer. Sharding divides consumers of one replay, never
+//! adds a replay: [`EngineStats::max_replays_per_trace`] stays `1` on a
+//! healthy run and only reaches `2` when the cache had to quarantine a
+//! corrupt entry and re-simulate the trace (the repair produces the
+//! trace a second time).
 //!
 //! **Fault isolation.** A failure degrades the smallest unit that
 //! contains it and never escapes the sweep (see DESIGN.md "Failure
@@ -49,6 +51,7 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use tpcp_core::AccumulatorTable;
 use tpcp_trace::{drive, BranchEvent, IntervalSink, IntervalSummary, StreamingDecoder};
@@ -58,6 +61,7 @@ use crate::engine::error::{
     SweepError,
 };
 use crate::engine::sink::ClassifierLane;
+use crate::engine::telemetry::{elapsed_ns, span_ns, GroupCollector, LaneSlot, TelemetrySnapshot};
 use crate::engine::{Engine, TraceGroup};
 use crate::suite::TraceCache;
 
@@ -71,19 +75,24 @@ const MIN_LANES_PER_SHARD: usize = 4;
 /// clones.
 const SNAPSHOT_CHANNEL_DEPTH: usize = 2;
 
-/// What the sweep did: per-trace replay counts, interval totals, and the
+/// What the sweep did: per-trace replay counts, interval totals, the
+/// [`TelemetrySnapshot`] of where the time went, and the
 /// [`FailureReport`] of everything that went wrong (or was repaired).
 ///
 /// The headline invariant — the reason the engine exists — is
-/// [`max_replays_per_trace`](EngineStats::max_replays_per_trace)` <= 1`:
-/// no matter how many figures and configurations were registered, no
-/// trace is decoded or replayed twice.
+/// [`max_replays_per_trace`](EngineStats::max_replays_per_trace)` <= 1`
+/// *on a healthy run*: no matter how many figures and configurations
+/// were registered, no trace is decoded or replayed twice. The one
+/// exception is cache self-repair — a corrupt entry is quarantined and
+/// its trace re-simulated, which produces that trace a second time and
+/// is counted as such.
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
     replays: BTreeMap<String, u64>,
     intervals: u64,
     sharded_groups: u64,
     report: FailureReport,
+    telemetry: TelemetrySnapshot,
 }
 
 impl EngineStats {
@@ -92,8 +101,11 @@ impl EngineStats {
         self.replays.len()
     }
 
-    /// The largest number of times any single trace was replayed
-    /// (`1` for any engine run with registrations, `0` for an empty one).
+    /// The largest number of times any single trace was produced during
+    /// the sweep: `1` for every trace on a healthy run, `2` for a trace
+    /// whose corrupt cache entry was quarantined and re-simulated (the
+    /// bounded repair produces the trace a second time — see
+    /// [`TraceCache::try_load_bytes_or_simulate`]), `0` for an empty run.
     pub fn max_replays_per_trace(&self) -> u64 {
         self.replays.values().copied().max().unwrap_or(0)
     }
@@ -119,6 +131,13 @@ impl EngineStats {
     /// the sweep. Empty on a healthy run.
     pub fn failure_report(&self) -> &FailureReport {
         &self.report
+    }
+
+    /// Where the sweep's time went: per-stage timers, cache counters,
+    /// and shard stats (empty when collection was disabled with
+    /// [`Engine::with_telemetry`]).
+    pub fn telemetry(&self) -> &TelemetrySnapshot {
+        &self.telemetry
     }
 }
 
@@ -160,6 +179,8 @@ impl Engine {
     /// trace failures.
     pub fn run(self, cache: &TraceCache) -> EngineStats {
         let workers = resolve_workers(self.workers);
+        let collect = self.telemetry;
+        let run_start = collect.then(Instant::now);
         #[cfg(feature = "fault-inject")]
         let faults = self.faults.clone();
         #[allow(unused_mut)]
@@ -197,17 +218,33 @@ impl Engine {
                         .take()
                         .expect("each group is claimed exactly once");
                     let key = format!("{}-{}", group.kind.label(), group.params.fingerprint());
+                    // The collector lives *outside* the replay's
+                    // catch_unwind so a panicking group leaves its
+                    // partial timings readable.
+                    let collector = GroupCollector::new(collect, group.lanes.len());
+                    let cache_mark = collector.mark();
                     let load = match cache.try_load_bytes_or_simulate(group.kind, &group.params) {
                         Ok(load) => load,
                         Err(error) => {
-                            let err = EngineError::Cache { group: key, error };
+                            let cache_ns = elapsed_ns(cache_mark);
+                            let err = EngineError::Cache {
+                                group: key.clone(),
+                                error,
+                            };
                             for handle in group.failure_handles() {
                                 handle(&err);
                             }
-                            lock_ignore_poison(&stats).report.record_failure(err);
+                            let mut s = lock_ignore_poison(&stats);
+                            s.report.record_failure(err);
+                            if collect {
+                                s.telemetry.record_cache(false, false);
+                                s.telemetry
+                                    .record_group(key, collector.into_group(cache_ns, 0, true));
+                            }
                             continue;
                         }
                     };
+                    let cache_ns = elapsed_ns(cache_mark);
                     #[allow(unused_mut)]
                     let mut bytes = load.bytes;
                     #[cfg(feature = "fault-inject")]
@@ -222,24 +259,41 @@ impl Engine {
                     let ctx = ReplayCtx {
                         group: &key,
                         failures: &lane_failures,
+                        collector: &collector,
                     };
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         replay_group(group, &bytes, lane_budget, &ctx)
                     }));
                     let mut s = lock_ignore_poison(&stats);
+                    let repaired = load.quarantined.is_some();
+                    if collect {
+                        s.telemetry.record_cache(load.hit, repaired);
+                    }
                     if let Some(path) = load.quarantined {
                         s.report.record_quarantine(path);
                     }
-                    *s.replays.entry(key.clone()).or_insert(0) += 1;
+                    // A quarantine repair re-simulated the trace: that is
+                    // a second production of it, and the stat says so.
+                    *s.replays.entry(key.clone()).or_insert(0) += if repaired { 2 } else { 1 };
                     let cause = match outcome {
-                        Ok(Ok((intervals, sharded))) => {
+                        Ok(Ok((intervals, shards))) => {
                             s.intervals += intervals as u64;
-                            s.sharded_groups += u64::from(sharded);
+                            s.sharded_groups += u64::from(shards >= 2);
+                            if collect {
+                                s.telemetry.record_group(
+                                    key,
+                                    collector.into_group(cache_ns, shards as u64, false),
+                                );
+                            }
                             continue;
                         }
                         Ok(Err(cause)) => cause,
                         Err(payload) => FailureCause::Panic(panic_message(payload.as_ref())),
                     };
+                    if collect {
+                        s.telemetry
+                            .record_group(key.clone(), collector.into_group(cache_ns, 0, true));
+                    }
                     let err = EngineError::Sweep(SweepError::Group { group: key, cause });
                     for handle in &handles {
                         handle(&err);
@@ -265,15 +319,20 @@ impl Engine {
                 .record_failure(EngineError::Sweep(SweepError::Lane(failure)));
         }
         stats.report.finalize();
+        if collect {
+            stats.telemetry.finalize(elapsed_ns(run_start));
+        }
         stats
     }
 }
 
-/// Shared context for one group's replay: the group key plus the
-/// sweep-wide collector that lane failures are reported into.
+/// Shared context for one group's replay: the group key, the sweep-wide
+/// collector that lane failures are reported into, and the group's
+/// telemetry collector.
 struct ReplayCtx<'a> {
     group: &'a str,
     failures: &'a Mutex<Vec<LaneFailure>>,
+    collector: &'a GroupCollector,
 }
 
 impl ReplayCtx<'_> {
@@ -292,8 +351,23 @@ impl ReplayCtx<'_> {
 }
 
 /// A classifier lane paired with the index of the shared accumulator
-/// (keyed by distinct accumulator count) it reads snapshots from.
-type KeyedLane = (usize, ClassifierLane);
+/// (keyed by distinct accumulator count) it reads snapshots from, plus
+/// its pre-sized telemetry slot — bumped inline at each boundary,
+/// flushed into the group collector once when the lane retires.
+struct KeyedLane {
+    acc: usize,
+    lane: ClassifierLane,
+    slot: LaneSlot,
+}
+
+impl KeyedLane {
+    /// Retires the lane into the group collector: flushes its telemetry
+    /// slot and returns the lane for finalization or burial.
+    fn retire(self, collector: &GroupCollector) -> ClassifierLane {
+        collector.flush_lane(self.lane.label(), self.slot);
+        self.lane
+    }
+}
 
 /// Groups a trace group's classifier lanes by accumulator count: returns
 /// one accumulator per distinct count plus each lane tagged with its
@@ -308,7 +382,11 @@ fn keyed_lanes(lanes: Vec<ClassifierLane>) -> (Vec<AccumulatorTable>, Vec<KeyedL
                 counts.push(n);
                 counts.len() - 1
             });
-            (idx, lane)
+            KeyedLane {
+                acc: idx,
+                lane,
+                slot: LaneSlot::default(),
+            }
         })
         .collect();
     (
@@ -322,32 +400,53 @@ fn keyed_lanes(lanes: Vec<ClassifierLane>) -> (Vec<AccumulatorTable>, Vec<KeyedL
 /// only *read* the shared accumulators, so a mid-boundary panic cannot
 /// corrupt any state a sibling observes — survivors stay bit-identical
 /// to a fault-free run.
+/// `start` is the boundary's telemetry mark; timestamps chain through the
+/// loop (each lane's end mark is the next lane's start) so timing N lanes
+/// costs N clock reads, not 2N. Returns the last mark taken, which the
+/// caller can reuse as the next window's start.
 fn end_interval_isolated(
     lanes: &mut Vec<KeyedLane>,
     accs: &[AccumulatorTable],
     summary: &IntervalSummary,
     ctx: &ReplayCtx<'_>,
-) {
+    start: Option<Instant>,
+) -> Option<Instant> {
+    let mut prev = start;
     let mut i = 0;
     while i < lanes.len() {
-        let (ai, lane) = &mut lanes[i];
-        let acc = &accs[*ai];
+        let keyed = &mut lanes[i];
+        let acc = &accs[keyed.acc];
+        let lane = &mut keyed.lane;
         match catch_unwind(AssertUnwindSafe(|| lane.end_interval_shared(acc, summary))) {
-            Ok(()) => i += 1,
+            Ok(()) => {
+                let end = ctx.collector.mark();
+                keyed.slot.add(span_ns(prev, end));
+                prev = end;
+                i += 1;
+            }
             Err(payload) => {
-                let (_, lane) = lanes.swap_remove(i);
+                // Cold path: re-mark so the buried lane's cost is not
+                // billed to its successor.
+                prev = ctx.collector.mark();
+                let lane = lanes.swap_remove(i).retire(ctx.collector);
                 ctx.fail_lane(lane, payload.as_ref());
             }
         }
     }
+    prev
 }
 
 /// The inline shared-accumulation front-end: one accumulator per distinct
 /// count, every lane classified on the replay thread at each boundary.
+///
+/// `window` is the telemetry mark of the previous boundary's end (or the
+/// replay's start): the span up to the next boundary is the fused
+/// decode + accumulate stage.
 struct SharedFrontEnd<'a> {
     accs: Vec<AccumulatorTable>,
     lanes: Vec<KeyedLane>,
     ctx: &'a ReplayCtx<'a>,
+    window: Option<Instant>,
 }
 
 impl IntervalSink for SharedFrontEnd<'_> {
@@ -358,10 +457,15 @@ impl IntervalSink for SharedFrontEnd<'_> {
     }
 
     fn end_interval(&mut self, summary: &IntervalSummary) {
-        end_interval_isolated(&mut self.lanes, &self.accs, summary, self.ctx);
+        let boundary = self.ctx.collector.mark();
+        self.ctx.collector.close_window(self.window, boundary);
+        let end = end_interval_isolated(&mut self.lanes, &self.accs, summary, self.ctx, boundary);
         for acc in &mut self.accs {
             acc.reset();
         }
+        // The last lane's end mark doubles as the next window's start;
+        // the accumulator reset is billed to decode + accumulate.
+        self.window = end;
     }
 }
 
@@ -375,12 +479,16 @@ struct Snapshot {
 
 /// The sharded front-end: accumulates inline, and at each boundary sends
 /// the snapshot to every shard's bounded channel instead of classifying.
-struct BroadcastFrontEnd {
+/// The send loop is timed separately — time spent blocked on a full
+/// bounded channel is shard backpressure, not decode work.
+struct BroadcastFrontEnd<'a> {
     accs: Vec<AccumulatorTable>,
     senders: Vec<crossbeam::channel::Sender<Arc<Snapshot>>>,
+    collector: &'a GroupCollector,
+    window: Option<Instant>,
 }
 
-impl IntervalSink for BroadcastFrontEnd {
+impl IntervalSink for BroadcastFrontEnd<'_> {
     fn observe(&mut self, ev: &BranchEvent) {
         for acc in &mut self.accs {
             acc.observe(*ev);
@@ -388,10 +496,13 @@ impl IntervalSink for BroadcastFrontEnd {
     }
 
     fn end_interval(&mut self, summary: &IntervalSummary) {
+        let boundary = self.collector.mark();
+        self.collector.close_window(self.window, boundary);
         let snap = Arc::new(Snapshot {
             accs: self.accs.clone(),
             summary: *summary,
         });
+        let wait = self.collector.mark();
         for tx in &self.senders {
             if tx.send(Arc::clone(&snap)).is_err() {
                 // A shard thread died mid-replay (only possible through
@@ -401,9 +512,13 @@ impl IntervalSink for BroadcastFrontEnd {
                 panic!("lane shard channel closed mid-replay");
             }
         }
+        let sent = self.collector.mark();
+        self.collector.add_shard_wait(span_ns(wait, sent));
         for acc in &mut self.accs {
             acc.reset();
         }
+        // Reuse the post-send mark as the next window's start.
+        self.window = sent;
     }
 }
 
@@ -422,16 +537,17 @@ fn split_lanes(mut lanes: Vec<KeyedLane>, shards: usize) -> Vec<Vec<KeyedLane>> 
 }
 
 /// Streams the encoded trace `bytes` once through every lane of `group`,
-/// then finalizes the lanes. Returns the interval count and whether the
-/// group's classifier lanes were sharded across threads, or the
-/// [`FailureCause`] that stopped the stream. Runs under the caller's
-/// `catch_unwind`; panics escaping this function become group failures.
+/// then finalizes the lanes. Returns the interval count and the number
+/// of shard threads the group's classifier lanes were split across (`0`
+/// when they ran inline), or the [`FailureCause`] that stopped the
+/// stream. Runs under the caller's `catch_unwind`; panics escaping this
+/// function become group failures.
 fn replay_group(
     mut group: TraceGroup,
     bytes: &[u8],
     lane_budget: usize,
     ctx: &ReplayCtx<'_>,
-) -> Result<(usize, bool), FailureCause> {
+) -> Result<(usize, usize), FailureCause> {
     // The cache validated the buffer, so streaming "cannot" fail — but a
     // validator/decoder disagreement should cost one group, not the run.
     let mut replay = match StreamingDecoder::new(bytes) {
@@ -449,6 +565,8 @@ fn replay_group(
             let mut front = BroadcastFrontEnd {
                 accs,
                 senders: Vec::with_capacity(shards),
+                collector: ctx.collector,
+                window: ctx.collector.mark(),
             };
             for mut lanes in shard_lanes {
                 let (tx, rx) = crossbeam::channel::bounded::<Arc<Snapshot>>(SNAPSHOT_CHANNEL_DEPTH);
@@ -456,16 +574,24 @@ fn replay_group(
                 let abort = &abort;
                 scope.spawn(move |_| {
                     while let Ok(snap) = rx.recv() {
-                        end_interval_isolated(&mut lanes, &snap.accs, &snap.summary, ctx);
+                        let start = ctx.collector.mark();
+                        end_interval_isolated(&mut lanes, &snap.accs, &snap.summary, ctx, start);
                     }
                     // Channel closed: the replay is over; finalize here so
                     // probe reductions also run off the replay thread. On
                     // a mid-stream decode error the lanes hold partial
-                    // state — leave their cells for the group failure.
-                    if !abort.load(Ordering::SeqCst) {
-                        for (_, lane) in lanes {
-                            lane.finish();
+                    // state — leave their cells for the group failure, but
+                    // still flush the classify time they banked.
+                    if abort.load(Ordering::SeqCst) {
+                        for keyed in lanes {
+                            keyed.retire(ctx.collector);
                         }
+                    } else {
+                        let mark = ctx.collector.mark();
+                        for keyed in lanes {
+                            keyed.retire(ctx.collector).finish();
+                        }
+                        ctx.collector.add_finish(elapsed_ns(mark));
                     }
                 });
             }
@@ -495,6 +621,7 @@ fn replay_group(
             accs,
             lanes: keyed,
             ctx,
+            window: ctx.collector.mark(),
         };
         let mut sinks: Vec<&mut dyn IntervalSink> = Vec::with_capacity(1 + group.raw.len());
         sinks.push(&mut front);
@@ -504,8 +631,16 @@ fn replay_group(
         let intervals = drive(&mut replay, &mut sinks);
         drop(sinks);
         if replay.error().is_none() {
-            for (_, lane) in front.lanes {
-                lane.finish();
+            let mark = ctx.collector.mark();
+            for keyed in front.lanes {
+                keyed.retire(ctx.collector).finish();
+            }
+            ctx.collector.add_finish(elapsed_ns(mark));
+        } else {
+            // Decode failed mid-stream: the lanes' cells go to the group
+            // failure, but their partial classify timings are kept.
+            for keyed in front.lanes {
+                keyed.retire(ctx.collector);
             }
         }
         intervals
@@ -514,8 +649,10 @@ fn replay_group(
     if let Some(e) = replay.error() {
         return Err(FailureCause::Decode(e));
     }
+    let mark = ctx.collector.mark();
     for raw in group.raw {
         raw.finish();
     }
-    Ok((intervals, sharded))
+    ctx.collector.add_finish(elapsed_ns(mark));
+    Ok((intervals, if sharded { shards } else { 0 }))
 }

@@ -24,8 +24,9 @@ pub mod suite;
 
 pub use classify::{run_classifier, ClassifiedRun};
 pub use engine::{
-    BbvSink, Engine, EngineError, EngineStats, FailureCause, FailureReport, LaneFailure, Pending,
-    PendingTables, SweepError,
+    BbvSink, CacheCounters, Engine, EngineError, EngineStats, FailureCause, FailureReport,
+    GroupTelemetry, LaneFailure, LaneTelemetry, Pending, PendingTables, StageNanos, SweepError,
+    TelemetrySnapshot,
 };
 pub use report::Table;
 pub use suite::{CacheError, CacheLoad, SuiteParams, TraceCache};

@@ -37,12 +37,15 @@ impl fmt::Display for CacheError {
 
 impl std::error::Error for CacheError {}
 
-/// A successful cache load: the validated encoded buffer, plus the path
-/// of the corrupt entry that was quarantined on the way (if any).
+/// A successful cache load: the validated encoded buffer, plus how the
+/// cache produced it — a straight hit, or a (possibly quarantining) miss.
 #[derive(Debug, Clone)]
 pub struct CacheLoad {
     /// The validated `TPCPTRC2` trace buffer.
     pub bytes: Bytes,
+    /// `true` when the buffer came straight from a valid on-disk entry;
+    /// `false` when the cache had to simulate (fresh miss or repair).
+    pub hit: bool,
     /// `Some(path)` when a corrupt cache entry was renamed `*.corrupt`
     /// and the buffer came from a re-simulation instead.
     pub quarantined: Option<PathBuf>,
@@ -196,6 +199,7 @@ impl TraceCache {
             if validate_trace(&bytes).is_ok() {
                 return Ok(CacheLoad {
                     bytes,
+                    hit: true,
                     quarantined: None,
                 });
             }
@@ -229,6 +233,7 @@ impl TraceCache {
         match validate_trace(&encoded) {
             Ok(_) => Ok(CacheLoad {
                 bytes: encoded,
+                hit: false,
                 quarantined,
             }),
             Err(error) => Err(CacheError::CorruptAfterRetry {

@@ -130,6 +130,12 @@ fn midstream_corruption_is_quarantined_and_retried() {
         report.failures()
     );
     assert_eq!(report.quarantined().len(), 1);
+    assert_eq!(
+        stats.max_replays_per_trace(),
+        2,
+        "quarantine + retry re-simulates the damaged trace once"
+    );
+    assert_eq!(stats.telemetry().cache().quarantines, 1);
     let evidence = &report.quarantined()[0];
     assert!(
         evidence.to_string_lossy().ends_with(".corrupt"),
@@ -173,6 +179,19 @@ fn persistent_corruption_is_a_bounded_hard_error() {
         }
         other => panic!("expected CorruptAfterRetry, got {other}"),
     }
+    // Telemetry degrades gracefully: the failed group still reports the
+    // time spent in the (doomed) cache load, flagged as partial.
+    let (_, failed) = stats
+        .telemetry()
+        .groups()
+        .iter()
+        .find(|(key, _)| key.starts_with("mcf-"))
+        .expect("failed group must still appear in telemetry");
+    assert!(
+        failed.partial,
+        "failed group timings must be flagged partial"
+    );
+    assert!(failed.stages.cache_load_ns > 0, "cache-load time is banked");
     for ((kind, lane, cell), (_, _, want)) in cells.iter().zip(&reference) {
         if *kind == MCF {
             assert!(matches!(
@@ -231,6 +250,22 @@ fn midreplay_decode_error_fails_only_that_group() {
         }
         other => panic!("expected a group failure, got {other}"),
     }
+    // The aborted replay reports partial timings: the cache load landed
+    // and the healthy gzip/g group is complete alongside it.
+    let telemetry = stats.telemetry();
+    let (_, failed) = telemetry
+        .groups()
+        .iter()
+        .find(|(key, _)| key.starts_with("mcf-"))
+        .expect("failed group must still appear in telemetry");
+    assert!(failed.partial);
+    assert!(failed.stages.cache_load_ns > 0);
+    let (_, healthy) = telemetry
+        .groups()
+        .iter()
+        .find(|(key, _)| key.starts_with("gzip/g-"))
+        .expect("healthy group telemetry");
+    assert!(!healthy.partial);
     for ((kind, lane, cell), (_, _, want)) in cells.iter().zip(&reference) {
         if *kind == MCF {
             assert!(cell.try_take().is_err(), "partial results must not leak");
@@ -266,7 +301,11 @@ fn combined_lane_panic_and_corruption_in_one_sweep() {
     ));
     assert_eq!(report.quarantined().len(), 1, "mcf entry was quarantined");
     assert_eq!(stats.traces_replayed(), 2, "both groups replayed");
-    assert_eq!(stats.max_replays_per_trace(), 1);
+    assert_eq!(
+        stats.max_replays_per_trace(),
+        2,
+        "the quarantined mcf entry costs one extra replay; gzip/g stays at 1"
+    );
 
     for ((kind, lane, cell), (_, _, want)) in cells.iter().zip(&reference) {
         if *kind == GZIP && *lane == 0 {

@@ -372,6 +372,94 @@ fn panicking_reduction_is_a_structured_group_failure() {
     assert!(unaffected.try_take().is_ok());
 }
 
+/// Telemetry collection never feeds back into classification: the same
+/// registrations with collection on and off produce bit-identical
+/// `ClassifiedRun`s, and only the snapshot differs (populated vs empty).
+#[test]
+fn telemetry_on_off_results_bit_identical() {
+    let cache = test_cache();
+    let params = SuiteParams::quick();
+    let configs = mixed_count_configs();
+    let benches = [BenchmarkKind::Mcf, BenchmarkKind::GzipGraphic];
+    let run_with = |telemetry: bool| {
+        let mut engine = Engine::new(params)
+            .with_workers(8)
+            .with_telemetry(telemetry);
+        let cells: Vec<_> = benches
+            .into_iter()
+            .flat_map(|kind| configs.iter().map(move |&c| (kind, c)).collect::<Vec<_>>())
+            .map(|(kind, config)| engine.classified(kind, config))
+            .collect();
+        let stats = engine.run(&cache);
+        let runs: Vec<_> = cells.into_iter().map(|c| c.take()).collect();
+        (runs, stats)
+    };
+
+    let (with, stats_on) = run_with(true);
+    let (without, stats_off) = run_with(false);
+    assert_eq!(with, without, "telemetry changed engine results");
+
+    let on = stats_on.telemetry();
+    assert!(on.enabled());
+    assert_eq!(on.groups().len(), benches.len());
+    assert_eq!(on.total_intervals(), stats_on.total_intervals());
+    assert_eq!(on.sharded_groups(), stats_on.lane_sharded_groups());
+    assert_eq!(on.cache().hits + on.cache().misses, benches.len() as u64);
+    for (key, group) in on.groups() {
+        assert!(!group.partial, "{key} reported partial on a healthy run");
+        assert_eq!(group.lanes.len(), configs.len(), "{key}");
+        assert!(group.stages.decode_accumulate_ns > 0, "{key}");
+        assert!(group.stages.classify_ns > 0, "{key}");
+        assert!(group.lanes.iter().all(|l| l.intervals == group.intervals));
+    }
+
+    let off = stats_off.telemetry();
+    assert!(!off.enabled());
+    assert!(off.groups().is_empty());
+    assert_eq!(off.wall_ns(), 0);
+}
+
+/// Cache counters see through the cache: a sweep against an empty cache
+/// directory records all misses, the next one all hits — and the
+/// exported JSON carries the per-stage timings and shard stats.
+#[test]
+fn telemetry_counts_cache_hits_misses_and_exports_json() {
+    let dir = std::env::temp_dir().join(format!("tpcp-telemetry-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = tpcp_experiments::TraceCache::new(&dir);
+    let params = SuiteParams::quick();
+    let configs = mixed_count_configs();
+    let run_once = || {
+        let mut engine = Engine::new(params).with_workers(8);
+        for &config in &configs {
+            engine.classified(BenchmarkKind::Mcf, config);
+        }
+        engine.run(&cache)
+    };
+
+    let cold = run_once();
+    assert_eq!(cold.telemetry().cache().misses, 1);
+    assert_eq!(cold.telemetry().cache().hits, 0);
+    assert_eq!(cold.telemetry().cache().quarantines, 0);
+
+    let warm = run_once();
+    assert_eq!(warm.telemetry().cache().misses, 0);
+    assert_eq!(warm.telemetry().cache().hits, 1);
+    assert!(warm.telemetry().stages().cache_load_ns > 0);
+
+    let json = warm.telemetry().to_json();
+    assert!(json.contains("\"schema\": \"tpcp-telemetry-v1\""));
+    assert!(json.contains("\"cache\": { \"hits\": 1, \"misses\": 0, \"quarantines\": 0 }"));
+    assert!(json.contains("\"decode_accumulate_ns\""));
+    assert!(json.contains("\"shard_send_wait_ns\""));
+    assert!(json.contains("\"sharded_groups\""));
+    assert!(json.contains("\"intervals_per_sec\""));
+    // Lane objects use "label", never "name" — the bench report's lane
+    // scanner depends on "name" appearing only in its own lane objects.
+    assert!(!json.contains("\"name\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 mod randomized {
     use super::*;
     use proptest::prelude::*;

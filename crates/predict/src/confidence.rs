@@ -86,6 +86,16 @@ impl ConfidenceCounter {
     pub fn value(&self) -> u8 {
         self.value
     }
+
+    /// The saturation ceiling, `2^bits - 1`.
+    pub fn max(&self) -> u8 {
+        self.max
+    }
+
+    /// The confidence threshold the counter must reach to be trusted.
+    pub fn threshold(&self) -> u8 {
+        self.threshold
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +144,42 @@ mod tests {
         c.reset();
         assert!(!c.is_confident());
         assert_eq!(c.value(), 0);
+    }
+
+    /// Boundary behaviour at the floor (0) and ceiling (2^n - 1) for every
+    /// legal width: an incorrect at 0 stays at 0, a correct at max stays at
+    /// max, and one step off either rail lands exactly one away.
+    #[test]
+    fn floor_and_ceiling_are_sticky_for_every_width() {
+        for bits in 1..=7u32 {
+            let max = (1u16 << bits) as u8 - 1;
+            let mut c = ConfidenceCounter::new(bits, max);
+            assert_eq!(c.max(), max, "{bits}-bit ceiling");
+            assert_eq!(c.value(), 0, "{bits}-bit counters start at the floor");
+            c.incorrect();
+            assert_eq!(c.value(), 0, "{bits}-bit floor must not underflow");
+            for _ in 0..=u16::from(max) {
+                c.correct();
+            }
+            assert_eq!(c.value(), max, "{bits}-bit ceiling must not overflow");
+            c.incorrect();
+            assert_eq!(c.value(), max - 1, "one incorrect steps off the rail");
+            c.correct();
+            assert_eq!(c.value(), max, "one correct re-saturates");
+        }
+    }
+
+    /// Pins the paper's Section 5.1 configuration: last-value prediction
+    /// uses a 3-bit counter (max 7) with threshold 6, "1 less than fully
+    /// saturated".
+    #[test]
+    fn paper_last_value_config_is_three_bit_threshold_six() {
+        let c = ConfidenceCounter::last_value_default();
+        assert_eq!(c.max(), 7);
+        assert_eq!(c.threshold(), 6);
+        assert_eq!(c.max() - c.threshold(), 1, "1 less than fully saturated");
+        let change = ConfidenceCounter::change_table_default();
+        assert_eq!((change.max(), change.threshold()), (1, 1));
     }
 
     #[test]

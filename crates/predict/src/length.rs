@@ -27,14 +27,24 @@ impl RunLengthClass {
     ///
     /// # Panics
     ///
-    /// Panics if `length` is zero (runs are at least one interval).
+    /// Panics if `length` is zero (runs are at least one interval). Use
+    /// [`RunLengthClass::try_from_length`] when zero is a reachable input.
     pub fn from_length(length: u64) -> Self {
-        assert!(length > 0, "run length must be at least 1 interval");
+        match Self::try_from_length(length) {
+            Some(class) => class,
+            None => panic!("run length must be at least 1 interval"),
+        }
+    }
+
+    /// Classifies a run length in intervals, returning `None` for the
+    /// impossible length zero instead of panicking.
+    pub fn try_from_length(length: u64) -> Option<Self> {
         match length {
-            1..=15 => RunLengthClass::Short,
-            16..=127 => RunLengthClass::Medium,
-            128..=1023 => RunLengthClass::Long,
-            _ => RunLengthClass::VeryLong,
+            0 => None,
+            1..=15 => Some(RunLengthClass::Short),
+            16..=127 => Some(RunLengthClass::Medium),
+            128..=1023 => Some(RunLengthClass::Long),
+            _ => Some(RunLengthClass::VeryLong),
         }
     }
 
@@ -296,6 +306,23 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_length_rejected() {
         RunLengthClass::from_length(0);
+    }
+
+    #[test]
+    fn try_from_length_is_total() {
+        assert_eq!(RunLengthClass::try_from_length(0), None);
+        for (len, want) in [
+            (1, RunLengthClass::Short),
+            (15, RunLengthClass::Short),
+            (16, RunLengthClass::Medium),
+            (127, RunLengthClass::Medium),
+            (128, RunLengthClass::Long),
+            (1023, RunLengthClass::Long),
+            (1024, RunLengthClass::VeryLong),
+            (u64::MAX, RunLengthClass::VeryLong),
+        ] {
+            assert_eq!(RunLengthClass::try_from_length(len), Some(want), "{len}");
+        }
     }
 
     #[test]
