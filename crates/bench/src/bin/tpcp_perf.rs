@@ -7,7 +7,9 @@
 //!   from a materialized trace (paired lanes must produce identical
 //!   phase-ID checksums, re-proving equivalence on every run);
 //! * **engine-suite** — a full experiment-engine sweep (11 benchmarks ×
-//!   2 classifier configs) from the on-disk trace cache.
+//!   2 classifier configs) from the on-disk trace cache, plus the
+//!   cross-technique `engine_extractors` sweep (11 benchmarks × 3
+//!   feature back-ends in one replay pass).
 //!
 //! Emits `BENCH_<git-sha>.json` (median/p90 wall-clock, intervals/sec,
 //! peak RSS, replay counts) into `--out` and can gate the run against a
@@ -24,8 +26,8 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use tpcp_bench::perf::{
-    classify_eager, classify_streaming, decode_eager, decode_streaming, engine_lanes, engine_suite,
-    perf_suite, suite_totals, LaneRun, PerfTrace, Scale,
+    classify_eager, classify_streaming, decode_eager, decode_streaming, engine_extractors,
+    engine_lanes, engine_suite, perf_suite, suite_totals, LaneRun, PerfTrace, Scale,
 };
 use tpcp_bench::report::{
     check_against_baseline, git_sha, peak_rss_bytes, summarize, EngineSummary, LaneStats,
@@ -256,6 +258,34 @@ fn main() -> ExitCode {
             reference.total_intervals(),
             0,
         ));
+
+        println!(
+            "timing cross-extractor engine sweep ({} iters) ...",
+            args.iters
+        );
+        let ext_reference = try_engine!(engine_extractors(&cache, &params)); // warm-up
+        assert!(
+            ext_reference.max_replays_per_trace() <= 1,
+            "cross-extractor sweep replayed a trace more than once"
+        );
+        let mut ext_samples = Vec::with_capacity(args.iters as usize);
+        for _ in 0..args.iters {
+            let start = Instant::now();
+            let stats = try_engine!(engine_extractors(&cache, &params));
+            ext_samples.push(start.elapsed());
+            assert_eq!(
+                stats.total_intervals(),
+                ext_reference.total_intervals(),
+                "cross-extractor sweep interval totals drifted across repetitions"
+            );
+        }
+        lanes.push(summarize(
+            "engine_extractors",
+            &ext_samples,
+            ext_reference.total_intervals(),
+            0,
+        ));
+
         Some(EngineSummary {
             traces_replayed: reference.traces_replayed(),
             max_replays_per_trace: reference.max_replays_per_trace(),

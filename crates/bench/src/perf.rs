@@ -292,6 +292,37 @@ pub fn engine_suite(cache: &TraceCache, params: &SuiteParams) -> Result<EngineSt
     Ok(stats)
 }
 
+/// One cross-technique engine sweep: every benchmark of the simulated
+/// suite classified by all three feature back-ends
+/// ([`ExtractorKind::ALL`](tpcp_core::ExtractorKind::ALL)) in a single
+/// replay pass — the workload behind the `engine_extractors` lane and
+/// the `extractors` figure. Like [`engine_suite`], the cache must be
+/// warm before timing.
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] from the sweep's failure report.
+pub fn engine_extractors(
+    cache: &TraceCache,
+    params: &SuiteParams,
+) -> Result<EngineStats, EngineError> {
+    let configs: Vec<ClassifierConfig> = tpcp_core::ExtractorKind::ALL
+        .iter()
+        .map(|&kind| ClassifierConfig::builder().extractor(kind).build())
+        .collect();
+    let mut engine = Engine::new(*params);
+    let cells: Vec<_> = BenchmarkKind::ALL
+        .iter()
+        .flat_map(|&kind| configs.iter().map(move |&config| (kind, config)))
+        .map(|(kind, config)| engine.classified(kind, config))
+        .collect();
+    let stats = engine.run(cache);
+    for cell in cells {
+        std::hint::black_box(cell.try_take()?);
+    }
+    Ok(stats)
+}
+
 /// `n` distinct classifier configurations for the lanes-scaling lane,
 /// cycling through 16/32/64 accumulators the way an ablation sweep mixes
 /// dimensionalities. Each config is distinct (the engine deduplicates

@@ -9,6 +9,18 @@ use tpcp_trace::BranchEvent;
 /// overflow with 10 million instruction intervals").
 pub(crate) const COUNTER_MAX: u64 = (1 << 24) - 1;
 
+/// SplitMix64's finalizer: decorrelates the strongly structured low bits
+/// of instruction addresses before masking them down to a bucket index.
+/// Shared by every feature extractor that hashes PCs, so back-ends bucket
+/// the same way and differ only in *what* they count.
+#[inline]
+pub(crate) fn mix64(pc: u64) -> u64 {
+    let mut z = pc;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// An array of N saturating counters holding the signature of the current
 /// interval (the paper's Figure 1).
 ///
@@ -89,11 +101,7 @@ impl AccumulatorTable {
     /// low bits of instruction addresses, which are strongly structured.
     #[inline]
     pub fn index_of(&self, pc: u64) -> usize {
-        let mut z = pc;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        (z & self.index_mask) as usize
+        (mix64(pc) & self.index_mask) as usize
     }
 
     /// Records one committed branch: hashes the PC and increments the

@@ -6,8 +6,8 @@ use serde::{Deserialize, Serialize};
 
 use tpcp_trace::BranchEvent;
 
-use crate::accumulator::AccumulatorTable;
 use crate::config::ClassifierConfig;
+use crate::extractor::{AnyExtractor, FeatureExtractor};
 use crate::phase_id::PhaseId;
 use crate::signature::Signature;
 use crate::table::{MatchOutcome, SignatureTable};
@@ -54,7 +54,7 @@ pub struct Classification {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PhaseClassifier {
     config: ClassifierConfig,
-    accumulator: AccumulatorTable,
+    extractor: AnyExtractor,
     table: SignatureTable,
     next_phase_id: u32,
     intervals_seen: u64,
@@ -79,7 +79,7 @@ impl PhaseClassifier {
         config.validate();
         Self {
             config,
-            accumulator: AccumulatorTable::new(config.accumulators),
+            extractor: config.extractor.build(config.accumulators),
             table: SignatureTable::new(config.table_entries, config.similarity_threshold),
             next_phase_id: 1,
             intervals_seen: 0,
@@ -95,11 +95,13 @@ impl PhaseClassifier {
 
     /// Records one committed branch of the current interval.
     ///
-    /// This is the per-branch fast path of the architecture (a hash and a
-    /// saturating add), pipelined in hardware.
+    /// This is the per-branch fast path of the architecture (for the
+    /// default BBV back-end, a hash and a saturating add, pipelined in
+    /// hardware); it forwards to the configured
+    /// [`FeatureExtractor`](crate::FeatureExtractor).
     #[inline]
     pub fn observe(&mut self, ev: BranchEvent) {
-        self.accumulator.observe(ev);
+        self.extractor.observe(ev);
     }
 
     /// Ends the current interval and classifies it, returning its phase ID.
@@ -115,46 +117,58 @@ impl PhaseClassifier {
     /// [`end_interval`](Self::end_interval) with full diagnostics.
     pub fn end_interval_detailed(&mut self, cpi: f64) -> Classification {
         let buf = std::mem::take(&mut self.scratch);
-        let sig = build_signature(&self.config, &self.accumulator, buf);
-        self.accumulator.reset();
+        let sig = self.extractor.finalize_into(&self.config, buf);
+        self.extractor.reset();
         self.classify_signature(sig, cpi)
     }
 
-    /// Ends the current interval against an *externally owned* accumulator
-    /// table, returning the interval's phase ID.
+    /// Ends the current interval against an *externally owned* feature
+    /// extractor, returning the interval's phase ID.
     ///
     /// This is the shared-accumulation entry point: many classifier
-    /// configurations that agree on the accumulator count can ride one
-    /// per-branch accumulation pass (the accumulator state depends only on
-    /// the event stream and the counter count), and each classifier reads
-    /// the finished counter snapshot at the interval boundary. The caller
-    /// owns the accumulator's lifecycle — this method does **not** reset
-    /// it, so it can be handed to the next classifier; the classifier's own
-    /// internal accumulator is untouched.
+    /// configurations that agree on the extractor shape (kind and
+    /// dimension count) can ride one per-branch observation pass — an
+    /// extractor's state depends only on the event stream and its shape —
+    /// and each classifier reads the finished state at the interval
+    /// boundary. The caller owns the extractor's lifecycle — this method
+    /// does **not** reset it, so it can be handed to the next classifier;
+    /// the classifier's own internal extractor is untouched.
+    ///
+    /// Generic over [`FeatureExtractor`], so it accepts the crate's
+    /// [`AnyExtractor`], a plain
+    /// [`AccumulatorTable`](crate::AccumulatorTable) (the pre-trait
+    /// call shape, still bit-identical), or a downstream implementation.
     ///
     /// # Panics
     ///
-    /// Panics if `acc` does not have exactly the configured number of
-    /// accumulators (the signature dimensionality would not match the
-    /// table's stored signatures).
-    pub fn end_interval_from(&mut self, acc: &AccumulatorTable, cpi: f64) -> PhaseId {
-        self.end_interval_from_detailed(acc, cpi).phase_id
+    /// Panics if `features` does not match the configured extractor kind,
+    /// or does not have exactly the configured number of dimensions (the
+    /// signature would not match the table's stored signatures).
+    pub fn end_interval_from<E>(&mut self, features: &E, cpi: f64) -> PhaseId
+    where
+        E: FeatureExtractor + ?Sized,
+    {
+        self.end_interval_from_detailed(features, cpi).phase_id
     }
 
     /// [`end_interval_from`](Self::end_interval_from) with full
     /// diagnostics.
-    pub fn end_interval_from_detailed(
-        &mut self,
-        acc: &AccumulatorTable,
-        cpi: f64,
-    ) -> Classification {
+    pub fn end_interval_from_detailed<E>(&mut self, features: &E, cpi: f64) -> Classification
+    where
+        E: FeatureExtractor + ?Sized,
+    {
         assert_eq!(
-            acc.len(),
+            features.kind(),
+            self.config.extractor,
+            "shared extractor kind must match the classifier's configuration"
+        );
+        assert_eq!(
+            features.dims(),
             self.config.accumulators,
             "shared accumulator count must match the classifier's configuration"
         );
         let buf = std::mem::take(&mut self.scratch);
-        let sig = build_signature(&self.config, acc, buf);
+        let sig = features.finalize_into(&self.config, buf);
         self.classify_signature(sig, cpi)
     }
 
@@ -293,25 +307,10 @@ impl PhaseClassifier {
     }
 }
 
-/// Projects a finished accumulator table into a signature according to the
-/// configuration's bit-selection mode, recycling `buf` as the dimension
-/// storage.
-fn build_signature(config: &ClassifierConfig, acc: &AccumulatorTable, buf: Vec<u16>) -> Signature {
-    match config.bit_selection {
-        crate::config::BitSelectionMode::Dynamic => {
-            Signature::from_accumulator_in(acc, config.bits_per_dim, buf)
-        }
-        crate::config::BitSelectionMode::Static { low_bit } => Signature::with_selection_in(
-            acc,
-            crate::signature::BitSelection::fixed(low_bit, config.bits_per_dim),
-            buf,
-        ),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::accumulator::AccumulatorTable;
 
     /// An interval that executes blocks from a PC bank deterministically.
     fn run_interval(c: &mut PhaseClassifier, base_pc: u64, cpi: f64) -> PhaseId {
@@ -603,6 +602,44 @@ mod tests {
         let mut c = paper_classifier(); // 16 accumulators
         let acc = AccumulatorTable::new(64);
         c.end_interval_from(&acc, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared extractor kind")]
+    fn shared_extractor_kind_mismatch_panics() {
+        let mut c = paper_classifier(); // BBV extraction
+        let ws =
+            crate::extractor::WorkingSetExtractor::new(ClassifierConfig::hpca2005().accumulators);
+        c.end_interval_from(&ws, 1.0);
+    }
+
+    #[test]
+    fn custom_extractor_panic_escapes_to_caller() {
+        // The generic `end_interval_from` is open to downstream extractor
+        // implementations, which the classifier cannot vouch for: a panic
+        // inside `finalize_into` must propagate (the engine contains it
+        // with a per-lane unwind boundary — see the experiments crate).
+        struct Exploding;
+        impl FeatureExtractor for Exploding {
+            fn kind(&self) -> crate::extractor::ExtractorKind {
+                crate::extractor::ExtractorKind::Bbv
+            }
+            fn dims(&self) -> usize {
+                ClassifierConfig::hpca2005().accumulators
+            }
+            fn observe(&mut self, _ev: BranchEvent) {}
+            fn finalize_into(&self, _config: &ClassifierConfig, _buf: Vec<u16>) -> Signature {
+                panic!("extractor blew up mid-finalize");
+            }
+            fn reset(&mut self) {}
+        }
+        let mut c = paper_classifier();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.end_interval_from(&Exploding, 1.0)
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("blew up"), "panic payload: {msg:?}");
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::extractor::ExtractorKind;
+
 /// How signature bits are chosen when compressing accumulators — the
 /// Section 4.2 design axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,6 +77,13 @@ pub struct ClassifierConfig {
     pub best_match: bool,
     /// How the bits copied from each accumulator are chosen.
     pub bit_selection: BitSelectionMode,
+    /// Which feature back-end fills the signature each interval (the
+    /// paper's BBV accumulation by default). `accumulators` is the
+    /// signature dimensionality for every back-end. Defaults on
+    /// deserialization so configurations saved before this field existed
+    /// load as BBV.
+    #[serde(default)]
+    pub extractor: ExtractorKind,
 }
 
 impl ClassifierConfig {
@@ -94,6 +103,7 @@ impl ClassifierConfig {
             }),
             best_match: true,
             bit_selection: BitSelectionMode::Dynamic,
+            extractor: ExtractorKind::Bbv,
         }
     }
 
@@ -111,6 +121,7 @@ impl ClassifierConfig {
             adaptive: None,
             best_match: true,
             bit_selection: BitSelectionMode::Dynamic,
+            extractor: ExtractorKind::Bbv,
         }
     }
 
@@ -125,14 +136,44 @@ impl ClassifierConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `accumulators` is not a power of two, `bits_per_dim` is
-    /// outside `1..=16`, the similarity threshold is outside `(0, 1]`, or
-    /// `table_entries` is `Some(0)`.
+    /// Panics if `accumulators` is zero or not a power of two,
+    /// `bits_per_dim` is outside `1..=16`, the similarity threshold is
+    /// outside `(0, 1]`, `table_entries` is `Some(0)`, or the extractor
+    /// cannot fill a signature of `accumulators` dimensions:
+    ///
+    /// - [`ExtractorKind::BranchMix`] needs at least 2 dimensions (each
+    ///   hashed bucket holds a taken/not-taken pair);
+    /// - [`ExtractorKind::WorkingSet`] rejects a static bit selection
+    ///   above bit 0 (its dimensions are a 0/1 bitmap, so higher bits are
+    ///   never set and every signature would be all-zero).
     pub fn validate(&self) {
+        assert!(
+            self.accumulators > 0,
+            "accumulator count must be positive (the signature needs at least one dimension)"
+        );
         assert!(
             self.accumulators.is_power_of_two(),
             "accumulator count must be a power of two"
         );
+        match self.extractor {
+            ExtractorKind::Bbv => {}
+            ExtractorKind::WorkingSet => {
+                if let BitSelectionMode::Static { low_bit } = self.bit_selection {
+                    assert!(
+                        low_bit == 0,
+                        "working-set extractor cannot fill a signature from a static bit \
+                         selection above bit 0 (its dimensions are a 0/1 region bitmap)"
+                    );
+                }
+            }
+            ExtractorKind::BranchMix => {
+                assert!(
+                    self.accumulators >= 2,
+                    "branch-mix extractor needs at least 2 dimensions (each bucket holds a \
+                     taken/not-taken pair)"
+                );
+            }
+        }
         assert!(
             (1..=16).contains(&self.bits_per_dim),
             "bits per dimension must be in 1..=16"
@@ -214,6 +255,13 @@ impl ClassifierConfigBuilder {
         self
     }
 
+    /// Chooses the feature back-end that fills the signature each
+    /// interval (BBV accumulation, working-set bitmap, or branch mix).
+    pub fn extractor(mut self, kind: ExtractorKind) -> Self {
+        self.config.extractor = kind;
+        self
+    }
+
     /// Finalizes and validates the configuration.
     ///
     /// # Panics
@@ -273,5 +321,64 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn builder_validates() {
         ClassifierConfig::builder().accumulators(10).build();
+    }
+
+    #[test]
+    fn presets_default_to_bbv_extraction() {
+        assert_eq!(ClassifierConfig::hpca2005().extractor, ExtractorKind::Bbv);
+        assert_eq!(
+            ClassifierConfig::sherwood_baseline().extractor,
+            ExtractorKind::Bbv
+        );
+    }
+
+    #[test]
+    fn every_extractor_kind_validates_at_paper_dimensions() {
+        for kind in ExtractorKind::ALL {
+            ClassifierConfig::builder()
+                .extractor(kind)
+                .build()
+                .validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimensions_rejected() {
+        ClassifierConfig::builder().accumulators(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 dimensions")]
+    fn branch_mix_rejects_one_dimension() {
+        ClassifierConfig::builder()
+            .extractor(ExtractorKind::BranchMix)
+            .accumulators(1)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "0/1 region bitmap")]
+    fn working_set_rejects_static_selection_above_bit_zero() {
+        ClassifierConfig::builder()
+            .extractor(ExtractorKind::WorkingSet)
+            .bit_selection(BitSelectionMode::Static { low_bit: 14 })
+            .build();
+    }
+
+    #[test]
+    fn working_set_accepts_static_selection_at_bit_zero() {
+        let c = ClassifierConfig::builder()
+            .extractor(ExtractorKind::WorkingSet)
+            .bit_selection(BitSelectionMode::Static { low_bit: 0 })
+            .build();
+        assert_eq!(c.extractor, ExtractorKind::WorkingSet);
+    }
+
+    #[test]
+    fn bbv_with_one_dimension_is_legal() {
+        // Degenerate but fillable: one accumulator, one dimension.
+        let c = ClassifierConfig::builder().accumulators(1).build();
+        assert_eq!(c.accumulators, 1);
     }
 }

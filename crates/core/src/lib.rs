@@ -50,6 +50,7 @@ mod accumulator;
 mod classifier;
 mod config;
 mod cost;
+mod extractor;
 mod observer;
 mod phase_id;
 mod signature;
@@ -59,6 +60,10 @@ pub use accumulator::AccumulatorTable;
 pub use classifier::{Classification, PhaseClassifier};
 pub use config::{AdaptiveConfig, BitSelectionMode, ClassifierConfig, ClassifierConfigBuilder};
 pub use cost::HardwareCost;
+pub use extractor::{
+    AnyExtractor, BbvExtractor, BranchMixExtractor, ExtractorKind, FeatureExtractor,
+    WorkingSetExtractor, REGION_BYTES,
+};
 pub use observer::PhaseObserver;
 pub use phase_id::PhaseId;
 

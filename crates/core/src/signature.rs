@@ -139,11 +139,20 @@ impl Signature {
     pub fn with_selection_in(
         acc: &AccumulatorTable,
         selection: BitSelection,
-        mut buf: Vec<u16>,
+        buf: Vec<u16>,
     ) -> Self {
+        Self::from_counters_in(acc.counters(), selection, buf)
+    }
+
+    /// Forms a signature directly from a raw counter slice — the entry
+    /// point for feature extractors that are not accumulator tables (a
+    /// working-set bitmap, branch-direction counters). Identical
+    /// compression semantics to [`with_selection_in`](Self::with_selection_in),
+    /// which delegates here.
+    pub fn from_counters_in(counters: &[u64], selection: BitSelection, mut buf: Vec<u16>) -> Self {
         buf.clear();
         let mut weight = 0u64;
-        buf.extend(acc.counters().iter().map(|&c| {
+        buf.extend(counters.iter().map(|&c| {
             let d = selection.compress(c);
             weight += u64::from(d);
             d

@@ -22,7 +22,7 @@ use std::time::Instant;
 use tpcp_experiments::figures;
 use tpcp_experiments::{Engine, PendingTables, SuiteParams, TraceCache};
 
-const FIGURES: [&str; 17] = [
+const FIGURES: [&str; 18] = [
     "fig2",
     "fig3",
     "fig4",
@@ -32,6 +32,7 @@ const FIGURES: [&str; 17] = [
     "fig8",
     "fig9",
     "simpoint",
+    "extractors",
     "metric-pred",
     "multi-metric",
     "simpoint-estimate",
@@ -53,6 +54,7 @@ fn register_figure(name: &str, engine: &mut Engine) -> PendingTables {
         "fig8" => figures::fig8::register(engine),
         "fig9" => figures::fig9::register(engine),
         "simpoint" => figures::simpoint_cmp::register(engine),
+        "extractors" => figures::extractor_cmp::register(engine),
         "metric-pred" => figures::metric_pred::register(engine),
         "multi-metric" => figures::multi_metric::register(engine),
         "simpoint-estimate" => figures::simpoint_cmp::register_estimate(engine),

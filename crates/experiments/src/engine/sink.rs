@@ -10,7 +10,9 @@
 //!   accumulators — so any number of measurements share one
 //!   classification pass.
 
-use tpcp_core::{AccumulatorTable, ClassifierConfig, PhaseClassifier, PhaseId, PhaseObserver};
+use tpcp_core::{
+    AnyExtractor, ClassifierConfig, ExtractorKind, PhaseClassifier, PhaseId, PhaseObserver,
+};
 use tpcp_metrics::{CovAccumulator, RunAccumulator};
 use tpcp_trace::{BbvBuilder, BbvTrace, BranchEvent, IntervalSink, IntervalSummary};
 
@@ -128,17 +130,24 @@ impl ClassifierLane {
         self.sinks.push(sink);
     }
 
-    /// The lane's accumulator count — the key the sweep groups lanes by
-    /// when sharing accumulation front-ends.
-    pub(crate) fn accumulator_count(&self) -> usize {
-        self.config.accumulators
+    /// The lane's extractor shape — the key the sweep groups lanes by
+    /// when sharing accumulation front-ends. Two lanes share a front-end
+    /// exactly when they agree on both the feature back-end and the
+    /// signature dimensionality.
+    pub(crate) fn extractor_shape(&self) -> (ExtractorKind, usize) {
+        (self.config.extractor, self.config.accumulators)
+    }
+
+    /// The lane's feature back-end label, for telemetry exports.
+    pub(crate) fn extractor_label(&self) -> &'static str {
+        self.config.extractor.label()
     }
 
     /// Interval boundary on the shared-accumulation path: classifies the
-    /// group's finished accumulator snapshot instead of a lane-owned one.
+    /// group's finished extractor snapshot instead of a lane-owned one.
     pub(crate) fn end_interval_shared(
         &mut self,
-        acc: &AccumulatorTable,
+        features: &AnyExtractor,
         summary: &IntervalSummary,
     ) {
         #[cfg(feature = "fault-inject")]
@@ -146,7 +155,7 @@ impl ClassifierLane {
             panic!("fault-inject: lane panic at interval {}", self.ids.len());
         }
         let cpi = summary.cpi();
-        let id = self.classifier.end_interval_from(acc, cpi);
+        let id = self.classifier.end_interval_from(features, cpi);
         self.record(id, cpi, summary);
     }
 

@@ -9,11 +9,12 @@
 //! encoded buffer plus the lanes' own state regardless of trace length.
 //!
 //! **Level 2 — lanes.** Inside a group, classifier lanes do not each
-//! re-run the per-branch accumulator work. A shared front-end keeps one
-//! [`AccumulatorTable`] per *distinct accumulator count* among the
-//! group's lanes and hands every lane the finished counter snapshot at
+//! re-run the per-branch feature extraction. A shared front-end keeps one
+//! [`AnyExtractor`] per *distinct extractor shape* — the `(kind, dims)`
+//! pair of feature back-end and signature dimensionality — among the
+//! group's lanes and hands every lane the finished extractor snapshot at
 //! each interval boundary ([`ClassifierLane::end_interval_shared`]),
-//! turning O(lanes × events) hashing into O(distinct_counts × events +
+//! turning O(lanes × events) hashing into O(distinct_shapes × events +
 //! lanes × intervals). When the pool has spare workers beyond the group
 //! count, wide groups additionally shard their lanes across those
 //! workers: the replaying thread broadcasts an [`Arc`]'d per-interval
@@ -35,7 +36,7 @@
 //! model"). Each classifier lane's interval boundary runs under
 //! `catch_unwind`: a panicking lane is dropped from its group, its
 //! [`Pending`] cells resolve to [`SweepError::Lane`], and the sibling
-//! lanes — which only ever *read* the shared accumulator — continue
+//! lanes — which only ever *read* the shared extractor state — continue
 //! bit-identically. Each group's replay runs under a second
 //! `catch_unwind`: a raw-sink panic, probe-reduction panic, or
 //! mid-stream decode error fails the whole group ([`SweepError::Group`])
@@ -53,7 +54,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use tpcp_core::AccumulatorTable;
+use tpcp_core::{AnyExtractor, ExtractorKind, FeatureExtractor};
 use tpcp_trace::{drive, BranchEvent, IntervalSink, IntervalSummary, StreamingDecoder};
 
 use crate::engine::error::{
@@ -350,8 +351,8 @@ impl ReplayCtx<'_> {
     }
 }
 
-/// A classifier lane paired with the index of the shared accumulator
-/// (keyed by distinct accumulator count) it reads snapshots from, plus
+/// A classifier lane paired with the index of the shared extractor
+/// (keyed by distinct extractor shape) it reads snapshots from, plus
 /// its pre-sized telemetry slot — bumped inline at each boundary,
 /// flushed into the group collector once when the lane retires.
 struct KeyedLane {
@@ -364,23 +365,25 @@ impl KeyedLane {
     /// Retires the lane into the group collector: flushes its telemetry
     /// slot and returns the lane for finalization or burial.
     fn retire(self, collector: &GroupCollector) -> ClassifierLane {
-        collector.flush_lane(self.lane.label(), self.slot);
+        collector.flush_lane(self.lane.label(), self.lane.extractor_label(), self.slot);
         self.lane
     }
 }
 
-/// Groups a trace group's classifier lanes by accumulator count: returns
-/// one accumulator per distinct count plus each lane tagged with its
-/// accumulator's index.
-fn keyed_lanes(lanes: Vec<ClassifierLane>) -> (Vec<AccumulatorTable>, Vec<KeyedLane>) {
-    let mut counts: Vec<usize> = Vec::new();
+/// Groups a trace group's classifier lanes by extractor shape — the
+/// `(kind, dims)` pair: returns one extractor per distinct shape plus
+/// each lane tagged with its extractor's index. Lanes that differ only
+/// in classification parameters (thresholds, table size, bit selection)
+/// share one per-branch extraction pass.
+fn keyed_lanes(lanes: Vec<ClassifierLane>) -> (Vec<AnyExtractor>, Vec<KeyedLane>) {
+    let mut shapes: Vec<(ExtractorKind, usize)> = Vec::new();
     let keyed = lanes
         .into_iter()
         .map(|lane| {
-            let n = lane.accumulator_count();
-            let idx = counts.iter().position(|&c| c == n).unwrap_or_else(|| {
-                counts.push(n);
-                counts.len() - 1
+            let shape = lane.extractor_shape();
+            let idx = shapes.iter().position(|&s| s == shape).unwrap_or_else(|| {
+                shapes.push(shape);
+                shapes.len() - 1
             });
             KeyedLane {
                 acc: idx,
@@ -390,14 +393,17 @@ fn keyed_lanes(lanes: Vec<ClassifierLane>) -> (Vec<AccumulatorTable>, Vec<KeyedL
         })
         .collect();
     (
-        counts.into_iter().map(AccumulatorTable::new).collect(),
+        shapes
+            .into_iter()
+            .map(|(kind, dims)| kind.build(dims))
+            .collect(),
         keyed,
     )
 }
 
 /// Runs one interval boundary over `lanes` with per-lane panic isolation:
 /// a panicking lane is removed and buried, the survivors continue. Lanes
-/// only *read* the shared accumulators, so a mid-boundary panic cannot
+/// only *read* the shared extractors, so a mid-boundary panic cannot
 /// corrupt any state a sibling observes — survivors stay bit-identical
 /// to a fault-free run.
 /// `start` is the boundary's telemetry mark; timestamps chain through the
@@ -406,7 +412,7 @@ fn keyed_lanes(lanes: Vec<ClassifierLane>) -> (Vec<AccumulatorTable>, Vec<KeyedL
 /// caller can reuse as the next window's start.
 fn end_interval_isolated(
     lanes: &mut Vec<KeyedLane>,
-    accs: &[AccumulatorTable],
+    accs: &[AnyExtractor],
     summary: &IntervalSummary,
     ctx: &ReplayCtx<'_>,
     start: Option<Instant>,
@@ -436,14 +442,14 @@ fn end_interval_isolated(
     prev
 }
 
-/// The inline shared-accumulation front-end: one accumulator per distinct
-/// count, every lane classified on the replay thread at each boundary.
+/// The inline shared-accumulation front-end: one extractor per distinct
+/// shape, every lane classified on the replay thread at each boundary.
 ///
 /// `window` is the telemetry mark of the previous boundary's end (or the
 /// replay's start): the span up to the next boundary is the fused
 /// decode + accumulate stage.
 struct SharedFrontEnd<'a> {
-    accs: Vec<AccumulatorTable>,
+    accs: Vec<AnyExtractor>,
     lanes: Vec<KeyedLane>,
     ctx: &'a ReplayCtx<'a>,
     window: Option<Instant>,
@@ -464,16 +470,16 @@ impl IntervalSink for SharedFrontEnd<'_> {
             acc.reset();
         }
         // The last lane's end mark doubles as the next window's start;
-        // the accumulator reset is billed to decode + accumulate.
+        // the extractor reset is billed to decode + accumulate.
         self.window = end;
     }
 }
 
-/// One interval's finished accumulation state, broadcast to shard
+/// One interval's finished extraction state, broadcast to shard
 /// threads. `Arc`'d so a snapshot is cloned once per interval, not once
 /// per shard.
 struct Snapshot {
-    accs: Vec<AccumulatorTable>,
+    accs: Vec<AnyExtractor>,
     summary: IntervalSummary,
 }
 
@@ -482,7 +488,7 @@ struct Snapshot {
 /// The send loop is timed separately — time spent blocked on a full
 /// bounded channel is shard backpressure, not decode work.
 struct BroadcastFrontEnd<'a> {
-    accs: Vec<AccumulatorTable>,
+    accs: Vec<AnyExtractor>,
     senders: Vec<crossbeam::channel::Sender<Arc<Snapshot>>>,
     collector: &'a GroupCollector,
     window: Option<Instant>,

@@ -109,6 +109,9 @@ pub struct CacheCounters {
 pub struct LaneTelemetry {
     /// The lane label (its classifier configuration).
     pub label: String,
+    /// The lane's feature back-end
+    /// ([`ExtractorKind::label`](tpcp_core::ExtractorKind::label)).
+    pub extractor: String,
     /// Intervals this lane classified.
     pub intervals: u64,
     /// Wall-clock spent in this lane's `end_interval_shared`, ns.
@@ -273,10 +276,11 @@ impl TelemetrySnapshot {
             for (j, lane) in group.lanes.iter().enumerate() {
                 let _ = write!(
                     out,
-                    "{}\n{pad}        {{ \"label\": {}, \"intervals\": {}, \"classify_ns\": {}, \
-                     \"intervals_per_sec\": {:.3} }}",
+                    "{}\n{pad}        {{ \"label\": {}, \"extractor\": {}, \"intervals\": {}, \
+                     \"classify_ns\": {}, \"intervals_per_sec\": {:.3} }}",
                     if j > 0 { "," } else { "" },
                     json_string(&lane.label),
+                    json_string(&lane.extractor),
                     lane.intervals,
                     lane.classify_ns,
                     lane.intervals_per_sec()
@@ -467,7 +471,7 @@ impl GroupCollector {
 
     /// Merges a lane's slot into the group (once, when the lane finishes
     /// or is buried after a panic).
-    pub(crate) fn flush_lane(&self, label: String, slot: LaneSlot) {
+    pub(crate) fn flush_lane(&self, label: String, extractor: &str, slot: LaneSlot) {
         if !self.enabled {
             return;
         }
@@ -475,6 +479,7 @@ impl GroupCollector {
             .fetch_add(slot.classify_ns, Ordering::Relaxed);
         lock_ignore_poison(&self.lanes).push(LaneTelemetry {
             label,
+            extractor: extractor.to_owned(),
             intervals: slot.intervals,
             classify_ns: slot.classify_ns,
         });
@@ -523,8 +528,8 @@ mod tests {
         let mut slot = LaneSlot::default();
         slot.add(1_000);
         slot.add(2_000);
-        collector.flush_lane("b-lane".into(), slot);
-        collector.flush_lane("a-lane".into(), LaneSlot::default());
+        collector.flush_lane("b-lane".into(), "bbv", slot);
+        collector.flush_lane("a-lane".into(), "working-set", LaneSlot::default());
         collector.add_finish(500);
         snap.record_group("mcf-v1".into(), collector.into_group(10_000, 0, false));
         snap.finalize(1_000_000);
@@ -565,6 +570,8 @@ mod tests {
         assert!(schema < cache && cache < stages && stages < groups);
         // `"name"` keys are reserved for the bench report's lane scanner.
         assert!(!json.contains("\"name\""), "{json}");
+        assert!(json.contains("\"extractor\": \"bbv\""), "{json}");
+        assert!(json.contains("\"extractor\": \"working-set\""), "{json}");
         assert_eq!(json, snap.to_json(), "serialization is deterministic");
     }
 
@@ -589,12 +596,14 @@ mod tests {
     fn lane_throughput_handles_zero_time() {
         let lane = LaneTelemetry {
             label: "x".into(),
+            extractor: "bbv".into(),
             intervals: 10,
             classify_ns: 0,
         };
         assert_eq!(lane.intervals_per_sec(), 0.0);
         let lane = LaneTelemetry {
             label: "x".into(),
+            extractor: "bbv".into(),
             intervals: 10,
             classify_ns: 1_000_000_000,
         };

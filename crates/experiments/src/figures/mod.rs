@@ -3,6 +3,7 @@
 //! dispatches on figure name and prints/saves the tables.
 
 pub mod ablations;
+pub mod extractor_cmp;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -358,6 +358,66 @@ fn sharded_lane_panic_keeps_survivors_bit_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A panic in a lane running a non-default feature extractor is a
+/// [`SweepError::Lane`], not a sweep abort: the injected panic fires
+/// inside `end_interval_shared` — the same per-lane unwind boundary any
+/// extractor's `finalize_into` panic crosses — and the sibling lanes on
+/// the other two back-ends stay bit-identical to a fault-free run.
+#[test]
+fn extractor_lane_panic_is_contained_per_lane() {
+    let (cache, dir) = fresh_cache("extractor-panic");
+    let extractor_configs = || {
+        tpcp_core::ExtractorKind::ALL.map(|kind| {
+            ClassifierConfig::builder()
+                .accumulators(16)
+                .extractor(kind)
+                .build()
+        })
+    };
+    let reference: Vec<ClassifiedRun> = {
+        let mut engine = Engine::new(tiny_params());
+        let cells: Vec<_> = extractor_configs()
+            .into_iter()
+            .map(|c| engine.classified(MCF, c))
+            .collect();
+        let stats = engine.run(&cache);
+        assert!(stats.failure_report().is_empty(), "baseline must be clean");
+        cells.into_iter().map(|c| c.take()).collect()
+    };
+
+    // Lane 1 is the working-set lane (ExtractorKind::ALL order).
+    let faults = FaultPlan::new().panic_lane("mcf", 1, 2).build();
+    let mut engine = Engine::new(tiny_params()).with_faults(faults);
+    let cells: Vec<_> = extractor_configs()
+        .into_iter()
+        .map(|c| engine.classified(MCF, c))
+        .collect();
+    let stats = engine.run(&cache);
+
+    let report = stats.failure_report();
+    assert_eq!(report.failures().len(), 1, "{:?}", report.failures());
+    match &report.failures()[0] {
+        EngineError::Sweep(SweepError::Lane(f)) => {
+            assert!(f.group.starts_with("mcf-"), "{}", f.group);
+            assert!(
+                f.lane.contains("WorkingSet"),
+                "failed lane label must name its extractor: {}",
+                f.lane
+            );
+        }
+        other => panic!("expected a lane failure, got {other}"),
+    }
+    assert_eq!(stats.max_replays_per_trace(), 1, "no sweep abort, no retry");
+    for (i, (cell, want)) in cells.iter().zip(&reference).enumerate() {
+        if i == 1 {
+            assert!(cell.try_take().is_err(), "injected lane must fail");
+        } else {
+            assert_eq!(&cell.take(), want, "extractor lane {i} must survive");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Seed-randomized chaos: across several seeds, each generated plan's
 /// sweep terminates (no hang, no poisoned-mutex unwind), and every cell
 /// resolves to either a bit-identical value or a typed error.
