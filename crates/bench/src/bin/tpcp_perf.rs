@@ -26,8 +26,9 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use tpcp_bench::perf::{
-    classify_eager, classify_streaming, decode_eager, decode_streaming, engine_extractors,
-    engine_lanes, engine_suite, perf_suite, suite_totals, LaneRun, PerfTrace, Scale,
+    classify_eager, classify_streaming, decode_eager, decode_scalar, decode_streaming,
+    distance_fixture, distance_scalar, engine_extractors, engine_lanes, engine_suite, perf_suite,
+    suite_totals, LaneRun, PerfTrace, Scale,
 };
 use tpcp_bench::report::{
     check_against_baseline, git_sha, peak_rss_bytes, summarize, EngineSummary, LaneStats,
@@ -132,6 +133,41 @@ fn time_lane(iters: u32, mut body: impl FnMut() -> LaneRun) -> (LaneRun, Vec<Dur
     (reference, samples)
 }
 
+/// Times two lanes that decode the same stream through different kernels
+/// by interleaving their repetitions A,B,A,B,… Slow drift of the host
+/// (frequency scaling, co-tenant load) then hits both lanes roughly
+/// equally instead of whichever lane happened to be timed second, which is
+/// what makes the reported kernel speedups reproducible on shared
+/// machines.
+#[cfg(feature = "simd")]
+fn time_lane_pair(
+    iters: u32,
+    mut a: impl FnMut() -> LaneRun,
+    mut b: impl FnMut() -> LaneRun,
+) -> (LaneRun, Vec<Duration>, LaneRun, Vec<Duration>) {
+    let reference_a = a();
+    let reference_b = b();
+    let mut samples_a = Vec::with_capacity(iters as usize);
+    let mut samples_b = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let run = a();
+        samples_a.push(start.elapsed());
+        assert_eq!(
+            run, reference_a,
+            "lane produced different results across repetitions"
+        );
+        let start = Instant::now();
+        let run = b();
+        samples_b.push(start.elapsed());
+        assert_eq!(
+            run, reference_b,
+            "lane produced different results across repetitions"
+        );
+    }
+    (reference_a, samples_a, reference_b, samples_b)
+}
+
 fn lane_line(stats: &LaneStats) {
     println!(
         "  {:<24} median {:>9.3} ms   p90 {:>9.3} ms   {:>12.0} intervals/s",
@@ -207,6 +243,104 @@ fn main() -> ExitCode {
         "streaming and eager decode disagree on the event stream"
     );
 
+    println!("timing decode kernel lanes ({} iters) ...", args.iters);
+    #[cfg(feature = "simd")]
+    {
+        let (dec_scalar_run, scalar_samples, dec_simd_run, simd_samples) = time_lane_pair(
+            args.iters,
+            || decode_scalar(&suite),
+            || tpcp_bench::perf::decode_simd(&suite),
+        );
+        lanes.push(summarize(
+            "decode_scalar",
+            &scalar_samples,
+            dec_scalar_run.intervals,
+            dec_scalar_run.events,
+        ));
+        assert_eq!(
+            dec_scalar_run, dec_stream_run,
+            "scalar decode kernel disagrees with the default decode path"
+        );
+        lanes.push(summarize(
+            "decode_simd",
+            &simd_samples,
+            dec_simd_run.intervals,
+            dec_simd_run.events,
+        ));
+        assert_eq!(
+            dec_simd_run, dec_scalar_run,
+            "SWAR decode kernel disagrees with the scalar kernel"
+        );
+        let scalar_rate = lanes[lanes.len() - 2].intervals_per_sec;
+        let simd_rate = lanes[lanes.len() - 1].intervals_per_sec;
+        if scalar_rate > 0.0 {
+            println!(
+                "  decode simd/scalar speedup: {:.2}x",
+                simd_rate / scalar_rate
+            );
+        }
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        let (dec_scalar_run, samples) = time_lane(args.iters, || decode_scalar(&suite));
+        lanes.push(summarize(
+            "decode_scalar",
+            &samples,
+            dec_scalar_run.intervals,
+            dec_scalar_run.events,
+        ));
+        assert_eq!(
+            dec_scalar_run, dec_stream_run,
+            "scalar decode kernel disagrees with the default decode path"
+        );
+    }
+
+    println!("timing distance micro lanes ({} iters) ...", args.iters);
+    let (dist_table, dist_probes) = distance_fixture();
+    #[cfg(feature = "simd")]
+    {
+        let (dist_scalar_run, scalar_samples, dist_simd_run, simd_samples) = time_lane_pair(
+            args.iters,
+            || distance_scalar(&dist_table, &dist_probes),
+            || tpcp_bench::perf::distance_simd(&dist_table, &dist_probes),
+        );
+        lanes.push(summarize(
+            "distance_scalar",
+            &scalar_samples,
+            dist_scalar_run.intervals,
+            dist_scalar_run.events,
+        ));
+        lanes.push(summarize(
+            "distance_simd",
+            &simd_samples,
+            dist_simd_run.intervals,
+            dist_simd_run.events,
+        ));
+        assert_eq!(
+            dist_simd_run, dist_scalar_run,
+            "SWAR column scan disagrees with the scalar table search"
+        );
+        let scalar_rate = lanes[lanes.len() - 2].intervals_per_sec;
+        let simd_rate = lanes[lanes.len() - 1].intervals_per_sec;
+        if scalar_rate > 0.0 {
+            println!(
+                "  distance simd/scalar speedup: {:.2}x",
+                simd_rate / scalar_rate
+            );
+        }
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        let (dist_scalar_run, samples) =
+            time_lane(args.iters, || distance_scalar(&dist_table, &dist_probes));
+        lanes.push(summarize(
+            "distance_scalar",
+            &samples,
+            dist_scalar_run.intervals,
+            dist_scalar_run.events,
+        ));
+    }
+
     println!("timing replay+classify lanes ({} iters) ...", args.iters);
     let (cls_eager_run, samples) = time_lane(args.iters, || classify_eager(&suite, config));
     lanes.push(summarize(
@@ -228,8 +362,15 @@ fn main() -> ExitCode {
     );
     println!("  equivalence: streaming == eager on both lane pairs");
 
-    let eager_rate = lanes[2].intervals_per_sec;
-    let streaming_rate = lanes[3].intervals_per_sec;
+    let rate_of = |lanes: &[LaneStats], name: &str| {
+        lanes
+            .iter()
+            .find(|l| l.name == name)
+            .map(|l| l.intervals_per_sec)
+            .unwrap_or(0.0)
+    };
+    let eager_rate = rate_of(&lanes, "replay_classify_eager");
+    let streaming_rate = rate_of(&lanes, "replay_classify_streaming");
     let speedup = if eager_rate > 0.0 {
         streaming_rate / eager_rate
     } else {

@@ -155,26 +155,61 @@ fn fold(acc: u64, x: u64) -> u64 {
     (acc ^ x).wrapping_mul(FNV_PRIME)
 }
 
+/// Order-sensitive per-event fold for the decode lanes. The FNV multiply
+/// is a ~5-cycle serial dependency chain per event — at one fold per
+/// decoded event it dominates the lane and hides the kernel difference the
+/// decode lanes exist to measure. A fixed rotate-xor keeps the checksum
+/// order-sensitive at two cycles of latency and one uop of throughput.
+/// Interval summaries (rare) still go through [`fold`].
+#[inline]
+fn fold_event(acc: u64, x: u64) -> u64 {
+    acc.rotate_left(7) ^ x
+}
+
 /// Decode-only, streaming: every event and interval summary is delivered
-/// from the encoded buffer without materializing anything.
+/// from the encoded buffer without materializing anything. Uses the
+/// decoder's default kernel — the SWAR batch path when the crate is built
+/// with the `simd` feature, the scalar path otherwise.
 pub fn decode_streaming(suite: &[PerfTrace]) -> LaneRun {
+    decode_streaming_kernel(suite, false)
+}
+
+/// Decode-only, streaming, with the decoder's scalar event kernel forced
+/// — the reference half of the decode speedup measurement. Identical to
+/// [`decode_streaming`] in builds without the `simd` feature.
+pub fn decode_scalar(suite: &[PerfTrace]) -> LaneRun {
+    decode_streaming_kernel(suite, true)
+}
+
+/// Decode-only, streaming, through the SWAR batch kernel. Must produce
+/// the same [`LaneRun`] as [`decode_scalar`] bit for bit.
+#[cfg(feature = "simd")]
+pub fn decode_simd(suite: &[PerfTrace]) -> LaneRun {
+    decode_streaming_kernel(suite, false)
+}
+
+fn decode_streaming_kernel(suite: &[PerfTrace], force_scalar: bool) -> LaneRun {
     let mut intervals = 0u64;
     let mut events = 0u64;
     let mut checksum = 0u64;
     for t in suite {
         let mut decoder =
             StreamingDecoder::new(&t.encoded).expect("perf suite traces are well-formed");
+        decoder.force_scalar(force_scalar);
         loop {
             let next = decoder
                 .try_next_interval_with(&mut |ev: tpcp_trace::BranchEvent| {
-                    events += 1;
-                    checksum = fold(checksum, ev.pc ^ u64::from(ev.insns));
+                    checksum = fold_event(checksum, ev.pc ^ u64::from(ev.insns));
                 })
                 .expect("perf suite traces are well-formed");
             let Some(summary) = next else { break };
             intervals += 1;
             checksum = fold(checksum, summary.instructions ^ summary.cycles);
         }
+        // The checksum certifies the exact event stream; the count comes
+        // from the suite totals (as in the classify lanes), keeping the
+        // per-event closure down to the fold itself.
+        events += t.events;
     }
     LaneRun {
         intervals,
@@ -193,12 +228,12 @@ pub fn decode_eager(suite: &[PerfTrace]) -> LaneRun {
         let trace = decode_trace(t.encoded.clone()).expect("perf suite traces are well-formed");
         let mut replay = trace.replay();
         while let Some(summary) = replay.next_interval(&mut |ev| {
-            events += 1;
-            checksum = fold(checksum, ev.pc ^ u64::from(ev.insns));
+            checksum = fold_event(checksum, ev.pc ^ u64::from(ev.insns));
         }) {
             intervals += 1;
             checksum = fold(checksum, summary.instructions ^ summary.cycles);
         }
+        events += t.events;
     }
     LaneRun {
         intervals,
@@ -260,6 +295,90 @@ pub fn classify_eager(suite: &[PerfTrace], config: ClassifierConfig) -> LaneRun 
     LaneRun {
         intervals,
         events,
+        checksum,
+    }
+}
+
+/// Deterministic fixture for the distance micro-lanes: a full signature
+/// table plus a batch of probe signatures, all derived from a fixed
+/// xorshift stream. The table threshold (0.85) keeps most entry scans
+/// running deep before the early exit can fire, so the lanes measure the
+/// distance kernels rather than the exit branch.
+pub fn distance_fixture() -> (tpcp_core::SignatureTable, Vec<tpcp_core::Signature>) {
+    use tpcp_core::{AccumulatorTable, Signature, SignatureTable};
+
+    let mut state = 0x6A09_E667_F3BC_C908u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let sig = |next: &mut dyn FnMut() -> u64| {
+        let mut acc = AccumulatorTable::new(64);
+        for _ in 0..48 {
+            acc.observe(tpcp_trace::BranchEvent::new(
+                next(),
+                (next() % 30_000) as u32,
+            ));
+        }
+        Signature::from_accumulator(&acc, 6)
+    };
+
+    let mut table = SignatureTable::new(Some(512), 0.85);
+    for _ in 0..512 {
+        table.insert(sig(&mut next));
+    }
+    let probes: Vec<Signature> = (0..2_048).map(|_| sig(&mut next)).collect();
+    (table, probes)
+}
+
+/// Distance micro-lane through the scalar per-entry search
+/// ([`tpcp_core::SignatureTable::find_best_match_scalar`]): every probe
+/// best-matched against the whole fixture table. `intervals` counts
+/// probes, `events` counts probe×entry comparisons.
+pub fn distance_scalar(
+    table: &tpcp_core::SignatureTable,
+    probes: &[tpcp_core::Signature],
+) -> LaneRun {
+    distance_lane(table, probes, true)
+}
+
+/// Distance micro-lane through the default search — the struct-of-arrays
+/// SWAR column scan in `simd` builds. Must produce the same [`LaneRun`]
+/// as [`distance_scalar`] bit for bit.
+#[cfg(feature = "simd")]
+pub fn distance_simd(
+    table: &tpcp_core::SignatureTable,
+    probes: &[tpcp_core::Signature],
+) -> LaneRun {
+    distance_lane(table, probes, false)
+}
+
+fn distance_lane(
+    table: &tpcp_core::SignatureTable,
+    probes: &[tpcp_core::Signature],
+    scalar: bool,
+) -> LaneRun {
+    use tpcp_core::MatchOutcome;
+    let mut checksum = 0u64;
+    for probe in probes {
+        let outcome = if scalar {
+            table.find_best_match_scalar(probe)
+        } else {
+            table.find_best_match(probe)
+        };
+        checksum = fold(
+            checksum,
+            match outcome {
+                MatchOutcome::Matched { index, distance } => (index as u64) ^ distance.to_bits(),
+                MatchOutcome::NoMatch => u64::MAX,
+            },
+        );
+    }
+    LaneRun {
+        intervals: probes.len() as u64,
+        events: probes.len() as u64 * table.len() as u64,
         checksum,
     }
 }
@@ -397,6 +516,27 @@ mod tests {
         let eager = classify_eager(&suite, config);
         assert_eq!(streaming, eager);
         assert_eq!(streaming.intervals, 30);
+    }
+
+    #[test]
+    fn decode_kernel_lanes_agree() {
+        let suite = tiny_suite();
+        assert_eq!(decode_scalar(&suite), decode_streaming(&suite));
+        #[cfg(feature = "simd")]
+        assert_eq!(decode_scalar(&suite), decode_simd(&suite));
+    }
+
+    #[test]
+    fn distance_lanes_agree() {
+        let (table, probes) = distance_fixture();
+        // A probe subset keeps the debug-mode test fast; the lanes
+        // themselves run the full batch.
+        let subset = &probes[..64];
+        let scalar = distance_scalar(&table, subset);
+        assert_eq!(scalar.intervals, 64);
+        assert_ne!(scalar.checksum, 0);
+        #[cfg(feature = "simd")]
+        assert_eq!(scalar, distance_simd(&table, subset));
     }
 
     #[test]

@@ -305,6 +305,16 @@ impl PhaseClassifier {
     pub fn table(&self) -> &SignatureTable {
         &self.table
     }
+
+    /// Routes the table search through the scalar per-entry scan even when
+    /// the `simd` feature is compiled in
+    /// (see [`SignatureTable::set_scalar_scan`]). Classification outcomes
+    /// are bit-identical either way; the knob lets benchmarks and
+    /// equivalence tests drive both kernels from one binary. A no-op
+    /// without the feature.
+    pub fn force_scalar_kernels(&mut self, scalar: bool) {
+        self.table.set_scalar_scan(scalar);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,274 @@
+//! Struct-of-arrays mirror of the signature table's dimension data.
+//!
+//! The AoS [`SignatureTable`](crate::SignatureTable) stores each entry's
+//! [`Signature`](crate::Signature) inline, which is what the LRU logic,
+//! serialization, and the public entry API want — but it scatters the
+//! dimension vectors across the heap, so the per-interval table scan
+//! (probe vs. *every* entry) chases a pointer per entry. This mirror keeps
+//! the same dimension data column-major: one contiguous `u16` column per
+//! dimension, entries side by side, padded to [`BLOCK`]-entry multiples.
+//! The scan then streams whole columns, computing Manhattan totals for a
+//! block of entries at a time with the SWAR kernels in
+//! [`simd`](crate::simd).
+//!
+//! The mirror is maintained incrementally — `O(dims)` per insert, touch,
+//! or eviction, against an `O(entries × dims)` scan per interval — and is
+//! only compiled with the `simd` feature. If entries of differing
+//! dimensionality are ever mixed into one table (the scalar search panics
+//! on such tables the moment they are searched), the mirror poisons
+//! itself and every search falls back to the scalar path, preserving the
+//! pre-SoA behavior exactly.
+//!
+//! The block kernel itself is deliberately plain code: a fixed-width loop
+//! over one contiguous 16-lane column segment per dimension, which LLVM
+//! auto-vectorizes into packed `u16` abs-diff + widening adds. Explicit
+//! lane tricks (SWAR or intrinsics) measured *slower* here — the layout,
+//! not hand-packing, is what the compiler needed. Hand-written SWAR is
+//! reserved for the varint decoder in `tpcp-trace`, where the byte stream
+//! has no fixed lane structure for the auto-vectorizer to find.
+
+/// Entries per scan block: one block's running totals (`[u32; BLOCK]`)
+/// stay resident in two vector registers across the dimension loop.
+pub(crate) const BLOCK: usize = 16;
+
+/// Largest per-signature dimension count the 32-bit block accumulators
+/// can total without overflow (`dims × 0xFFFF < 2^31`). Tables beyond
+/// this fall back to the scalar scan.
+pub(crate) const MAX_SCAN_DIMS: usize = 32_768;
+
+/// Column-major storage of every entry's dimension vector.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ColumnStore {
+    /// Dimensions per signature (fixed for the whole table).
+    dims: usize,
+    /// Entries of capacity per column; a multiple of [`BLOCK`], so a scan
+    /// may always read one full block (padding lanes are ignored).
+    stride: usize,
+    /// Live entries.
+    n: usize,
+    /// `dims` columns of `stride` entries each, back to back.
+    cols: Vec<u16>,
+    /// Set when entries of differing dimensionality were mixed into the
+    /// table; the mirror stops tracking and searches take the scalar path.
+    poisoned: bool,
+}
+
+impl ColumnStore {
+    /// Whether the columns can answer a scan for a probe of `probe_dims`
+    /// dimensions over `entries` live entries.
+    pub(crate) fn scannable(&self, probe_dims: usize, entries: usize) -> bool {
+        !self.poisoned && self.n == entries && self.dims == probe_dims && self.dims <= MAX_SCAN_DIMS
+    }
+
+    /// Appends one entry's dimensions (the new last entry).
+    pub(crate) fn push(&mut self, dims: &[u16]) {
+        if self.poisoned {
+            return;
+        }
+        if self.n == 0 {
+            self.dims = dims.len();
+        } else if dims.len() != self.dims {
+            self.poison();
+            return;
+        }
+        if self.n == self.stride {
+            self.grow();
+        }
+        for (d, &v) in dims.iter().enumerate() {
+            self.cols[d * self.stride + self.n] = v;
+        }
+        self.n += 1;
+    }
+
+    /// Mirrors `Vec::swap_remove(i)`: the last entry moves into slot `i`.
+    pub(crate) fn swap_remove(&mut self, i: usize) {
+        if self.poisoned {
+            return;
+        }
+        debug_assert!(i < self.n);
+        let last = self.n - 1;
+        for d in 0..self.dims {
+            let col = d * self.stride;
+            self.cols[col + i] = self.cols[col + last];
+        }
+        self.n = last;
+    }
+
+    /// Replaces entry `i`'s dimensions in place (a table touch).
+    pub(crate) fn replace(&mut self, i: usize, dims: &[u16]) {
+        if self.poisoned {
+            return;
+        }
+        debug_assert!(i < self.n);
+        if dims.len() != self.dims {
+            self.poison();
+            return;
+        }
+        for (d, &v) in dims.iter().enumerate() {
+            self.cols[d * self.stride + i] = v;
+        }
+    }
+
+    fn poison(&mut self) {
+        self.poisoned = true;
+        self.cols = Vec::new();
+        self.stride = 0;
+        self.n = 0;
+    }
+
+    fn grow(&mut self) {
+        let new_stride = (self.stride * 2).max(BLOCK);
+        let mut cols = vec![0u16; self.dims * new_stride];
+        for d in 0..self.dims {
+            let src = d * self.stride;
+            let dst = d * new_stride;
+            cols[dst..dst + self.n].copy_from_slice(&self.cols[src..src + self.n]);
+        }
+        self.cols = cols;
+        self.stride = new_stride;
+    }
+
+    /// Computes the exact Manhattan totals of `probe` against the block of
+    /// entries starting at `base` (a multiple of [`BLOCK`]), writing one
+    /// total per lane into `out`. Lanes at or past the live entry count
+    /// hold garbage from the padding and must be ignored by the caller.
+    ///
+    /// Per dimension, one contiguous 16-lane column segment is consumed
+    /// with a fixed-width lane loop — the shape LLVM turns into packed
+    /// `u16` abs-diff and widening adds, with the 16 running totals held
+    /// in vector registers across dimensions.
+    pub(crate) fn block_totals(&self, probe: &[u16], base: usize, out: &mut [u32; BLOCK]) {
+        debug_assert_eq!(probe.len(), self.dims);
+        debug_assert_eq!(base % BLOCK, 0);
+        debug_assert!(base + BLOCK <= self.stride || self.dims == 0);
+        let mut acc = [0u32; BLOCK];
+        for (d, &p) in probe.iter().enumerate() {
+            let start = d * self.stride + base;
+            let col: &[u16; BLOCK] = self.cols[start..start + BLOCK]
+                .try_into()
+                .expect("column segment is exactly one block");
+            for (lane, &v) in acc.iter_mut().zip(col) {
+                *lane += u32::from(v.abs_diff(p));
+            }
+        }
+        *out = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manhattan(a: &[u16], b: &[u16]) -> u64 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| u64::from(x.abs_diff(y)))
+            .sum()
+    }
+
+    fn rng() -> impl FnMut() -> u64 {
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        }
+    }
+
+    #[test]
+    fn simd_block_totals_match_scalar_manhattan() {
+        let mut next = rng();
+        for dims in [1usize, 3, 16, 17, 64] {
+            let mut store = ColumnStore::default();
+            let mut rows: Vec<Vec<u16>> = Vec::new();
+            for _ in 0..53 {
+                let row: Vec<u16> = (0..dims).map(|_| next() as u16).collect();
+                store.push(&row);
+                rows.push(row);
+            }
+            assert!(store.scannable(dims, rows.len()));
+            let probe: Vec<u16> = (0..dims).map(|_| next() as u16).collect();
+            let mut out = [0u32; BLOCK];
+            for base in (0..rows.len()).step_by(BLOCK) {
+                store.block_totals(&probe, base, &mut out);
+                for j in 0..BLOCK.min(rows.len() - base) {
+                    assert_eq!(
+                        u64::from(out[j]),
+                        manhattan(&probe, &rows[base + j]),
+                        "dims={dims} entry={}",
+                        base + j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_columns_track_swap_remove_and_replace() {
+        let mut next = rng();
+        let dims = 8usize;
+        let mut store = ColumnStore::default();
+        let mut rows: Vec<Vec<u16>> = Vec::new();
+        let fresh = |next: &mut dyn FnMut() -> u64| -> Vec<u16> {
+            (0..dims).map(|_| next() as u16).collect()
+        };
+        for _ in 0..40 {
+            let row = fresh(&mut next);
+            store.push(&row);
+            rows.push(row);
+        }
+        // Interleave the three mutations the table performs, checking the
+        // mirror stays exact after each.
+        for step in 0..200 {
+            match next() % 3 {
+                0 if rows.len() > 1 => {
+                    let i = (next() as usize) % rows.len();
+                    store.swap_remove(i);
+                    rows.swap_remove(i);
+                }
+                1 if !rows.is_empty() => {
+                    let i = (next() as usize) % rows.len();
+                    let row = fresh(&mut next);
+                    store.replace(i, &row);
+                    rows[i] = row;
+                }
+                _ => {
+                    let row = fresh(&mut next);
+                    store.push(&row);
+                    rows.push(row);
+                }
+            }
+            assert!(store.scannable(dims, rows.len()), "step {step}");
+            let probe = fresh(&mut next);
+            let mut out = [0u32; BLOCK];
+            for base in (0..rows.len()).step_by(BLOCK) {
+                store.block_totals(&probe, base, &mut out);
+                for j in 0..BLOCK.min(rows.len() - base) {
+                    assert_eq!(u64::from(out[j]), manhattan(&probe, &rows[base + j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_mixed_dimensionality_poisons_the_mirror() {
+        let mut store = ColumnStore::default();
+        store.push(&[1, 2, 3]);
+        store.push(&[4, 5]); // differing dims: mirror bows out
+        assert!(!store.scannable(3, 2));
+        assert!(!store.scannable(2, 2));
+    }
+
+    #[test]
+    fn simd_zero_dimension_signatures_scan_to_zero_totals() {
+        let mut store = ColumnStore::default();
+        for _ in 0..5 {
+            store.push(&[]);
+        }
+        assert!(store.scannable(0, 5));
+        let mut out = [7u32; BLOCK];
+        store.block_totals(&[], 0, &mut out);
+        assert_eq!(out, [0u32; BLOCK]);
+    }
+}

@@ -48,6 +48,8 @@
 
 mod accumulator;
 mod classifier;
+#[cfg(feature = "simd")]
+mod columns;
 mod config;
 mod cost;
 mod extractor;

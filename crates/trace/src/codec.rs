@@ -143,6 +143,253 @@ fn read_varint_general(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     Err(CodecError::MalformedVarint)
 }
 
+/// Decodes `n_events` delta/insns varint pairs starting at `*pos`,
+/// reconstructing absolute PCs and delivering each event. The scalar
+/// reference kernel: one bounds-checked varint at a time.
+///
+/// Plausibility of `n_events` against the remaining buffer is the
+/// *caller's* responsibility ([`StreamingDecoder::try_next_interval_with`]
+/// checks it before dispatching to either kernel).
+#[inline]
+fn decode_events_scalar<F: FnMut(BranchEvent)>(
+    buf: &[u8],
+    pos: &mut usize,
+    n_events: u64,
+    on_event: &mut F,
+) -> Result<(), CodecError> {
+    let mut prev_pc = 0i64;
+    for _ in 0..n_events {
+        let delta = zigzag_decode(read_varint(buf, pos)?);
+        let insns = read_varint(buf, pos)?;
+        prev_pc = prev_pc.wrapping_add(delta);
+        on_event(BranchEvent::new(prev_pc as u64, insns as u32));
+    }
+    Ok(())
+}
+
+/// Batched SWAR twin of [`decode_events_scalar`]: loads the stream in
+/// 8-byte register windows and decodes runs of short varints without
+/// per-byte bounds checks or value branches.
+///
+/// The dispatch key is the window's continuation-bit mask
+/// (`word & 0x8080…80`). Trace streams are overwhelmingly *periodic* —
+/// a phase's PC deltas and instruction counts keep the same byte widths
+/// for long runs — so a handful of mask values cover nearly every window,
+/// and each gets straight-line code with **constant** shifts and a
+/// **constant** byte-count advance. That constant advance is the point:
+/// the next window's address never waits on decoded lengths, so loads for
+/// window *n+1* issue while window *n* is still being unpacked (the
+/// variable-shift variant of this kernel measured slower than scalar for
+/// exactly that reason — conditional moves serialized what speculation
+/// had parallelized).
+///
+/// * mask all-clear — eight 1-byte varints: four events, consume 8;
+/// * mask `0x…0080_0000_8000_0080` — the dominant (2-byte delta, 1-byte
+///   insns) run. Its period is 3 bytes, so 24 bytes = three u64 words =
+///   exactly 8 events: when the next two words confirm the pattern (three
+///   per-word masks, one per phase of the cycle), a tight run loop decodes
+///   8 events per 24-byte super-block until a mask breaks, amortizing
+///   dispatch entirely. A lone matching window decodes two events and
+///   consumes 6 (re-aligned, so the next window repeats the same mask);
+/// * mask `0x…0080_0080_0080_0080` — (2-byte delta, 2-byte insns): two
+///   events, consume 8;
+/// * any other mask with no two adjacent continuation bits — mixed 1-/2-
+///   byte varints, peeled one field at a time from the register;
+/// * anything else — a varint of three or more bytes, or fewer than 8
+///   bytes left in the buffer — falls back to the scalar kernel for *one*
+///   event and re-enters the windowed loop.
+///
+/// The fast paths only ever consume complete, well-formed varints that
+/// are fully in bounds, so every `Truncated`/`MalformedVarint` case is
+/// reported by the same scalar code path as before, at the same position.
+#[cfg(feature = "simd")]
+fn decode_events_swar<F: FnMut(BranchEvent)>(
+    buf: &[u8],
+    pos: &mut usize,
+    n_events: u64,
+    on_event: &mut F,
+) -> Result<(), CodecError> {
+    /// Continuation bit of every byte in a u64 window.
+    const CONT: u64 = 0x8080_8080_8080_8080;
+    /// Continuation bits of a window holding `[2-byte delta][1-byte insns]`
+    /// events back to back: set on bytes 0, 3, and 6.
+    const MASK_D2_I1: u64 = 0x0080_0000_8000_0080;
+    /// The same periodic (2-byte delta, 1-byte insns) run, continued into
+    /// the second and third 8-byte words of a 24-byte super-block. The
+    /// pattern's period is 3 bytes, so 24 bytes hold exactly 8 events and
+    /// the per-word masks cycle through three phases.
+    const MASK_D2_I1_B: u64 = 0x8000_0080_0000_8000;
+    const MASK_D2_I1_C: u64 = 0x0000_8000_0080_0000;
+    /// Continuation bits of `[2-byte delta][2-byte insns]` events: set on
+    /// bytes 0, 2, 4, and 6.
+    const MASK_D2_I2: u64 = 0x0080_0080_0080_0080;
+
+    /// Two low 7-bit groups of `word` starting at bit `shift`, joined as a
+    /// 2-byte varint value (continuation bits masked off).
+    #[inline(always)]
+    fn pair(word: u64, shift: u32) -> u64 {
+        ((word >> shift) & 0x7f) | ((word >> (shift + 1)) & 0x3f80)
+    }
+
+    let mut prev_pc = 0i64;
+    let mut remaining = n_events;
+    while remaining > 0 {
+        let p = *pos;
+        let Some(window) = buf.get(p..p + 8) else {
+            // Near the end of the buffer: finish through the scalar loop.
+            break;
+        };
+        let word = u64::from_le_bytes(window.try_into().expect("8-byte slice"));
+        let cont = word & CONT;
+
+        if cont == MASK_D2_I1 && remaining >= 2 {
+            // The dominant periodic layout. While the stream keeps the
+            // pattern, decode a 24-byte super-block — exactly 8 events in
+            // three constant-offset word loads (the pattern's 3-byte
+            // period divides 24). No load address depends on a decoded
+            // length, so the loads pipeline across iterations, and the
+            // three mask equalities prove every fixed shift below lands on
+            // the field it assumes.
+            if remaining >= 8 {
+                if let (Some(wb1), Some(wb2)) = (buf.get(p + 8..p + 16), buf.get(p + 16..p + 24)) {
+                    let mut w0 = word;
+                    let mut w1 = u64::from_le_bytes(wb1.try_into().expect("8-byte slice"));
+                    let mut w2 = u64::from_le_bytes(wb2.try_into().expect("8-byte slice"));
+                    if w1 & CONT == MASK_D2_I1_B && w2 & CONT == MASK_D2_I1_C {
+                        // Stay in a tight run loop for as long as the
+                        // stream keeps the pattern: each iteration's block
+                        // address is q + 24, so decode, mask checks and
+                        // the next three loads all overlap.
+                        let mut q = p;
+                        loop {
+                            prev_pc = prev_pc.wrapping_add(zigzag_decode(pair(w0, 0)));
+                            on_event(BranchEvent::new(prev_pc as u64, (w0 >> 16) as u32 & 0x7f));
+                            prev_pc = prev_pc.wrapping_add(zigzag_decode(pair(w0, 24)));
+                            on_event(BranchEvent::new(prev_pc as u64, (w0 >> 40) as u32 & 0x7f));
+                            prev_pc = prev_pc.wrapping_add(zigzag_decode(pair(w0, 48)));
+                            on_event(BranchEvent::new(prev_pc as u64, w1 as u32 & 0x7f));
+                            prev_pc = prev_pc.wrapping_add(zigzag_decode(pair(w1, 8)));
+                            on_event(BranchEvent::new(prev_pc as u64, (w1 >> 24) as u32 & 0x7f));
+                            prev_pc = prev_pc.wrapping_add(zigzag_decode(pair(w1, 32)));
+                            on_event(BranchEvent::new(prev_pc as u64, (w1 >> 48) as u32 & 0x7f));
+                            // The only field that straddles a word
+                            // boundary: delta low byte 15 (end of w1),
+                            // high byte 16 (start of w2).
+                            let raw = ((w1 >> 56) & 0x7f) | ((w2 & 0x7f) << 7);
+                            prev_pc = prev_pc.wrapping_add(zigzag_decode(raw));
+                            on_event(BranchEvent::new(prev_pc as u64, (w2 >> 8) as u32 & 0x7f));
+                            prev_pc = prev_pc.wrapping_add(zigzag_decode(pair(w2, 16)));
+                            on_event(BranchEvent::new(prev_pc as u64, (w2 >> 32) as u32 & 0x7f));
+                            prev_pc = prev_pc.wrapping_add(zigzag_decode(pair(w2, 40)));
+                            on_event(BranchEvent::new(prev_pc as u64, (w2 >> 56) as u32 & 0x7f));
+                            q += 24;
+                            remaining -= 8;
+                            if remaining < 8 {
+                                break;
+                            }
+                            let Some(nb) = buf.get(q..q + 24) else { break };
+                            let n0 = u64::from_le_bytes(nb[0..8].try_into().expect("8-byte slice"));
+                            let n1 =
+                                u64::from_le_bytes(nb[8..16].try_into().expect("8-byte slice"));
+                            let n2 =
+                                u64::from_le_bytes(nb[16..24].try_into().expect("8-byte slice"));
+                            if n0 & CONT != MASK_D2_I1
+                                || n1 & CONT != MASK_D2_I1_B
+                                || n2 & CONT != MASK_D2_I1_C
+                            {
+                                break;
+                            }
+                            w0 = n0;
+                            w1 = n1;
+                            w2 = n2;
+                        }
+                        *pos = q;
+                        continue;
+                    }
+                }
+            }
+            // Two (2-byte delta, 1-byte insns) events; bytes 6-7 start the
+            // next event and are left for the next window.
+            prev_pc = prev_pc.wrapping_add(zigzag_decode(pair(word, 0)));
+            on_event(BranchEvent::new(prev_pc as u64, (word >> 16) as u32 & 0x7f));
+            prev_pc = prev_pc.wrapping_add(zigzag_decode(pair(word, 24)));
+            on_event(BranchEvent::new(prev_pc as u64, (word >> 40) as u32 & 0x7f));
+            *pos = p + 6;
+            remaining -= 2;
+            continue;
+        }
+
+        if cont == 0 && remaining >= 4 {
+            // Eight 1-byte varints: four complete events in one load.
+            let b = word.to_le_bytes();
+            for k in 0..4 {
+                prev_pc = prev_pc.wrapping_add(zigzag_decode(u64::from(b[2 * k])));
+                on_event(BranchEvent::new(prev_pc as u64, u32::from(b[2 * k + 1])));
+            }
+            *pos = p + 8;
+            remaining -= 4;
+            continue;
+        }
+
+        if cont == MASK_D2_I2 && remaining >= 2 {
+            // Two (2-byte delta, 2-byte insns) events filling the window.
+            prev_pc = prev_pc.wrapping_add(zigzag_decode(pair(word, 0)));
+            on_event(BranchEvent::new(prev_pc as u64, pair(word, 16) as u32));
+            prev_pc = prev_pc.wrapping_add(zigzag_decode(pair(word, 32)));
+            on_event(BranchEvent::new(prev_pc as u64, pair(word, 48) as u32));
+            *pos = p + 8;
+            remaining -= 2;
+            continue;
+        }
+
+        if cont & (cont >> 8) != 0 {
+            // Two adjacent continuation bits: a varint of three or more
+            // bytes somewhere in the window. Decode one event through the
+            // general path (same error positions as the scalar kernel),
+            // then resume windowed decode.
+            let delta = zigzag_decode(read_varint(buf, pos)?);
+            let insns = read_varint(buf, pos)?;
+            prev_pc = prev_pc.wrapping_add(delta);
+            on_event(BranchEvent::new(prev_pc as u64, insns as u32));
+            remaining -= 1;
+            continue;
+        }
+
+        // Aperiodic mix of 1-/2-byte varints: peel fields one at a time
+        // from the register while a max-size (2+2-byte) event still fits.
+        // A field at `off <= 6` may read one byte past itself (masked off
+        // for 1-byte varints), never past the window.
+        let mut off = 0usize;
+        loop {
+            let c0 = (word >> (8 * off + 7)) & 1;
+            let d_len = 1 + c0 as usize;
+            let raw_delta = ((word >> (8 * off)) & 0x7f)
+                | (((word >> (8 * off + 8)) & 0x7f) << 7) & 0u64.wrapping_sub(c0);
+            let o1 = off + d_len;
+            let c1 = (word >> (8 * o1 + 7)) & 1;
+            let insns = ((word >> (8 * o1)) & 0x7f)
+                | (((word >> (8 * o1 + 8)) & 0x7f) << 7) & 0u64.wrapping_sub(c1);
+            prev_pc = prev_pc.wrapping_add(zigzag_decode(raw_delta));
+            on_event(BranchEvent::new(prev_pc as u64, insns as u32));
+            off = o1 + 1 + c1 as usize;
+            remaining -= 1;
+            if off > 4 || remaining == 0 {
+                break;
+            }
+        }
+        *pos = p + off;
+    }
+    // Buffer tail (or an early bail above): scalar, continuing from the
+    // running PC.
+    for _ in 0..remaining {
+        let delta = zigzag_decode(read_varint(buf, pos)?);
+        let insns = read_varint(buf, pos)?;
+        prev_pc = prev_pc.wrapping_add(delta);
+        on_event(BranchEvent::new(prev_pc as u64, insns as u32));
+    }
+    Ok(())
+}
+
 /// Encodes a recorded trace into a compact binary buffer.
 ///
 /// # Example
@@ -261,6 +508,11 @@ pub struct StreamingDecoder<'a> {
     decoded: u64,
     scratch: Vec<BranchEvent>,
     error: Option<CodecError>,
+    /// With the `simd` feature, route event decode through the scalar
+    /// reference kernel instead of the SWAR one (perf comparison lanes,
+    /// equivalence tests). Without the feature this is inert: the scalar
+    /// kernel is the only one compiled.
+    force_scalar: bool,
 }
 
 impl<'a> StreamingDecoder<'a> {
@@ -291,7 +543,24 @@ impl<'a> StreamingDecoder<'a> {
             decoded: 0,
             scratch: Vec::new(),
             error: None,
+            force_scalar: false,
         })
+    }
+
+    /// Forces the scalar event-decode kernel even when the `simd` feature
+    /// is compiled in. The two kernels are bit-identical in output and
+    /// error behavior; this knob exists so benchmarks and equivalence
+    /// tests can time or compare both in one binary. A no-op without the
+    /// `simd` feature, where scalar is the only kernel.
+    pub fn force_scalar(&mut self, scalar: bool) {
+        self.force_scalar = scalar;
+    }
+
+    /// Whether the batched SWAR kernel will be used for event decode
+    /// (`simd` feature compiled in and not overridden by
+    /// [`force_scalar`](Self::force_scalar)).
+    pub fn uses_simd(&self) -> bool {
+        cfg!(feature = "simd") && !self.force_scalar
     }
 
     /// Total intervals the header declares.
@@ -360,13 +629,14 @@ impl<'a> StreamingDecoder<'a> {
         if n_events > ((buf.len() - *pos) / MIN_EVENT_BYTES) as u64 {
             return Err(CodecError::ImplausibleLength);
         }
-        let mut prev_pc = 0i64;
-        for _ in 0..n_events {
-            let delta = zigzag_decode(read_varint(buf, pos)?);
-            let insns = read_varint(buf, pos)?;
-            prev_pc = prev_pc.wrapping_add(delta);
-            on_event(BranchEvent::new(prev_pc as u64, insns as u32));
+        #[cfg(feature = "simd")]
+        if !self.force_scalar {
+            decode_events_swar(buf, pos, n_events, on_event)?;
+        } else {
+            decode_events_scalar(buf, pos, n_events, on_event)?;
         }
+        #[cfg(not(feature = "simd"))]
+        decode_events_scalar(buf, pos, n_events, on_event)?;
         self.decoded += 1;
         Ok(Some(
             IntervalSummary::new(index, instructions, cycles).with_metrics(metrics),
@@ -648,6 +918,119 @@ mod tests {
         };
         let decoded = decode_trace(encode_trace(&trace)).unwrap();
         assert_eq!(decoded.intervals[0].summary.metrics, metrics);
+    }
+
+    /// Streams a buffer through both event-decode kernels, returning
+    /// `(events, summaries)` per kernel, or the first decode error.
+    #[cfg(feature = "simd")]
+    #[allow(clippy::type_complexity)]
+    fn stream_both_kernels(
+        data: &[u8],
+    ) -> [Result<(Vec<BranchEvent>, Vec<IntervalSummary>), CodecError>; 2] {
+        [false, true].map(|scalar| {
+            let mut decoder = StreamingDecoder::new(data)?;
+            decoder.force_scalar(scalar);
+            let mut events = Vec::new();
+            let mut summaries = Vec::new();
+            while let Some(summary) = decoder.try_next_interval(&mut |ev| events.push(ev))? {
+                summaries.push(summary);
+            }
+            Ok((events, summaries))
+        })
+    }
+
+    #[cfg(feature = "simd")]
+    #[test]
+    fn simd_swar_decode_matches_scalar_on_sample() {
+        let data = encode_trace(&sample());
+        let [swar, scalar] = stream_both_kernels(&data);
+        assert_eq!(swar, scalar);
+        assert!(swar.is_ok());
+    }
+
+    /// A trace exercising every varint width: tiny PC deltas (1-byte),
+    /// the dominant 2-byte zigzag deltas, huge forward/backward jumps
+    /// (up to 10-byte varints), and insns counts from 1 to u32::MAX.
+    #[cfg(feature = "simd")]
+    fn mixed_width_trace() -> RecordedTrace {
+        let pcs = [
+            0x40u64,
+            0x44,
+            0x45,
+            0x80_0000,
+            0x40,
+            u64::MAX - 4,
+            3,
+            1 << 62,
+            0x1000,
+            0x1001,
+            0x1002,
+            0x1003,
+            0x1004,
+            0x1042,
+            0x10_0042,
+            0x42,
+        ];
+        let events = (0..160u64).map(|i| {
+            let pc = pcs[(i % 16) as usize].wrapping_add(i / 16);
+            let insns = match i % 5 {
+                0 => 1,
+                1 => 100,
+                2 => 16_000,
+                3 => 2_000_000,
+                _ => u32::MAX,
+            };
+            (BranchEvent::new(pc, insns), u64::from(insns))
+        });
+        RecordedTrace::record(IntervalCutter::from_iter(1_000_000, events))
+    }
+
+    #[cfg(feature = "simd")]
+    #[test]
+    fn simd_swar_decode_matches_scalar_on_mixed_varint_widths() {
+        let trace = mixed_width_trace();
+        let data = encode_trace(&trace);
+        let [swar, scalar] = stream_both_kernels(&data);
+        assert_eq!(swar, scalar);
+        let (events, _) = swar.unwrap();
+        let want: Vec<_> = trace
+            .intervals
+            .iter()
+            .flat_map(|iv| iv.events.iter().copied())
+            .collect();
+        assert_eq!(events, want);
+    }
+
+    #[cfg(feature = "simd")]
+    #[test]
+    fn simd_swar_decode_agrees_with_scalar_at_every_truncation_boundary() {
+        // Both kernels must report the *same* error for a cut anywhere in
+        // the buffer: the SWAR windows only consume complete in-bounds
+        // varints, so every truncation funnels into the shared scalar
+        // error path.
+        let data = encode_trace(&mixed_width_trace());
+        for cut in 0..data.len() {
+            let [swar, scalar] = stream_both_kernels(&data[..cut]);
+            assert_eq!(swar, scalar, "kernels disagree at cut {cut}");
+            assert!(swar.is_err(), "cut at {cut} must fail");
+        }
+        let [swar, scalar] = stream_both_kernels(&data);
+        assert_eq!(swar, scalar);
+        assert!(swar.is_ok());
+    }
+
+    #[cfg(feature = "simd")]
+    #[test]
+    fn simd_swar_decode_rejects_overlong_varints_like_scalar() {
+        // An overlong varint planted mid-event-stream must surface as
+        // MalformedVarint from both kernels. Plant it as the first event's
+        // delta varint of the first interval of the sample trace.
+        let mut data = encode_trace(&sample()).to_vec();
+        let first_event = 8 + 8 + 24 + 5 + 8; // magic, count, summary, metrics, n_events
+        data.splice(first_event..first_event + 1, [0xff; 10]);
+        let [swar, scalar] = stream_both_kernels(&data);
+        assert_eq!(swar, scalar);
+        assert_eq!(swar.unwrap_err(), CodecError::MalformedVarint);
     }
 
     #[test]

@@ -164,3 +164,70 @@ proptest! {
         prop_assert!((0.0..=2.0 + 1e-12).contains(&d_xy));
     }
 }
+
+/// Scalar-vs-SWAR decode equivalence, generative twin of the unit tests in
+/// `codec.rs`: arbitrary event streams (any PC walk, any insns width) must
+/// decode identically through both kernels, on the intact buffer and at
+/// every truncation boundary.
+#[cfg(feature = "simd")]
+mod simd {
+    use super::*;
+
+    /// Streams `data` through one kernel, collecting events + summaries.
+    fn stream(
+        data: &[u8],
+        scalar: bool,
+    ) -> Result<(Vec<BranchEvent>, Vec<u64>), tpcp_trace::CodecError> {
+        let mut decoder = StreamingDecoder::new(data)?;
+        decoder.force_scalar(scalar);
+        let mut events = Vec::new();
+        let mut summaries = Vec::new();
+        while let Some(summary) = decoder.try_next_interval(&mut |ev| events.push(ev))? {
+            summaries.push(summary.instructions);
+        }
+        Ok((events, summaries))
+    }
+
+    proptest! {
+        /// Both kernels deliver the same event stream on any well-formed
+        /// buffer, and the SWAR stream reproduces the original events.
+        #[test]
+        fn simd_swar_decode_equals_scalar_on_arbitrary_streams(
+            events in prop::collection::vec(arb_event(), 0..300),
+            interval_size in 1u64..3_000,
+        ) {
+            let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
+            let data = encode_trace(&trace);
+            let swar = stream(&data, false);
+            let scalar = stream(&data, true);
+            prop_assert_eq!(&swar, &scalar);
+            let (got, _) = swar.unwrap();
+            let want: Vec<BranchEvent> = trace
+                .intervals
+                .iter()
+                .flat_map(|iv| iv.events.iter().copied())
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Truncating an arbitrary encoded trace anywhere produces the
+        /// same error — and the same already-delivered prefix — from both
+        /// kernels: the SWAR fast paths only consume complete in-bounds
+        /// varints, so every failure funnels through the shared scalar
+        /// error path at the same position.
+        #[test]
+        fn simd_swar_decode_agrees_with_scalar_under_truncation(
+            events in prop::collection::vec(arb_event(), 1..120),
+            interval_size in 1u64..2_000,
+        ) {
+            let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
+            let data = encode_trace(&trace);
+            for cut in 0..data.len() {
+                let swar = stream(&data[..cut], false);
+                let scalar = stream(&data[..cut], true);
+                prop_assert_eq!(&swar, &scalar);
+                prop_assert!(swar.is_err(), "cut at {} must fail", cut);
+            }
+        }
+    }
+}
