@@ -3,6 +3,9 @@
 //! Times three lane families over the encoded synthetic suite:
 //!
 //! * **decode-only** — streaming vs. eager trace decode;
+//! * **sampled replay** — a seek-driven [`PlannedReplay`] over an 8x
+//!   sampling plan vs. a full decode folding the same planned intervals
+//!   (identical checksums re-prove seek correctness on every run);
 //! * **replay+classify** — a fresh phase classifier fed streaming vs.
 //!   from a materialized trace (paired lanes must produce identical
 //!   phase-ID checksums, re-proving equivalence on every run);
@@ -11,28 +14,39 @@
 //!   cross-technique `engine_extractors` sweep (11 benchmarks × 3
 //!   feature back-ends in one replay pass).
 //!
-//! Emits `BENCH_<git-sha>.json` (median/p90 wall-clock, intervals/sec,
+//! Emits `BENCH_<git-sha>.json` (best/median/p90 wall-clock, intervals/sec
+//! at the fastest repetition — noise-robust on busy hosts,
 //! peak RSS, replay counts) into `--out` and can gate the run against a
 //! checked-in baseline with `--check` (non-zero exit on regression).
+//! The gate normalizes by a frozen calibration kernel measured at the
+//! start of every run, so a host that is globally slower than the one
+//! that produced the baseline (steal time, older CI hardware) does not
+//! read as a lane regression.
+//! `--strict` additionally fails the gate when the baseline and the run
+//! disagree on the lane set, so a renamed or dropped lane cannot pass
+//! unchecked forever.
 //!
 //! ```text
-//! tpcp-perf [--smoke] [--iters N] [--out DIR] [--check FILE]
+//! tpcp-perf [--smoke] [--iters N] [--out DIR] [--check FILE] [--strict]
 //!           [--tolerance FRAC] [--no-engine] [--refresh-baseline]
 //!           [--telemetry PATH]
 //! ```
+//!
+//! [`PlannedReplay`]: tpcp_trace::PlannedReplay
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use tpcp_bench::perf::{
-    classify_eager, classify_streaming, decode_eager, decode_scalar, decode_streaming,
-    distance_fixture, distance_scalar, engine_extractors, engine_lanes, engine_suite, perf_suite,
-    suite_totals, LaneRun, PerfTrace, Scale,
+    calibration_ops_per_sec, classify_eager, classify_streaming, decode_eager, decode_scalar,
+    decode_streaming, distance_fixture, distance_scalar, engine_extractors, engine_lanes,
+    engine_suite, perf_suite, replay_full, replay_indices, replay_sampled, suite_totals, LaneRun,
+    PerfTrace, Scale,
 };
 use tpcp_bench::report::{
-    check_against_baseline, git_sha, peak_rss_bytes, summarize, EngineSummary, LaneStats,
-    PerfReport,
+    check_against_baseline, git_sha, parse_calibration, peak_rss_bytes, summarize, unmatched_lanes,
+    EngineSummary, LaneStats, PerfReport,
 };
 use tpcp_core::ClassifierConfig;
 use tpcp_experiments::{SuiteParams, TraceCache};
@@ -42,6 +56,7 @@ struct Args {
     iters: u32,
     out: PathBuf,
     check: Option<PathBuf>,
+    strict: bool,
     tolerance: f64,
     engine: bool,
     lanes: Vec<usize>,
@@ -49,7 +64,7 @@ struct Args {
     telemetry: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: tpcp-perf [--smoke] [--iters N] [--out DIR] [--check FILE] \
+const USAGE: &str = "usage: tpcp-perf [--smoke] [--iters N] [--out DIR] [--check FILE] [--strict] \
                      [--tolerance FRAC] [--no-engine] [--lanes N,N,...] [--refresh-baseline] \
                      [--telemetry PATH]";
 
@@ -58,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
     let mut iters: Option<u32> = None;
     let mut out = PathBuf::from("results");
     let mut check = None;
+    let mut strict = false;
     let mut tolerance = 0.15;
     let mut engine = true;
     let mut lanes = vec![1usize, 8, 32];
@@ -80,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => out = PathBuf::from(value("--out")?),
             "--check" => check = Some(PathBuf::from(value("--check")?)),
+            "--strict" => strict = true,
             "--tolerance" => {
                 tolerance = value("--tolerance")?
                     .parse()
@@ -104,9 +121,14 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         smoke,
-        iters: iters.unwrap_or(if smoke { 3 } else { 7 }),
+        // Smoke reps are milliseconds long — the same scale as load
+        // bursts on shared CI hosts — so the best-of-N rate needs many
+        // draws to reliably land in a quiet window. Full-scale reps are
+        // long enough to average the bursts out instead.
+        iters: iters.unwrap_or(if smoke { 15 } else { 7 }),
         out,
         check,
+        strict,
         tolerance,
         engine,
         lanes,
@@ -139,7 +161,6 @@ fn time_lane(iters: u32, mut body: impl FnMut() -> LaneRun) -> (LaneRun, Vec<Dur
 /// equally instead of whichever lane happened to be timed second, which is
 /// what makes the reported kernel speedups reproducible on shared
 /// machines.
-#[cfg(feature = "simd")]
 fn time_lane_pair(
     iters: u32,
     mut a: impl FnMut() -> LaneRun,
@@ -170,8 +191,8 @@ fn time_lane_pair(
 
 fn lane_line(stats: &LaneStats) {
     println!(
-        "  {:<24} median {:>9.3} ms   p90 {:>9.3} ms   {:>12.0} intervals/s",
-        stats.name, stats.median_ms, stats.p90_ms, stats.intervals_per_sec
+        "  {:<24} best {:>9.3} ms   median {:>9.3} ms   p90 {:>9.3} ms   {:>12.0} intervals/s",
+        stats.name, stats.best_ms, stats.median_ms, stats.p90_ms, stats.intervals_per_sec
     );
 }
 
@@ -219,6 +240,9 @@ fn main() -> ExitCode {
             t.encoded.len()
         );
     }
+
+    let calibration = calibration_ops_per_sec();
+    println!("host calibration: {:.1} Mops/s", calibration / 1e6);
 
     let config = ClassifierConfig::hpca2005();
     let mut lanes: Vec<LaneStats> = Vec::new();
@@ -293,6 +317,40 @@ fn main() -> ExitCode {
             dec_scalar_run, dec_stream_run,
             "scalar decode kernel disagrees with the default decode path"
         );
+    }
+
+    println!("timing sampled replay lanes ({} iters) ...", args.iters);
+    let indices = replay_indices(&suite);
+    let (replay_full_run, full_samples, replay_sampled_run, sampled_samples) = time_lane_pair(
+        args.iters,
+        || replay_full(&suite),
+        || replay_sampled(&suite, &indices),
+    );
+    lanes.push(summarize(
+        "replay_full",
+        &full_samples,
+        replay_full_run.intervals,
+        replay_full_run.events,
+    ));
+    lanes.push(summarize(
+        "replay_sampled",
+        &sampled_samples,
+        replay_sampled_run.intervals,
+        replay_sampled_run.events,
+    ));
+    assert_eq!(
+        replay_sampled_run, replay_full_run,
+        "seek-driven sampled replay disagrees with the filtered full decode"
+    );
+    {
+        let full_rate = lanes[lanes.len() - 2].intervals_per_sec;
+        let sampled_rate = lanes[lanes.len() - 1].intervals_per_sec;
+        if full_rate > 0.0 {
+            println!(
+                "  sampled replay seek speedup: {:.2}x",
+                sampled_rate / full_rate
+            );
+        }
     }
 
     println!("timing distance micro lanes ({} iters) ...", args.iters);
@@ -484,6 +542,7 @@ fn main() -> ExitCode {
         suite_events,
         suite_encoded_bytes: suite_bytes,
         peak_rss_bytes: peak_rss_bytes(),
+        calibration_ops_per_sec: calibration,
         replay_classify_speedup: speedup,
         lanes,
         engine,
@@ -531,7 +590,8 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let checks = check_against_baseline(&report.lanes, &baseline, args.tolerance);
+        let checks =
+            check_against_baseline(&report.lanes, &baseline, args.tolerance, Some(calibration));
         if checks.is_empty() {
             eprintln!(
                 "baseline {} has no lanes in common with this run",
@@ -539,11 +599,35 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(2);
         }
-        println!(
-            "checking against {} (tolerance {:.0}%):",
-            baseline_path.display(),
-            args.tolerance * 100.0
-        );
+        if args.strict {
+            let (current_only, baseline_only) = unmatched_lanes(&report.lanes, &baseline);
+            if !current_only.is_empty() || !baseline_only.is_empty() {
+                for name in &current_only {
+                    eprintln!("strict: lane {name:?} has no baseline entry");
+                }
+                for name in &baseline_only {
+                    eprintln!("strict: baseline lane {name:?} was not measured");
+                }
+                eprintln!(
+                    "strict: lane sets differ; refresh {} with --refresh-baseline",
+                    baseline_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        match parse_calibration(&baseline) {
+            Some(base_cal) => println!(
+                "checking against {} (tolerance {:.0}%, host speed {:.2}x of baseline's):",
+                baseline_path.display(),
+                args.tolerance * 100.0,
+                calibration / base_cal
+            ),
+            None => println!(
+                "checking against {} (tolerance {:.0}%, no baseline calibration — raw rates):",
+                baseline_path.display(),
+                args.tolerance * 100.0
+            ),
+        }
         let mut failed = false;
         for check in &checks {
             println!(

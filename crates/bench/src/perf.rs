@@ -128,6 +128,43 @@ pub fn perf_suite(scale: Scale) -> Vec<PerfTrace> {
     .collect()
 }
 
+/// Host-speed calibration: best-of-N rate of a frozen arithmetic-plus-
+/// memory kernel, in word-operations per second.
+///
+/// The kernel is independent of every measured lane and must never
+/// change: the regression gate divides lane rates by this reference, so
+/// host-speed swings (hypervisor steal time on shared runners, different
+/// CI hardware generations) cancel out of the baseline comparison while
+/// genuine lane regressions do not. The working set (512 KiB) is larger
+/// than L1 so the kernel, like the decode lanes, mixes ALU work with
+/// cache traffic.
+pub fn calibration_ops_per_sec() -> f64 {
+    const WORDS: usize = 1 << 16;
+    const PASSES: u64 = 48;
+    const REPS: usize = 7;
+    let mut buf: Vec<u64> = (0..WORDS as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let mut best = f64::INFINITY;
+    for rep in 0..=REPS {
+        let start = std::time::Instant::now();
+        let mut acc = 0u64;
+        for pass in 0..PASSES {
+            for word in buf.iter_mut() {
+                *word = word.rotate_left(7) ^ pass;
+                acc = acc.wrapping_add(*word);
+            }
+        }
+        std::hint::black_box(acc);
+        let secs = start.elapsed().as_secs_f64();
+        // The first repetition is warm-up (page faults, frequency ramp).
+        if rep > 0 && secs < best {
+            best = secs;
+        }
+    }
+    (WORDS as u64 * PASSES) as f64 / best
+}
+
 /// Totals for a suite: `(intervals, events, encoded bytes)`.
 pub fn suite_totals(suite: &[PerfTrace]) -> (u64, u64, u64) {
     suite.iter().fold((0, 0, 0), |(i, e, b), t| {
@@ -234,6 +271,102 @@ pub fn decode_eager(suite: &[PerfTrace]) -> LaneRun {
             checksum = fold(checksum, summary.instructions ^ summary.cycles);
         }
         events += t.events;
+    }
+    LaneRun {
+        intervals,
+        events,
+        checksum,
+    }
+}
+
+/// Every `REPLAY_SAMPLE_STEP`-th interval is on the sampled-replay
+/// lane pair's plan: an 8x decode cut, matching the sampling figure's
+/// default budget.
+const REPLAY_SAMPLE_STEP: u64 = 8;
+
+/// Builds the interval index sidecar for each suite trace — the fixture
+/// for [`replay_sampled`], built once outside the timed lane (a cached
+/// sidecar is loaded, not rebuilt, in production).
+pub fn replay_indices(suite: &[PerfTrace]) -> Vec<tpcp_trace::TraceIndex> {
+    suite
+        .iter()
+        .map(|t| {
+            tpcp_trace::TraceIndex::build(&t.encoded).expect("perf suite traces are well-formed")
+        })
+        .collect()
+}
+
+/// Full-decode half of the sampled-replay pair: decodes *every* interval
+/// but folds only those on the sampling plan. Its checksum must equal
+/// [`replay_sampled`]'s bit for bit — same delivered stream — while its
+/// decode work covers the whole trace, so the pair's throughput ratio is
+/// the seek win and their equality re-proves seek correctness on every
+/// perf run.
+pub fn replay_full(suite: &[PerfTrace]) -> LaneRun {
+    let mut intervals = 0u64;
+    let mut events = 0u64;
+    let mut checksum = 0u64;
+    for t in suite {
+        let mut decoder =
+            StreamingDecoder::new(&t.encoded).expect("perf suite traces are well-formed");
+        let mut i = 0u64;
+        loop {
+            let planned = i.is_multiple_of(REPLAY_SAMPLE_STEP);
+            let mut seen = 0u64;
+            let next = decoder
+                .try_next_interval_with(&mut |ev: tpcp_trace::BranchEvent| {
+                    if planned {
+                        checksum = fold_event(checksum, ev.pc ^ u64::from(ev.insns));
+                        seen += 1;
+                    }
+                })
+                .expect("perf suite traces are well-formed");
+            let Some(summary) = next else { break };
+            if planned {
+                intervals += 1;
+                events += seen;
+                checksum = fold(checksum, summary.instructions ^ summary.cycles);
+            }
+            i += 1;
+        }
+    }
+    LaneRun {
+        intervals,
+        events,
+        checksum,
+    }
+}
+
+/// Seek-driven half of the sampled-replay pair: a [`PlannedReplay`](tpcp_trace::PlannedReplay) over
+/// the same plan decodes only the planned intervals, seeking across the
+/// gaps via the interval index. Must produce the same [`LaneRun`] as
+/// [`replay_full`].
+pub fn replay_sampled(suite: &[PerfTrace], indices: &[tpcp_trace::TraceIndex]) -> LaneRun {
+    let mut intervals = 0u64;
+    let mut events = 0u64;
+    let mut checksum = 0u64;
+    for (t, index) in suite.iter().zip(indices) {
+        let decoder = StreamingDecoder::new(&t.encoded).expect("perf suite traces are well-formed");
+        let plan = tpcp_trace::ReplayPlan::from_intervals(
+            (0..t.intervals).filter(|i| i.is_multiple_of(REPLAY_SAMPLE_STEP)),
+        );
+        let mut replay = tpcp_trace::PlannedReplay::new(decoder, index, &plan)
+            .expect("suite index matches its trace");
+        loop {
+            let mut seen = 0u64;
+            let next = replay.next_interval(&mut |ev| {
+                checksum = fold_event(checksum, ev.pc ^ u64::from(ev.insns));
+                seen += 1;
+            });
+            let Some(summary) = next else { break };
+            intervals += 1;
+            events += seen;
+            checksum = fold(checksum, summary.instructions ^ summary.cycles);
+        }
+        assert!(
+            replay.error().is_none(),
+            "perf suite traces are well-formed"
+        );
     }
     LaneRun {
         intervals,
@@ -524,6 +657,22 @@ mod tests {
         assert_eq!(decode_scalar(&suite), decode_streaming(&suite));
         #[cfg(feature = "simd")]
         assert_eq!(decode_scalar(&suite), decode_simd(&suite));
+    }
+
+    #[test]
+    fn replay_lanes_agree() {
+        let suite = tiny_suite();
+        let indices = replay_indices(&suite);
+        let full = replay_full(&suite);
+        let sampled = replay_sampled(&suite, &indices);
+        assert_eq!(
+            full, sampled,
+            "seek-driven replay must match the filtered full decode"
+        );
+        // 30 intervals, every 8th planned: 0, 8, 16, 24.
+        assert_eq!(full.intervals, 4);
+        assert!(full.events > 0 && full.events < suite_totals(&suite).1);
+        assert_ne!(full.checksum, 0);
     }
 
     #[test]

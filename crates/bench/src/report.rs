@@ -20,13 +20,20 @@ pub struct LaneStats {
     pub name: String,
     /// Number of timed repetitions (warm-up excluded).
     pub iters: u32,
+    /// Fastest wall-clock repetition, milliseconds.
+    pub best_ms: f64,
     /// Median wall-clock per repetition, milliseconds.
     pub median_ms: f64,
     /// 90th-percentile (nearest-rank) wall-clock per repetition, ms.
     pub p90_ms: f64,
-    /// Intervals processed per second at the median repetition.
+    /// Intervals processed per second at the fastest repetition.
+    ///
+    /// Rates use the best repetition, not the median: co-tenant load
+    /// only ever slows a run down, so min-of-N converges to the
+    /// machine's true capability and keeps the regression gate stable
+    /// on noisy hosts. Median and p90 stay reported for latency shape.
     pub intervals_per_sec: f64,
-    /// Events processed per second at the median repetition.
+    /// Events processed per second at the fastest repetition.
     pub events_per_sec: f64,
     /// Intervals processed by one repetition.
     pub intervals: u64,
@@ -43,12 +50,13 @@ pub fn summarize(name: &str, samples: &[Duration], intervals: u64, events: u64) 
     assert!(!samples.is_empty(), "lane {name} measured zero repetitions");
     let mut ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
     ms.sort_by(f64::total_cmp);
+    let best_ms = ms[0];
     let median_ms = median(&ms);
     let p90_ms = percentile(&ms, 0.90);
-    let median_s = median_ms / 1e3;
+    let best_s = best_ms / 1e3;
     let rate = |n: u64| {
-        if median_s > 0.0 {
-            n as f64 / median_s
+        if best_s > 0.0 {
+            n as f64 / best_s
         } else {
             0.0
         }
@@ -56,6 +64,7 @@ pub fn summarize(name: &str, samples: &[Duration], intervals: u64, events: u64) 
     LaneStats {
         name: name.to_owned(),
         iters: samples.len() as u32,
+        best_ms,
         median_ms,
         p90_ms,
         intervals_per_sec: rate(intervals),
@@ -117,6 +126,11 @@ pub struct PerfReport {
     pub suite_encoded_bytes: u64,
     /// Process peak resident set size, bytes (0 if unavailable).
     pub peak_rss_bytes: u64,
+    /// Host-speed reference from the frozen calibration kernel
+    /// ([`crate::perf::calibration_ops_per_sec`]), word-ops per second.
+    /// The baseline gate divides lane rates by this so host-speed swings
+    /// cancel out of the comparison (0 disables normalization).
+    pub calibration_ops_per_sec: f64,
     /// Streaming-over-eager intervals/sec ratio on the replay+classify lane.
     pub replay_classify_speedup: f64,
     /// Per-lane timing statistics.
@@ -143,6 +157,10 @@ impl PerfReport {
         ));
         s.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
         s.push_str(&format!(
+            "  \"calibration_ops_per_sec\": {},\n",
+            json_f64(self.calibration_ops_per_sec)
+        ));
+        s.push_str(&format!(
             "  \"replay_classify_speedup\": {},\n",
             json_f64(self.replay_classify_speedup)
         ));
@@ -151,6 +169,7 @@ impl PerfReport {
             s.push_str("    {\n");
             s.push_str(&format!("      \"name\": {},\n", json_string(&lane.name)));
             s.push_str(&format!("      \"iters\": {},\n", lane.iters));
+            s.push_str(&format!("      \"best_ms\": {},\n", json_f64(lane.best_ms)));
             s.push_str(&format!(
                 "      \"median_ms\": {},\n",
                 json_f64(lane.median_ms)
@@ -286,12 +305,22 @@ fn scan_number_after(s: &str, key: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// Extracts the top-level `calibration_ops_per_sec` value from a report
+/// produced by [`PerfReport::to_json`], if present and positive.
+///
+/// Reports written before the calibration kernel existed lack the key;
+/// callers fall back to unnormalized comparison.
+pub fn parse_calibration(json: &str) -> Option<f64> {
+    scan_number_after(json, "\"calibration_ops_per_sec\"").filter(|&c| c > 0.0)
+}
+
 /// The verdict for one lane of a baseline comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LaneCheck {
     /// Lane name common to both runs.
     pub name: String,
-    /// Baseline intervals/sec.
+    /// Baseline intervals/sec, scaled to the current host's speed when
+    /// both reports carry a calibration value.
     pub baseline: f64,
     /// Current intervals/sec.
     pub current: f64,
@@ -303,21 +332,33 @@ pub struct LaneCheck {
 
 /// Compares the current lanes against a baseline report's JSON.
 ///
-/// A lane regresses when its intervals/sec falls below
-/// `baseline * (1 - tolerance)`. Lanes present on only one side are
-/// ignored (new lanes must not fail an old baseline, and retired lanes
-/// must not block forever).
+/// When `calibration` is `Some` and the baseline also carries a
+/// calibration value, every baseline rate is first scaled by
+/// `current_calibration / baseline_calibration`: both runs are expressed
+/// in the *current* host's speed, so a globally slower (or faster) host —
+/// hypervisor steal, a different CI machine generation — does not read as
+/// a lane regression (or mask one). A lane then regresses when its
+/// intervals/sec falls below `scaled_baseline * (1 - tolerance)`. Lanes
+/// present on only one side are ignored (new lanes must not fail an old
+/// baseline, and retired lanes must not block forever); `--strict` turns
+/// those into failures via [`unmatched_lanes`].
 pub fn check_against_baseline(
     current: &[LaneStats],
     baseline_json: &str,
     tolerance: f64,
+    calibration: Option<f64>,
 ) -> Vec<LaneCheck> {
+    let scale = match (calibration, parse_calibration(baseline_json)) {
+        (Some(cur), Some(base)) if cur > 0.0 => cur / base,
+        _ => 1.0,
+    };
     let baseline = parse_lane_rates(baseline_json);
     let mut checks = Vec::new();
     for lane in current {
-        let Some(&(_, base_rate)) = baseline.iter().find(|(name, _)| *name == lane.name) else {
+        let Some(&(_, raw_rate)) = baseline.iter().find(|(name, _)| *name == lane.name) else {
             continue;
         };
+        let base_rate = raw_rate * scale;
         let ratio = if base_rate > 0.0 {
             lane.intervals_per_sec / base_rate
         } else {
@@ -332,6 +373,29 @@ pub fn check_against_baseline(
         });
     }
     checks
+}
+
+/// Lane names present on only one side of a baseline comparison, as
+/// `(current_only, baseline_only)`.
+///
+/// [`check_against_baseline`] ignores unmatched lanes so a new lane
+/// cannot fail an old baseline mid-transition; strict mode turns either
+/// kind into a failure so the checked-in baseline can never silently
+/// drift out of sync with the measured lane set (a renamed lane would
+/// otherwise pass the gate forever, unchecked).
+pub fn unmatched_lanes(current: &[LaneStats], baseline_json: &str) -> (Vec<String>, Vec<String>) {
+    let baseline = parse_lane_rates(baseline_json);
+    let current_only = current
+        .iter()
+        .filter(|l| !baseline.iter().any(|(name, _)| *name == l.name))
+        .map(|l| l.name.clone())
+        .collect();
+    let baseline_only = baseline
+        .iter()
+        .filter(|(name, _)| !current.iter().any(|l| l.name == *name))
+        .map(|(name, _)| name.clone())
+        .collect();
+    (current_only, baseline_only)
 }
 
 /// The process's peak resident set size in bytes (`VmHWM`), or 0 when the
@@ -382,6 +446,7 @@ mod tests {
         LaneStats {
             name: name.to_owned(),
             iters: 3,
+            best_ms: 9.0,
             median_ms: 10.0,
             p90_ms: 11.0,
             intervals_per_sec: rate,
@@ -400,6 +465,7 @@ mod tests {
             suite_events: 100_000,
             suite_encoded_bytes: 42_000,
             peak_rss_bytes: 1 << 20,
+            calibration_ops_per_sec: 1_000_000.0,
             replay_classify_speedup: 2.5,
             lanes: vec![
                 lane("decode_eager", 50_000.0),
@@ -422,11 +488,13 @@ mod tests {
             .map(|&s| Duration::from_millis(s))
             .collect();
         let stats = summarize("x", &samples, 300, 30_000);
+        assert_eq!(stats.best_ms, 1.0);
         assert_eq!(stats.median_ms, 3.0);
         assert_eq!(stats.p90_ms, 5.0);
         assert_eq!(stats.iters, 5);
-        assert!((stats.intervals_per_sec - 100_000.0).abs() < 1e-6);
-        assert!((stats.events_per_sec - 10_000_000.0).abs() < 1e-3);
+        // Rates come from the fastest repetition (1 ms).
+        assert!((stats.intervals_per_sec - 300_000.0).abs() < 1e-6);
+        assert!((stats.events_per_sec - 30_000_000.0).abs() < 1e-3);
     }
 
     #[test]
@@ -462,7 +530,7 @@ mod tests {
             lane("decode_streaming", 90_000.0 * 0.9), // -10%: within tolerance
             lane("brand_new_lane", 1.0),              // not in baseline: skipped
         ];
-        let checks = check_against_baseline(&current, &baseline, 0.15);
+        let checks = check_against_baseline(&current, &baseline, 0.15, None);
         assert_eq!(checks.len(), 2);
         assert!(checks[0].regressed, "{checks:?}");
         assert!(!checks[1].regressed, "{checks:?}");
@@ -470,10 +538,56 @@ mod tests {
     }
 
     #[test]
+    fn calibration_cancels_uniform_host_slowdown() {
+        // Baseline host ran at 1.0 Mops; current host at 0.5 Mops. Every
+        // lane measured 50% slower — pure host speed, not a regression.
+        let baseline = sample_report().to_json();
+        assert_eq!(parse_calibration(&baseline), Some(1_000_000.0));
+        let current = vec![
+            lane("decode_eager", 50_000.0 * 0.5),
+            lane("decode_streaming", 90_000.0 * 0.5),
+        ];
+        let checks = check_against_baseline(&current, &baseline, 0.15, Some(500_000.0));
+        assert!(checks.iter().all(|c| !c.regressed), "{checks:?}");
+        assert!((checks[0].ratio - 1.0).abs() < 1e-9);
+        // A genuine lane regression still shows through the same scaling.
+        let current = vec![lane("decode_eager", 50_000.0 * 0.5 * 0.7)];
+        let checks = check_against_baseline(&current, &baseline, 0.15, Some(500_000.0));
+        assert!(checks[0].regressed, "{checks:?}");
+        // And a baseline without a calibration value compares raw.
+        let old_baseline = baseline.replace("\"calibration_ops_per_sec\": 1000000.000,\n", "");
+        assert_eq!(parse_calibration(&old_baseline), None);
+        let current = vec![lane("decode_eager", 50_000.0)];
+        let checks = check_against_baseline(&current, &old_baseline, 0.15, Some(500_000.0));
+        assert!(!checks[0].regressed, "{checks:?}");
+        assert!((checks[0].ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmatched_lanes_reported_on_both_sides() {
+        let baseline = sample_report().to_json();
+        let current = vec![
+            lane("decode_eager", 50_000.0),
+            lane("brand_new_lane", 1.0), // current only
+                                         // decode_streaming missing: baseline only
+        ];
+        let (current_only, baseline_only) = unmatched_lanes(&current, &baseline);
+        assert_eq!(current_only, vec!["brand_new_lane".to_owned()]);
+        assert_eq!(baseline_only, vec!["decode_streaming".to_owned()]);
+
+        let full = vec![
+            lane("decode_eager", 50_000.0),
+            lane("decode_streaming", 90_000.0),
+        ];
+        let (current_only, baseline_only) = unmatched_lanes(&full, &baseline);
+        assert!(current_only.is_empty() && baseline_only.is_empty());
+    }
+
+    #[test]
     fn improvement_never_regresses() {
         let baseline = sample_report().to_json();
         let current = vec![lane("decode_eager", 500_000.0)];
-        let checks = check_against_baseline(&current, &baseline, 0.15);
+        let checks = check_against_baseline(&current, &baseline, 0.15, None);
         assert_eq!(checks.len(), 1);
         assert!(!checks[0].regressed);
     }

@@ -22,7 +22,14 @@ use std::time::Instant;
 use tpcp_experiments::figures;
 use tpcp_experiments::{Engine, PendingTables, SuiteParams, TraceCache};
 
-const FIGURES: [&str; 18] = [
+/// Figures that orchestrate their own engine passes instead of riding
+/// the shared single-replay engine. `sampling-estimator` needs two
+/// sequential sweeps (a cheap full pass to design the plan, then a
+/// sampled pass that decodes only the planned intervals), so it cannot
+/// register on the shared engine.
+const STANDALONE_FIGURES: [&str; 1] = ["sampling-estimator"];
+
+const FIGURES: [&str; 19] = [
     "fig2",
     "fig3",
     "fig4",
@@ -41,6 +48,7 @@ const FIGURES: [&str; 18] = [
     "ablation-selection",
     "ablation-confidence",
     "ablation-interval",
+    "sampling-estimator",
 ];
 
 fn register_figure(name: &str, engine: &mut Engine) -> PendingTables {
@@ -145,82 +153,131 @@ fn main() {
         return;
     }
 
-    // Register every requested figure on one engine, replay once, then
-    // render in registration order.
-    let mut engine = Engine::new(params);
-    let pending: Vec<(String, PendingTables)> = targets
+    // Figures that orchestrate their own engine passes run after (and
+    // independently of) the shared single-replay engine.
+    let (standalone, shared): (Vec<String>, Vec<String>) = targets
         .into_iter()
-        .map(|name| {
-            let tables = register_figure(&name, &mut engine);
-            (name, tables)
-        })
-        .collect();
+        .partition(|t| STANDALONE_FIGURES.contains(&t.as_str()));
 
-    let start = Instant::now();
-    let stats = engine.run(&cache);
-    eprintln!(
-        "# replayed {} traces in {:.1}s (max replays per trace = {}, {} intervals)",
-        stats.traces_replayed(),
-        start.elapsed().as_secs_f64(),
-        stats.max_replays_per_trace(),
-        stats.total_intervals()
-    );
-    let telemetry = stats.telemetry();
-    eprintln!(
-        "# cache: {} hits, {} misses, {} quarantined; {} sharded groups",
-        telemetry.cache().hits,
-        telemetry.cache().misses,
-        telemetry.cache().quarantines,
-        telemetry.sharded_groups()
-    );
-    // Export before the failure bail: a damaged sweep's partial stage
-    // timings are exactly what a post-mortem wants.
-    if let Some(path) = &telemetry_out {
-        match fs::write(path, telemetry.to_json()) {
-            Ok(()) => eprintln!("# telemetry written to {}", path.display()),
-            Err(e) => {
-                eprintln!(
-                    "error: failed to write telemetry to {}: {e}",
-                    path.display()
-                );
-                std::process::exit(1);
-            }
-        }
-    }
-    let report = stats.failure_report();
-    for path in report.quarantined() {
+    // Register every requested shared figure on one engine, replay once,
+    // then render in registration order.
+    if !shared.is_empty() {
+        let mut engine = Engine::new(params);
+        let pending: Vec<(String, PendingTables)> = shared
+            .iter()
+            .map(|name| {
+                let tables = register_figure(name, &mut engine);
+                (name.clone(), tables)
+            })
+            .collect();
+
+        let start = Instant::now();
+        let stats = engine.run(&cache);
         eprintln!(
-            "# quarantined corrupt cache entry {} (re-simulated)",
-            path.display()
+            "# replayed {} traces in {:.1}s (max replays per trace = {}, {} intervals)",
+            stats.traces_replayed(),
+            start.elapsed().as_secs_f64(),
+            stats.max_replays_per_trace(),
+            stats.total_intervals()
         );
-    }
-    if !report.is_empty() {
-        // Bail before rendering: a failed lane's Pending cells hold
-        // errors, so the table closures below would panic on take().
-        for err in report.failures() {
-            eprintln!("error: {err}");
-        }
-        std::process::exit(1);
-    }
-
-    for (name, pending_tables) in pending {
-        let tables = pending_tables();
-        for table in &tables {
-            println!("{}", table.render());
-            if bars {
-                println!("{}", table.render_bars());
+        let telemetry = stats.telemetry();
+        eprintln!(
+            "# cache: {} hits, {} misses, {} quarantined; {} sharded groups",
+            telemetry.cache().hits,
+            telemetry.cache().misses,
+            telemetry.cache().quarantines,
+            telemetry.sharded_groups()
+        );
+        // Export before the failure bail: a damaged sweep's partial stage
+        // timings are exactly what a post-mortem wants. When both shared
+        // and standalone figures run, the shared snapshot wins the
+        // `--telemetry` slot.
+        if let Some(path) = &telemetry_out {
+            match fs::write(path, telemetry.to_json()) {
+                Ok(()) => eprintln!("# telemetry written to {}", path.display()),
+                Err(e) => {
+                    eprintln!(
+                        "error: failed to write telemetry to {}: {e}",
+                        path.display()
+                    );
+                    std::process::exit(1);
+                }
             }
         }
-        if let Some(dir) = &csv_dir {
-            fs::create_dir_all(dir).expect("create csv dir");
-            for (i, table) in tables.iter().enumerate() {
-                let path = dir.join(format!("{name}-{i}.csv"));
-                fs::write(&path, table.to_csv()).expect("write csv");
-            }
+        let report = stats.failure_report();
+        for path in report.quarantined() {
+            eprintln!(
+                "# quarantined corrupt cache entry {} (re-simulated)",
+                path.display()
+            );
         }
+        if !report.is_empty() {
+            // Bail before rendering: a failed lane's Pending cells hold
+            // errors, so the table closures below would panic on take().
+            for err in report.failures() {
+                eprintln!("error: {err}");
+            }
+            std::process::exit(1);
+        }
+
+        for (name, pending_tables) in pending {
+            let tables = pending_tables();
+            render_tables(&name, &tables, bars, csv_dir.as_deref());
+        }
+
+        append_telemetry_summary(telemetry);
     }
 
-    append_telemetry_summary(telemetry);
+    for name in &standalone {
+        let start = Instant::now();
+        let (tables, telemetry) = match name.as_str() {
+            "sampling-estimator" => figures::simpoint_cmp::run_sampling(&cache, &params),
+            other => unreachable!("'{other}' is not a standalone figure"),
+        };
+        eprintln!(
+            "# {name}: two-pass sampled sweep finished in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
+        render_tables(name, &tables, bars, csv_dir.as_deref());
+        if shared.is_empty() {
+            if let Some(path) = &telemetry_out {
+                match fs::write(path, telemetry.to_json()) {
+                    Ok(()) => eprintln!("# telemetry written to {}", path.display()),
+                    Err(e) => {
+                        eprintln!(
+                            "error: failed to write telemetry to {}: {e}",
+                            path.display()
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+            append_telemetry_summary(&telemetry);
+        }
+    }
+}
+
+/// Prints each table (optionally with bar charts) and, when a CSV
+/// directory was requested, writes `{name}-{i}.csv` alongside.
+fn render_tables(
+    name: &str,
+    tables: &[tpcp_experiments::Table],
+    bars: bool,
+    csv_dir: Option<&std::path::Path>,
+) {
+    for table in tables {
+        println!("{}", table.render());
+        if bars {
+            println!("{}", table.render_bars());
+        }
+    }
+    if let Some(dir) = csv_dir {
+        fs::create_dir_all(dir).expect("create csv dir");
+        for (i, table) in tables.iter().enumerate() {
+            let path = dir.join(format!("{name}-{i}.csv"));
+            fs::write(&path, table.to_csv()).expect("write csv");
+        }
+    }
 }
 
 /// Appends the one-page telemetry summary to `results/full_report.txt`

@@ -14,7 +14,7 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard};
 
-use tpcp_trace::CodecError;
+use tpcp_trace::{CodecError, IndexError};
 
 use crate::suite::CacheError;
 
@@ -28,6 +28,12 @@ pub enum FailureCause {
     /// cache-validated buffers; kept as a handled error rather than an
     /// assert so a validator/decoder disagreement degrades one group.
     Decode(CodecError),
+    /// The group's [`ReplayPlan`](tpcp_trace::ReplayPlan) could not be
+    /// applied to its trace — the plan references intervals past the end
+    /// of the trace, or the interval index disagrees with the payload.
+    /// A plan built for a different trace fails the group loudly instead
+    /// of silently truncating.
+    Plan(IndexError),
 }
 
 impl fmt::Display for FailureCause {
@@ -35,6 +41,7 @@ impl fmt::Display for FailureCause {
         match self {
             Self::Panic(msg) => write!(f, "panic: {msg}"),
             Self::Decode(e) => write!(f, "trace decode failed mid-replay: {e}"),
+            Self::Plan(e) => write!(f, "replay plan rejected: {e}"),
         }
     }
 }

@@ -46,7 +46,7 @@ mod telemetry;
 use std::sync::{Arc, Mutex};
 
 use tpcp_core::{ClassifierConfig, PhaseObserver};
-use tpcp_trace::{BbvTrace, IntervalSink};
+use tpcp_trace::{BbvTrace, IntervalSink, ReplayPlan};
 use tpcp_workloads::BenchmarkKind;
 
 use crate::classify::ClassifiedRun;
@@ -146,6 +146,10 @@ pub(crate) struct TraceGroup {
     pub(crate) params: SuiteParams,
     pub(crate) lanes: Vec<ClassifierLane>,
     pub(crate) raw: Vec<Box<dyn ErasedLane>>,
+    /// Which intervals of the trace the group's single replay decodes.
+    /// Defaults to [`ReplayPlan::full`]; a sampled plan routes the group
+    /// through the seek-driven [`PlannedReplay`](tpcp_trace::PlannedReplay).
+    pub(crate) plan: ReplayPlan,
 }
 
 impl TraceGroup {
@@ -230,6 +234,7 @@ impl Engine {
                 params,
                 lanes: Vec::new(),
                 raw: Vec::new(),
+                plan: ReplayPlan::full(),
             });
             self.groups.len() - 1
         });
@@ -249,6 +254,27 @@ impl Engine {
             group.lanes.len() - 1
         });
         &mut group.lanes[idx]
+    }
+
+    /// Restricts the replay of `kind`'s trace (at the engine's default
+    /// parameters) to `plan`: only the planned intervals are decoded and
+    /// fanned out, and every lane registered on the group — classifier or
+    /// raw — sees the same gap-free sampled stream. The default is a full
+    /// replay; setting a plan affects *all* registrations sharing the
+    /// `(kind, params)` group, because the group shares one replay.
+    ///
+    /// A fully-covering plan ([`ReplayPlan::full`]) keeps the group on
+    /// the plain streaming path and is bit-identical to not calling this
+    /// at all. A plan that references intervals past the end of the trace
+    /// fails the group loudly ([`FailureCause::Plan`]).
+    pub fn with_plan(&mut self, kind: BenchmarkKind, plan: ReplayPlan) {
+        let params = self.params;
+        self.with_plan_at(kind, params, plan);
+    }
+
+    /// Like [`Engine::with_plan`], but at explicit suite parameters.
+    pub fn with_plan_at(&mut self, kind: BenchmarkKind, params: SuiteParams, plan: ReplayPlan) {
+        self.group_mut(kind, params).plan = plan;
     }
 
     /// Registers a classification of `kind` under `config` (at the

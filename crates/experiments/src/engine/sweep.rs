@@ -55,7 +55,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use tpcp_core::{AnyExtractor, ExtractorKind, FeatureExtractor};
-use tpcp_trace::{drive, BranchEvent, IntervalSink, IntervalSummary, StreamingDecoder};
+use tpcp_trace::{
+    drive, BranchEvent, CodecError, IntervalSink, IntervalSource, IntervalSummary, PlannedReplay,
+    StreamingDecoder, TraceIndex,
+};
 
 use crate::engine::error::{
     lock_ignore_poison, panic_message, EngineError, FailureCause, FailureReport, LaneFailure,
@@ -263,7 +266,7 @@ impl Engine {
                         collector: &collector,
                     };
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        replay_group(group, &bytes, lane_budget, &ctx)
+                        replay_group(group, &bytes, &load.index, lane_budget, &ctx)
                     }));
                     let mut s = lock_ignore_poison(&stats);
                     let repaired = load.quarantined.is_some();
@@ -271,6 +274,11 @@ impl Engine {
                         s.telemetry.record_cache(load.hit, repaired);
                     }
                     if let Some(path) = load.quarantined {
+                        s.report.record_quarantine(path);
+                    }
+                    // A corrupt entry's index sidecar is quarantined
+                    // alongside it; both evidence paths go in the report.
+                    if let Some(path) = load.quarantined_index {
                         s.report.record_quarantine(path);
                     }
                     // A quarantine repair re-simulated the trace: that is
@@ -528,6 +536,34 @@ impl IntervalSink for BroadcastFrontEnd<'_> {
     }
 }
 
+/// One group's interval source: the plain streaming decoder for full
+/// plans — the exact pre-plan path, so full replays stay bit-identical by
+/// construction — or a seek-driven [`PlannedReplay`] for sampled plans.
+/// Either way the lanes downstream see one gap-free interval stream.
+enum GroupReplay<'a> {
+    Full(StreamingDecoder<'a>),
+    Planned(PlannedReplay<'a>),
+}
+
+impl GroupReplay<'_> {
+    /// The decode error that ended the stream early, if any.
+    fn error(&self) -> Option<CodecError> {
+        match self {
+            Self::Full(d) => d.error(),
+            Self::Planned(p) => p.error(),
+        }
+    }
+}
+
+impl IntervalSource for GroupReplay<'_> {
+    fn next_interval(&mut self, on_event: &mut dyn FnMut(BranchEvent)) -> Option<IntervalSummary> {
+        match self {
+            Self::Full(d) => d.next_interval(on_event),
+            Self::Planned(p) => p.next_interval(on_event),
+        }
+    }
+}
+
 /// Splits `lanes` into `shards` contiguous chunks of near-equal size.
 fn split_lanes(mut lanes: Vec<KeyedLane>, shards: usize) -> Vec<Vec<KeyedLane>> {
     let mut out = Vec::with_capacity(shards);
@@ -551,14 +587,30 @@ fn split_lanes(mut lanes: Vec<KeyedLane>, shards: usize) -> Vec<Vec<KeyedLane>> 
 fn replay_group(
     mut group: TraceGroup,
     bytes: &[u8],
+    index: &TraceIndex,
     lane_budget: usize,
     ctx: &ReplayCtx<'_>,
 ) -> Result<(usize, usize), FailureCause> {
     // The cache validated the buffer, so streaming "cannot" fail — but a
     // validator/decoder disagreement should cost one group, not the run.
-    let mut replay = match StreamingDecoder::new(bytes) {
-        Ok(replay) => replay,
+    let decoder = match StreamingDecoder::new(bytes) {
+        Ok(decoder) => decoder,
         Err(e) => return Err(FailureCause::Decode(e)),
+    };
+    let mut replay = if group.plan.is_full() {
+        GroupReplay::Full(decoder)
+    } else {
+        // A sampled plan seeks across its gaps via the cache's validated
+        // index. Construction re-checks plan/index/payload agreement, so
+        // a plan built for a different trace fails the group here,
+        // loudly, instead of silently decoding the wrong intervals.
+        match PlannedReplay::new(decoder, index, &group.plan) {
+            Ok(planned) => {
+                ctx.collector.set_skip(planned.skip_stats());
+                GroupReplay::Planned(planned)
+            }
+            Err(e) => return Err(FailureCause::Plan(e)),
+        }
     };
     let (accs, keyed) = keyed_lanes(std::mem::take(&mut group.lanes));
     let shards = lane_budget.min(keyed.len() / MIN_LANES_PER_SHARD);

@@ -44,6 +44,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use serde::Serialize;
+use tpcp_trace::SkipStats;
 
 use crate::engine::error::lock_ignore_poison;
 
@@ -116,6 +117,15 @@ pub struct LaneTelemetry {
     pub intervals: u64,
     /// Wall-clock spent in this lane's `end_interval_shared`, ns.
     pub classify_ns: u64,
+    /// Intervals the group's replay plan skipped past this lane (0 on a
+    /// full replay). Plan-wide totals stamped onto every lane of the
+    /// group, since all lanes share the one planned replay.
+    pub intervals_skipped: u64,
+    /// Encoded payload bytes the plan never decoded (0 on a full replay).
+    pub bytes_skipped: u64,
+    /// Seeks the planned replay performed to cross plan gaps (0 on a
+    /// full replay).
+    pub seek_count: u64,
 }
 
 impl LaneTelemetry {
@@ -274,16 +284,22 @@ impl TelemetrySnapshot {
             write_stages(out, &group.stages);
             let _ = write!(out, ",\n{pad}      \"lanes\": [");
             for (j, lane) in group.lanes.iter().enumerate() {
+                // New keys append after the originals — `tpcp-telemetry-v1`
+                // consumers index by key, never by position.
                 let _ = write!(
                     out,
                     "{}\n{pad}        {{ \"label\": {}, \"extractor\": {}, \"intervals\": {}, \
-                     \"classify_ns\": {}, \"intervals_per_sec\": {:.3} }}",
+                     \"classify_ns\": {}, \"intervals_per_sec\": {:.3}, \
+                     \"intervals_skipped\": {}, \"bytes_skipped\": {}, \"seek_count\": {} }}",
                     if j > 0 { "," } else { "" },
                     json_string(&lane.label),
                     json_string(&lane.extractor),
                     lane.intervals,
                     lane.classify_ns,
-                    lane.intervals_per_sec()
+                    lane.intervals_per_sec(),
+                    lane.intervals_skipped,
+                    lane.bytes_skipped,
+                    lane.seek_count
                 );
             }
             if !group.lanes.is_empty() {
@@ -426,6 +442,9 @@ pub(crate) struct GroupCollector {
     finish_ns: AtomicU64,
     shard_send_wait_ns: AtomicU64,
     intervals: AtomicU64,
+    intervals_skipped: AtomicU64,
+    bytes_skipped: AtomicU64,
+    seek_count: AtomicU64,
     lanes: Mutex<Vec<LaneTelemetry>>,
 }
 
@@ -438,8 +457,25 @@ impl GroupCollector {
             finish_ns: AtomicU64::new(0),
             shard_send_wait_ns: AtomicU64::new(0),
             intervals: AtomicU64::new(0),
+            intervals_skipped: AtomicU64::new(0),
+            bytes_skipped: AtomicU64::new(0),
+            seek_count: AtomicU64::new(0),
             lanes: Mutex::new(Vec::with_capacity(if enabled { lane_count } else { 0 })),
         }
+    }
+
+    /// Records the group's replay-plan skip totals, stamped onto every
+    /// lane flushed afterwards. Called once per group, before the replay
+    /// starts driving lanes; a full replay never calls it (zeros stand).
+    pub(crate) fn set_skip(&self, stats: SkipStats) {
+        if !self.enabled {
+            return;
+        }
+        self.intervals_skipped
+            .store(stats.intervals_skipped, Ordering::Relaxed);
+        self.bytes_skipped
+            .store(stats.bytes_skipped, Ordering::Relaxed);
+        self.seek_count.store(stats.seeks, Ordering::Relaxed);
     }
 
     /// A monotonic mark, or `None` when collection is disabled (every
@@ -482,6 +518,9 @@ impl GroupCollector {
             extractor: extractor.to_owned(),
             intervals: slot.intervals,
             classify_ns: slot.classify_ns,
+            intervals_skipped: self.intervals_skipped.load(Ordering::Relaxed),
+            bytes_skipped: self.bytes_skipped.load(Ordering::Relaxed),
+            seek_count: self.seek_count.load(Ordering::Relaxed),
         });
     }
 
@@ -599,6 +638,9 @@ mod tests {
             extractor: "bbv".into(),
             intervals: 10,
             classify_ns: 0,
+            intervals_skipped: 0,
+            bytes_skipped: 0,
+            seek_count: 0,
         };
         assert_eq!(lane.intervals_per_sec(), 0.0);
         let lane = LaneTelemetry {
@@ -606,7 +648,54 @@ mod tests {
             extractor: "bbv".into(),
             intervals: 10,
             classify_ns: 1_000_000_000,
+            intervals_skipped: 0,
+            bytes_skipped: 0,
+            seek_count: 0,
         };
         assert!((lane.intervals_per_sec() - 10.0).abs() < 1e-9);
+    }
+
+    /// The sampled-replay keys ride in every lane object, appended after
+    /// the original `tpcp-telemetry-v1` keys, and a full replay (no
+    /// `set_skip` call) reports them as zeros.
+    #[test]
+    fn lane_json_carries_skip_keys_append_only() {
+        let mut snap = TelemetrySnapshot::default();
+        let collector = GroupCollector::new(true, 1);
+        collector.set_skip(SkipStats {
+            intervals_skipped: 7,
+            bytes_skipped: 1234,
+            seeks: 3,
+        });
+        let mut slot = LaneSlot::default();
+        slot.add(1_000);
+        collector.flush_lane("sampled-lane".into(), "bbv", slot);
+        snap.record_group("mcf-v1".into(), collector.into_group(0, 0, false));
+        snap.finalize(1);
+
+        let lane = &snap.groups()["mcf-v1"].lanes[0];
+        assert_eq!(lane.intervals_skipped, 7);
+        assert_eq!(lane.bytes_skipped, 1234);
+        assert_eq!(lane.seek_count, 3);
+
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"intervals_skipped\": 7, \"bytes_skipped\": 1234, \"seek_count\": 3"),
+            "{json}"
+        );
+        // Append-only: the original keys still precede the new ones
+        // inside the lane object, and `"label"`/`"name"` safety holds.
+        let lane_obj = json.find("\"label\"").unwrap();
+        let per_sec = json.find("\"intervals_per_sec\"").unwrap();
+        let skipped = json.find("\"intervals_skipped\"").unwrap();
+        assert!(lane_obj < per_sec && per_sec < skipped);
+        assert!(!json.contains("\"name\""), "{json}");
+
+        // Full replay: zeros, but the keys are always present.
+        let full = sample().to_json();
+        assert!(
+            full.contains("\"intervals_skipped\": 0, \"bytes_skipped\": 0, \"seek_count\": 0"),
+            "{full}"
+        );
     }
 }

@@ -6,7 +6,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
-use tpcp_trace::{decode_trace, encode_trace, validate_trace, CodecError, RecordedTrace};
+use tpcp_trace::{
+    decode_trace, encode_trace_with_index, validate_trace, CodecError, RecordedTrace, TraceIndex,
+};
 use tpcp_workloads::{BenchmarkKind, WorkloadParams};
 
 /// A cache failure the bounded retry could not repair.
@@ -37,18 +39,26 @@ impl fmt::Display for CacheError {
 
 impl std::error::Error for CacheError {}
 
-/// A successful cache load: the validated encoded buffer, plus how the
-/// cache produced it — a straight hit, or a (possibly quarantining) miss.
+/// A successful cache load: the validated encoded buffer and its interval
+/// index, plus how the cache produced them — a straight hit, or a
+/// (possibly quarantining) miss.
 #[derive(Debug, Clone)]
 pub struct CacheLoad {
     /// The validated `TPCPTRC2` trace buffer.
     pub bytes: Bytes,
+    /// The interval index for `bytes` — loaded from the `.tpcpidx`
+    /// sidecar when one validates against the payload, rebuilt (and
+    /// re-persisted) otherwise. Always consistent with `bytes`.
+    pub index: TraceIndex,
     /// `true` when the buffer came straight from a valid on-disk entry;
     /// `false` when the cache had to simulate (fresh miss or repair).
     pub hit: bool,
     /// `Some(path)` when a corrupt cache entry was renamed `*.corrupt`
     /// and the buffer came from a re-simulation instead.
     pub quarantined: Option<PathBuf>,
+    /// `Some(path)` when a corrupt or mismatched index sidecar was
+    /// quarantined alongside the payload (`<entry>.tpcpidx.corrupt`).
+    pub quarantined_index: Option<PathBuf>,
 }
 
 /// Parameters of one suite simulation (everything that affects the traces).
@@ -136,6 +146,14 @@ impl TraceCache {
             .join(format!("{safe_name}-{}.tpcptrc", params.fingerprint()))
     }
 
+    /// The interval-index sidecar path next to a benchmark's payload
+    /// entry (`<entry>.tpcpidx` instead of `<entry>.tpcptrc`).
+    fn index_path_for(&self, kind: BenchmarkKind, params: &SuiteParams) -> PathBuf {
+        let safe_name = kind.label().replace('/', "_");
+        self.dir
+            .join(format!("{safe_name}-{}.tpcpidx", params.fingerprint()))
+    }
+
     /// Loads the benchmark's trace from the cache, simulating and storing
     /// it on a miss.
     ///
@@ -187,44 +205,75 @@ impl TraceCache {
     /// evidence — and repaired with a bounded retry: one re-simulation.
     /// If the retried buffer still fails validation the error is
     /// returned, never looped on.
+    ///
+    /// The `.tpcpidx` sidecar travels with the payload at every step:
+    ///
+    /// - a hit whose sidecar decodes and validates against the payload
+    ///   skips the full varint re-walk (the sidecar's checksum ties it to
+    ///   exactly these bytes, and it was built by a complete, validating
+    ///   decode pass);
+    /// - a hit *without* a sidecar rebuilds the index from the payload
+    ///   (which doubles as full validation) and re-persists it;
+    /// - a corrupt or mismatched sidecar quarantines **index and payload
+    ///   together** — a sidecar that lies about its payload makes the
+    ///   pair's provenance suspect — and re-simulates once.
     pub fn try_load_bytes_or_simulate(
         &self,
         kind: BenchmarkKind,
         params: &SuiteParams,
     ) -> Result<CacheLoad, CacheError> {
         let path = self.path_for(kind, params);
+        let index_path = self.index_path_for(kind, params);
         let mut quarantined = None;
+        let mut quarantined_index = None;
         if let Some(bytes) = self.read_entry(kind, &path) {
             let bytes = self.inject_truncation(kind, bytes.into());
-            if validate_trace(&bytes).is_ok() {
-                return Ok(CacheLoad {
-                    bytes,
-                    hit: true,
-                    quarantined: None,
-                });
+            match fs::read(&index_path).ok() {
+                Some(sidecar) => {
+                    match TraceIndex::decode(&sidecar)
+                        .and_then(|ix| ix.validate(&bytes).map(|()| ix))
+                    {
+                        Ok(index) => {
+                            return Ok(CacheLoad {
+                                bytes,
+                                index,
+                                hit: true,
+                                quarantined: None,
+                                quarantined_index: None,
+                            });
+                        }
+                        Err(_) => {
+                            // Corrupt/mismatched sidecar: quarantine the
+                            // pair and re-simulate once.
+                            quarantined = quarantine(&path);
+                            quarantined_index = quarantine(&index_path);
+                        }
+                    }
+                }
+                None => {
+                    // Cache hit without a sidecar (pre-index entry, or a
+                    // lost write): rebuild the index — a full validating
+                    // walk — and persist it for the next reader.
+                    if let Ok(index) = TraceIndex::build(&bytes) {
+                        self.write_atomic(&index_path, &index.encode());
+                        return Ok(CacheLoad {
+                            bytes,
+                            index,
+                            hit: true,
+                            quarantined: None,
+                            quarantined_index: None,
+                        });
+                    }
+                    // Corrupt payload: quarantine it and re-simulate once.
+                    quarantined = quarantine(&path);
+                }
             }
-            // Corrupt cache entry: quarantine it and re-simulate once.
-            quarantined = quarantine(&path);
         }
         let trace = simulate_one(kind, params);
-        let encoded = encode_trace(&trace);
+        let (encoded, index) = encode_trace_with_index(&trace);
         if fs::create_dir_all(&self.dir).is_ok() {
-            // Cache writes are best-effort; a read-only target dir only
-            // costs re-simulation. Write-to-temp + rename keeps the final
-            // path atomic, so a concurrent reader never observes a
-            // half-written entry and concurrent writers (which produce
-            // identical bytes — simulation is deterministic) race benignly.
-            let tmp = self.dir.join(format!(
-                ".{}.{}.{}.tmp",
-                path.file_name()
-                    .map(|n| n.to_string_lossy().into_owned())
-                    .unwrap_or_default(),
-                std::process::id(),
-                next_temp_id(),
-            ));
-            if fs::write(&tmp, &encoded).is_ok() && fs::rename(&tmp, &path).is_err() {
-                let _ = fs::remove_file(&tmp);
-            }
+            self.write_atomic(&path, &encoded);
+            self.write_atomic(&index_path, &index.encode());
         }
         let encoded = self.inject_truncation(kind, encoded);
         // Freshly encoded buffers are well-formed by construction; this
@@ -233,13 +282,34 @@ impl TraceCache {
         match validate_trace(&encoded) {
             Ok(_) => Ok(CacheLoad {
                 bytes: encoded,
+                index,
                 hit: false,
                 quarantined,
+                quarantined_index,
             }),
             Err(error) => Err(CacheError::CorruptAfterRetry {
                 trace: kind.label().to_owned(),
                 error,
             }),
+        }
+    }
+
+    /// Best-effort atomic write: write-to-temp + rename keeps the final
+    /// path atomic, so a concurrent reader never observes a half-written
+    /// entry and concurrent writers (which produce identical bytes —
+    /// simulation is deterministic) race benignly. A read-only target dir
+    /// only costs re-simulation next time.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) {
+        let tmp = self.dir.join(format!(
+            ".{}.{}.{}.tmp",
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            std::process::id(),
+            next_temp_id(),
+        ));
+        if fs::write(&tmp, bytes).is_ok() && fs::rename(&tmp, path).is_err() {
+            let _ = fs::remove_file(&tmp);
         }
     }
 
@@ -403,6 +473,122 @@ mod tests {
             cache.load_or_simulate(BenchmarkKind::PerlDiffmail, &params),
             good
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sidecar_written_on_miss_and_trusted_on_hit() {
+        let dir = std::env::temp_dir().join(format!("tpcp-cache-idx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TraceCache::new(&dir);
+        let params = tiny_params();
+        let kind = BenchmarkKind::Gcc166;
+
+        let miss = cache.try_load_bytes_or_simulate(kind, &params).unwrap();
+        assert!(!miss.hit);
+        let index_path = cache.index_path_for(kind, &params);
+        assert!(index_path.exists(), "miss persists the sidecar");
+
+        let hit = cache.try_load_bytes_or_simulate(kind, &params).unwrap();
+        assert!(hit.hit);
+        assert_eq!(hit.index, miss.index, "sidecar round-trips the index");
+        assert_eq!(hit.bytes, miss.bytes);
+        hit.index.validate(&hit.bytes).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_sidecar_is_rebuilt_on_hit() {
+        let dir = std::env::temp_dir().join(format!("tpcp-cache-reidx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TraceCache::new(&dir);
+        let params = tiny_params();
+        let kind = BenchmarkKind::Ammp;
+
+        let miss = cache.try_load_bytes_or_simulate(kind, &params).unwrap();
+        let index_path = cache.index_path_for(kind, &params);
+        std::fs::remove_file(&index_path).unwrap();
+
+        // A pre-index cache entry still hits; the index is rebuilt from
+        // the payload and re-persisted.
+        let hit = cache.try_load_bytes_or_simulate(kind, &params).unwrap();
+        assert!(hit.hit);
+        assert!(hit.quarantined.is_none() && hit.quarantined_index.is_none());
+        assert_eq!(hit.index, miss.index);
+        assert!(index_path.exists(), "rebuilt sidecar was re-persisted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_sidecar_quarantines_pair_and_converges() {
+        let dir = std::env::temp_dir().join(format!("tpcp-cache-idxq-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TraceCache::new(&dir);
+        let params = tiny_params();
+        let kind = BenchmarkKind::GccScilab;
+
+        let fresh = cache.try_load_bytes_or_simulate(kind, &params).unwrap();
+        let payload_path = cache.path_for(kind, &params);
+        let index_path = cache.index_path_for(kind, &params);
+
+        // Flip one byte in the middle of the sidecar: decode must fail
+        // its self-checksum, and the load must quarantine BOTH files and
+        // converge after the single re-simulation.
+        let mut sidecar = std::fs::read(&index_path).unwrap();
+        let mid = sidecar.len() / 2;
+        sidecar[mid] ^= 0x40;
+        std::fs::write(&index_path, &sidecar).unwrap();
+
+        let repaired = cache
+            .try_load_bytes_or_simulate(kind, &params)
+            .expect("quarantine + one re-simulation converges");
+        assert!(!repaired.hit);
+        let q_payload = repaired.quarantined.expect("payload quarantined");
+        let q_index = repaired.quarantined_index.expect("sidecar quarantined");
+        assert!(q_payload.to_string_lossy().ends_with(".tpcptrc.corrupt"));
+        assert!(q_index.to_string_lossy().ends_with(".tpcpidx.corrupt"));
+        assert_eq!(
+            std::fs::read(&q_index).unwrap(),
+            sidecar,
+            "corrupt sidecar bytes preserved as evidence"
+        );
+        assert_eq!(repaired.bytes, fresh.bytes, "repair is bit-identical");
+        assert_eq!(repaired.index, fresh.index);
+
+        // Converged: the rewritten pair loads cleanly.
+        let healed = cache.try_load_bytes_or_simulate(kind, &params).unwrap();
+        assert!(healed.hit);
+        assert!(healed.quarantined.is_none() && healed.quarantined_index.is_none());
+        assert!(payload_path.exists() && index_path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sidecar_from_wrong_payload_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("tpcp-cache-xidx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TraceCache::new(&dir);
+        let params = tiny_params();
+
+        let a = cache
+            .try_load_bytes_or_simulate(BenchmarkKind::Mcf, &params)
+            .unwrap();
+        cache
+            .try_load_bytes_or_simulate(BenchmarkKind::Galgel, &params)
+            .unwrap();
+
+        // Transplant Galgel's (structurally valid) sidecar onto Mcf: the
+        // payload tie must reject it and the pair must re-simulate.
+        std::fs::copy(
+            cache.index_path_for(BenchmarkKind::Galgel, &params),
+            cache.index_path_for(BenchmarkKind::Mcf, &params),
+        )
+        .unwrap();
+        let repaired = cache
+            .try_load_bytes_or_simulate(BenchmarkKind::Mcf, &params)
+            .unwrap();
+        assert!(repaired.quarantined.is_some() && repaired.quarantined_index.is_some());
+        assert_eq!(repaired.index, a.index);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -111,8 +111,9 @@ fn lane_panic_is_isolated_to_its_lane() {
 }
 
 /// A corrupt cache entry (truncated past the header, so validation fails
-/// mid-stream) is quarantined and re-simulated; the sweep converges with
-/// zero failures, one quarantine, and bit-identical results.
+/// mid-stream) is quarantined together with its index sidecar and
+/// re-simulated; the sweep converges with zero failures, one quarantine
+/// repair (two evidence files), and bit-identical results.
 #[test]
 fn midstream_corruption_is_quarantined_and_retried() {
     let (cache, dir) = fresh_cache("quarantine");
@@ -129,19 +130,30 @@ fn midstream_corruption_is_quarantined_and_retried() {
         "quarantine + retry must converge: {:?}",
         report.failures()
     );
-    assert_eq!(report.quarantined().len(), 1);
+    // The payload and its index sidecar are quarantined as a pair, so
+    // the report carries two evidence paths for the one repair.
+    assert_eq!(report.quarantined().len(), 2, "{:?}", report.quarantined());
     assert_eq!(
         stats.max_replays_per_trace(),
         2,
         "quarantine + retry re-simulates the damaged trace once"
     );
     assert_eq!(stats.telemetry().cache().quarantines, 1);
-    let evidence = &report.quarantined()[0];
+    for evidence in report.quarantined() {
+        assert!(
+            evidence.to_string_lossy().ends_with(".corrupt"),
+            "{evidence:?}"
+        );
+        assert!(evidence.exists(), "quarantined evidence file must persist");
+    }
     assert!(
-        evidence.to_string_lossy().ends_with(".corrupt"),
-        "{evidence:?}"
+        report
+            .quarantined()
+            .iter()
+            .any(|p| p.to_string_lossy().ends_with(".tpcpidx.corrupt")),
+        "index sidecar evidence missing: {:?}",
+        report.quarantined()
     );
-    assert!(evidence.exists(), "quarantined evidence file must persist");
     for ((kind, lane, cell), (_, _, want)) in cells.iter().zip(&reference) {
         assert_eq!(&cell.take(), want, "{kind:?} lane {lane}");
     }
@@ -151,6 +163,61 @@ fn midstream_corruption_is_quarantined_and_retried() {
         .try_load_bytes_or_simulate(MCF, &tiny_params())
         .unwrap();
     assert!(healed.quarantined.is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A byte-flipped index sidecar (payload intact): the cache quarantines
+/// the pair, re-simulates once, and the sweep converges — zero failures,
+/// two evidence files, results bit-identical to the fault-free run. The
+/// next sweep hits the healed pair cleanly.
+#[test]
+fn corrupt_sidecar_quarantine_converges_after_one_retry() {
+    let (cache, dir) = fresh_cache("sidecar");
+    let reference = baseline(&cache, 2);
+
+    // Flip one byte in the middle of mcf's on-disk index sidecar. The
+    // index's self-checksum makes any flip a CorruptIndex at load time.
+    let sidecar = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| {
+            p.extension().is_some_and(|e| e == "tpcpidx")
+                && p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with("mcf"))
+        })
+        .expect("warm cache has mcf's index sidecar");
+    let mut bytes = std::fs::read(&sidecar).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&sidecar, &bytes).unwrap();
+
+    let mut engine = Engine::new(tiny_params());
+    let cells = register(&mut engine, 2);
+    let stats = engine.run(&cache);
+
+    let report = stats.failure_report();
+    assert!(
+        report.is_empty(),
+        "sidecar quarantine + retry must converge: {:?}",
+        report.failures()
+    );
+    assert_eq!(report.quarantined().len(), 2, "{:?}", report.quarantined());
+    assert!(report
+        .quarantined()
+        .iter()
+        .any(|p| p.to_string_lossy().ends_with(".tpcpidx.corrupt")));
+    assert_eq!(stats.max_replays_per_trace(), 2, "one re-simulation");
+    assert_eq!(stats.telemetry().cache().quarantines, 1);
+    for ((kind, lane, cell), (_, _, want)) in cells.iter().zip(&reference) {
+        assert_eq!(&cell.take(), want, "{kind:?} lane {lane}");
+    }
+
+    // Healed: the rewritten pair hits with no further quarantine.
+    let healed = cache
+        .try_load_bytes_or_simulate(MCF, &tiny_params())
+        .unwrap();
+    assert!(healed.hit && healed.quarantined.is_none() && healed.quarantined_index.is_none());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -299,7 +366,11 @@ fn combined_lane_panic_and_corruption_in_one_sweep() {
         &report.failures()[0],
         EngineError::Sweep(SweepError::Lane(f)) if f.group.starts_with("gzip/g-")
     ));
-    assert_eq!(report.quarantined().len(), 1, "mcf entry was quarantined");
+    assert_eq!(
+        report.quarantined().len(),
+        2,
+        "mcf payload and index sidecar were quarantined as a pair"
+    );
     assert_eq!(stats.traces_replayed(), 2, "both groups replayed");
     assert_eq!(
         stats.max_replays_per_trace(),

@@ -460,6 +460,158 @@ fn telemetry_counts_cache_hits_misses_and_exports_json() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A fully-covering plan — both the `ReplayPlan::full()` sentinel and an
+/// explicit `[(0, n)]` range — is bit-identical to not setting a plan at
+/// all, and the explicit range exercises the seek-driven path.
+#[test]
+fn full_plan_is_bit_identical_to_streaming() {
+    use tpcp_trace::ReplayPlan;
+
+    let cache = test_cache();
+    let params = SuiteParams::quick();
+    let kind = BenchmarkKind::Mcf;
+    let config = ClassifierConfig::hpca2005();
+
+    let run_with = |plan: Option<ReplayPlan>| {
+        let mut engine = Engine::new(params);
+        let cell = engine.classified(kind, config);
+        if let Some(plan) = plan {
+            engine.with_plan(kind, plan);
+        }
+        let stats = engine.run(&cache);
+        assert!(stats.failure_report().is_empty());
+        (cell.take(), stats.total_intervals())
+    };
+
+    let (unplanned, n) = run_with(None);
+    let (sentinel, _) = run_with(Some(ReplayPlan::full()));
+    assert_eq!(unplanned, sentinel, "ReplayPlan::full() changed results");
+    let (explicit, explicit_n) = run_with(Some(ReplayPlan::from_ranges([(0, n)])));
+    assert_eq!(
+        unplanned, explicit,
+        "explicit [(0, n)] plan changed results"
+    );
+    assert_eq!(
+        n, explicit_n,
+        "explicit full coverage decoded every interval"
+    );
+}
+
+/// A sampled plan delivers exactly the planned intervals — each one
+/// bit-identical (summary and events) to the same interval of a full
+/// replay — and the per-lane telemetry reports what was skipped.
+#[test]
+fn sampled_plan_matches_manually_filtered_replay() {
+    use tpcp_trace::{BranchEvent, IntervalSink, IntervalSummary, ReplayPlan, StreamingDecoder};
+
+    #[derive(Default, PartialEq, Debug)]
+    struct Record {
+        intervals: Vec<(u64, u64, u64)>, // (index, instructions, cycles)
+        events: Vec<(u64, u32)>,         // (pc, insns)
+    }
+    impl IntervalSink for Record {
+        fn observe(&mut self, ev: &BranchEvent) {
+            self.events.push((ev.pc, ev.insns));
+        }
+        fn end_interval(&mut self, s: &IntervalSummary) {
+            self.intervals.push((s.index, s.instructions, s.cycles));
+        }
+    }
+
+    let cache = test_cache();
+    let params = SuiteParams::quick();
+    let kind = BenchmarkKind::GzipGraphic;
+    let bytes = cache.load_bytes_or_simulate(kind, &params);
+    let n = StreamingDecoder::new(&bytes).unwrap().n_intervals();
+    assert!(n >= 8, "need enough intervals to sample: {n}");
+    // A gappy plan: one early range, two singletons, one tail range.
+    let plan = ReplayPlan::from_ranges([(1, 3), (4, 5), (n / 2, n / 2 + 1), (n - 2, n)]);
+    let planned: std::collections::BTreeSet<u64> = plan
+        .ranges()
+        .unwrap()
+        .iter()
+        .flat_map(|&(s, e)| s..e)
+        .collect();
+
+    // Reference: full streaming replay, manually filtered to the plan.
+    let mut want = Record::default();
+    {
+        let mut full = Record::default();
+        let mut decoder = StreamingDecoder::new(&bytes).unwrap();
+        let mut cursor = 0usize;
+        while let Some(summary) =
+            tpcp_trace::IntervalSource::next_interval(&mut decoder, &mut |ev| {
+                full.events.push((ev.pc, ev.insns));
+            })
+        {
+            let keep = planned.contains(&summary.index);
+            if keep {
+                want.events.extend_from_slice(&full.events[cursor..]);
+                want.intervals
+                    .push((summary.index, summary.instructions, summary.cycles));
+            }
+            cursor = full.events.len();
+        }
+        assert!(decoder.error().is_none());
+    }
+
+    // Engine: a raw sink plus a classifier lane under the sampled plan.
+    let mut engine = Engine::new(params);
+    let got = engine.interval_sink(kind, Record::default(), |r| r);
+    let lane = engine.classified(kind, ClassifierConfig::hpca2005());
+    engine.with_plan(kind, plan.clone());
+    let stats = engine.run(&cache);
+    assert!(
+        stats.failure_report().is_empty(),
+        "{:?}",
+        stats.failure_report()
+    );
+    assert_eq!(got.take(), want, "sampled stream != filtered full stream");
+    assert!(!lane.take().ids.is_empty());
+    assert_eq!(stats.total_intervals(), planned.len() as u64);
+
+    // Telemetry: the lane carries the plan's skip totals.
+    let (_, group) = stats.telemetry().groups().iter().next().unwrap();
+    assert_eq!(group.intervals, planned.len() as u64);
+    let lane_tm = &group.lanes[0];
+    assert_eq!(lane_tm.intervals, planned.len() as u64);
+    assert_eq!(lane_tm.intervals_skipped, n - planned.len() as u64);
+    assert!(lane_tm.bytes_skipped > 0, "gaps must skip payload bytes");
+    // Normalized ranges are disjoint and non-adjacent, so every range is
+    // entered by a seek (the first starts past interval 0 here).
+    assert_eq!(lane_tm.seek_count, plan.ranges().unwrap().len() as u64);
+    let json = stats.telemetry().to_json();
+    assert!(json.contains("\"intervals_skipped\""), "{json}");
+    assert!(json.contains("\"seek_count\""), "{json}");
+}
+
+/// A plan referencing intervals past the end of the trace fails its
+/// group loudly — a structured `FailureCause::Plan`, not truncation.
+#[test]
+fn out_of_range_plan_is_a_structured_group_failure() {
+    use tpcp_experiments::FailureCause;
+    use tpcp_trace::ReplayPlan;
+
+    let cache = test_cache();
+    let mut engine = Engine::new(SuiteParams::quick());
+    let doomed = engine.classified(BenchmarkKind::Mcf, ClassifierConfig::hpca2005());
+    let unaffected = engine.classified(BenchmarkKind::GzipGraphic, ClassifierConfig::hpca2005());
+    engine.with_plan(BenchmarkKind::Mcf, ReplayPlan::from_ranges([(0, u64::MAX)]));
+    let stats = engine.run(&cache);
+
+    let failures = stats.failure_report().failures();
+    assert_eq!(failures.len(), 1, "{failures:?}");
+    assert!(matches!(
+        &failures[0],
+        EngineError::Sweep(SweepError::Group {
+            cause: FailureCause::Plan(_),
+            ..
+        })
+    ));
+    assert!(doomed.try_take().is_err());
+    assert!(unaffected.try_take().is_ok());
+}
+
 mod randomized {
     use super::*;
     use proptest::prelude::*;

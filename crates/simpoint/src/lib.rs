@@ -42,9 +42,11 @@ mod classify;
 mod kmeans;
 mod points;
 mod projection;
+mod stratified;
 
 pub use bic::bic_score;
 pub use classify::{SimPointClassifier, SimPointConfig, SimPointResult};
 pub use kmeans::{kmeans, KmeansResult};
 pub use points::{SimPoint, SimPoints};
 pub use projection::RandomProjection;
+pub use stratified::{StratifiedConfig, StratifiedEstimate, StratifiedPlan, Stratum};

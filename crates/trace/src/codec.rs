@@ -32,6 +32,7 @@
 use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::event::BranchEvent;
+use crate::index::{IndexError, TraceIndex};
 use crate::interval::{IntervalSource, IntervalSummary};
 use crate::recorded::{RecordedInterval, RecordedTrace};
 
@@ -404,6 +405,52 @@ fn decode_events_swar<F: FnMut(BranchEvent)>(
 /// # Ok::<(), tpcp_trace::CodecError>(())
 /// ```
 pub fn encode_trace(trace: &RecordedTrace) -> Bytes {
+    encode_frames(trace).freeze()
+}
+
+/// Encodes a recorded trace and builds its [`TraceIndex`] in the same
+/// pass: frame offsets are captured as they are written, so the sidecar
+/// costs one checksum sweep instead of a full decode re-walk.
+///
+/// The payload is byte-identical to [`encode_trace`]'s, and the index is
+/// identical to [`TraceIndex::build`] run over that payload (pinned by
+/// tests).
+pub fn encode_trace_with_index(trace: &RecordedTrace) -> (Bytes, TraceIndex) {
+    let buf = encode_frames(trace);
+    let mut checkpoints = Vec::with_capacity(trace.intervals.len() + 1);
+    let mut offset = 16u64; // magic + n_intervals
+    let (mut events, mut instructions, mut cycles) = (0u64, 0u64, 0u64);
+    for interval in &trace.intervals {
+        checkpoints.push(crate::index::IntervalCheckpoint {
+            byte_offset: offset,
+            events,
+            instructions,
+            cycles,
+        });
+        offset += frame_len(interval);
+        events += interval.events.len() as u64;
+        instructions += interval.summary.instructions;
+        cycles += interval.summary.cycles;
+    }
+    checkpoints.push(crate::index::IntervalCheckpoint {
+        byte_offset: offset,
+        events,
+        instructions,
+        cycles,
+    });
+    debug_assert_eq!(offset as usize, buf.len());
+    let payload = buf.freeze();
+    let index = TraceIndex {
+        payload_len: payload.len() as u64,
+        payload_checksum: crate::index::payload_checksum(&payload),
+        checkpoints,
+    };
+    (payload, index)
+}
+
+/// The shared encode loop behind [`encode_trace`] and
+/// [`encode_trace_with_index`].
+fn encode_frames(trace: &RecordedTrace) -> BytesMut {
     let mut buf = BytesMut::with_capacity(64 + trace.intervals.len() * 64);
     buf.put_slice(MAGIC);
     buf.put_u64_le(trace.intervals.len() as u64);
@@ -423,7 +470,29 @@ pub fn encode_trace(trace: &RecordedTrace) -> Bytes {
             put_varint(&mut buf, u64::from(ev.insns));
         }
     }
-    buf.freeze()
+    buf
+}
+
+/// Encoded byte length of one interval frame, mirroring the writes in
+/// [`encode_frames`] without buffering.
+fn frame_len(interval: &RecordedInterval) -> u64 {
+    let mut len = (24 + 8) as u64; // fixed summary + event count
+    for m in interval.summary.metrics.as_array() {
+        len += varint_len(m);
+    }
+    let mut prev_pc = 0i64;
+    for ev in &interval.events {
+        let delta = (ev.pc as i64).wrapping_sub(prev_pc);
+        prev_pc = ev.pc as i64;
+        len += varint_len(zigzag_encode(delta)) + varint_len(u64::from(ev.insns));
+    }
+    len
+}
+
+/// Bytes [`put_varint`] emits for `v`.
+#[inline]
+fn varint_len(v: u64) -> u64 {
+    (64 - v.max(1).leading_zeros() as u64).div_ceil(7)
 }
 
 /// Decodes a buffer produced by [`encode_trace`] into a fully materialized
@@ -568,9 +637,56 @@ impl<'a> StreamingDecoder<'a> {
         self.n_intervals
     }
 
-    /// Intervals decoded so far.
+    /// Intervals decoded so far. After a
+    /// [`seek_to_interval`](Self::seek_to_interval) this is the seek
+    /// target — i.e. it is always the index of the *next* interval the
+    /// decoder will yield.
     pub fn intervals_decoded(&self) -> u64 {
         self.decoded
+    }
+
+    /// Current byte position of the decode cursor within the buffer.
+    /// Frame-aligned between intervals, which is what
+    /// [`TraceIndex::build`] records as checkpoint offsets.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Moves the cursor to the start of `interval`'s frame via its index
+    /// checkpoint and resumes zero-copy decode there: the next
+    /// [`try_next_interval`](Self::try_next_interval) yields interval
+    /// `interval`, bit-identical to having streamed to it. Seeking to
+    /// `n_intervals` positions at end-of-trace (the next call returns
+    /// `None`). Clears any sticky `IntervalSource`-mode error.
+    ///
+    /// PC deltas restart from zero at every frame, so no decode state
+    /// from the skipped intervals is needed — a checkpoint is a complete
+    /// resume point.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::PayloadMismatch`] when `index` disagrees with this
+    /// buffer (wrong interval count or an offset outside the buffer), and
+    /// [`IndexError::SeekOutOfRange`] when `interval > n_intervals`.
+    /// The cursor is unchanged on error.
+    pub fn seek_to_interval(
+        &mut self,
+        index: &TraceIndex,
+        interval: u64,
+    ) -> Result<(), IndexError> {
+        if index.n_intervals() != self.n_intervals {
+            return Err(IndexError::PayloadMismatch);
+        }
+        let cp = index
+            .checkpoint(interval)
+            .ok_or(IndexError::SeekOutOfRange)?;
+        if cp.byte_offset as usize > self.buf.len() {
+            return Err(IndexError::PayloadMismatch);
+        }
+        self.pos = cp.byte_offset as usize;
+        self.decoded = interval;
+        self.error = None;
+        Ok(())
     }
 
     /// The decode error that ended an [`IntervalSource`]-mode replay, if

@@ -43,6 +43,7 @@
 mod bbv;
 mod codec;
 mod event;
+mod index;
 mod interval;
 mod metrics;
 mod recorded;
@@ -51,8 +52,12 @@ mod stats;
 mod synthetic;
 
 pub use bbv::{Bbv, BbvBuilder, BbvTrace};
-pub use codec::{decode_trace, encode_trace, validate_trace, CodecError, StreamingDecoder};
+pub use codec::{
+    decode_trace, encode_trace, encode_trace_with_index, validate_trace, CodecError,
+    StreamingDecoder,
+};
 pub use event::BranchEvent;
+pub use index::{IndexError, IntervalCheckpoint, PlannedReplay, ReplayPlan, SkipStats, TraceIndex};
 pub use interval::{IntervalCutter, IntervalSource, IntervalSummary, TimedEvent};
 pub use metrics::MetricCounts;
 pub use recorded::{RecordedInterval, RecordedTrace, ReplaySource};

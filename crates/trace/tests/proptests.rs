@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use tpcp_trace::{
-    decode_trace, encode_trace, validate_trace, BbvBuilder, BranchEvent, IntervalCutter,
-    IntervalSource, RecordedTrace, StreamingDecoder,
+    decode_trace, encode_trace, encode_trace_with_index, validate_trace, BbvBuilder, BranchEvent,
+    IndexError, IntervalCutter, IntervalSource, PlannedReplay, RecordedTrace, ReplayPlan,
+    StreamingDecoder, TraceIndex,
 };
 
 fn arb_event() -> impl Strategy<Value = (BranchEvent, u64)> {
@@ -145,6 +146,148 @@ proptest! {
         let sum: f64 = bbv.iter().map(|(_, w)| w).sum();
         prop_assert!((sum - 1.0).abs() < 1e-9);
         prop_assert!(bbv.iter().all(|(_, w)| w >= 0.0));
+    }
+
+    /// The interval index round-trips through its sidecar codec, matches
+    /// a rebuild from the payload, and validates against exactly that
+    /// payload.
+    #[test]
+    fn index_round_trip(events in prop::collection::vec(arb_event(), 0..300),
+                        interval_size in 1u64..3_000) {
+        let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
+        let (payload, index) = encode_trace_with_index(&trace);
+        prop_assert_eq!(&index, &TraceIndex::build(&payload).unwrap());
+        let decoded = TraceIndex::decode(&index.encode()).unwrap();
+        prop_assert_eq!(&decoded, &index);
+        prop_assert!(decoded.validate(&payload).is_ok());
+        prop_assert_eq!(decoded.n_intervals(), trace.len() as u64);
+    }
+
+    /// Seeking to any interval boundary and decoding from there is
+    /// bit-identical (summaries and event streams) to streaming to that
+    /// boundary — for every boundary of the trace.
+    #[test]
+    fn seek_equals_stream_at_every_boundary(
+        events in prop::collection::vec(arb_event(), 1..200),
+        interval_size in 1u64..2_000,
+    ) {
+        let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
+        let (payload, index) = encode_trace_with_index(&trace);
+        let n = index.n_intervals();
+
+        // Reference: one full streaming pass, per-interval capture.
+        let mut streamed = Vec::new();
+        let mut decoder = StreamingDecoder::new(&payload).unwrap();
+        let mut evs = Vec::new();
+        while let Some(s) = decoder.next_interval(&mut |ev| evs.push(ev)) {
+            streamed.push((s, std::mem::take(&mut evs)));
+        }
+        prop_assert_eq!(decoder.error(), None);
+
+        for start in 0..=n {
+            let mut seeked = StreamingDecoder::new(&payload).unwrap();
+            seeked.seek_to_interval(&index, start).unwrap();
+            prop_assert_eq!(seeked.intervals_decoded(), start);
+            let mut tail = Vec::new();
+            let mut evs = Vec::new();
+            while let Some(s) = seeked.next_interval(&mut |ev| evs.push(ev)) {
+                tail.push((s, std::mem::take(&mut evs)));
+            }
+            prop_assert_eq!(seeked.error(), None);
+            prop_assert_eq!(&tail[..], &streamed[start as usize..]);
+        }
+        // One past the end is a loud error, not a wrap or panic.
+        let mut past = StreamingDecoder::new(&payload).unwrap();
+        prop_assert_eq!(
+            past.seek_to_interval(&index, n + 1),
+            Err(IndexError::SeekOutOfRange)
+        );
+    }
+
+    /// A planned replay delivers exactly the planned subset of the full
+    /// stream, bit-identical per interval, whatever the plan shape.
+    #[test]
+    fn planned_replay_equals_filtered_stream(
+        events in prop::collection::vec(arb_event(), 1..200),
+        interval_size in 1u64..2_000,
+        raw_ranges in prop::collection::vec((0u64..40, 1u64..8), 0..6),
+    ) {
+        let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
+        let (payload, index) = encode_trace_with_index(&trace);
+        let n = index.n_intervals();
+
+        let mut streamed = Vec::new();
+        let mut decoder = StreamingDecoder::new(&payload).unwrap();
+        let mut evs = Vec::new();
+        while let Some(s) = decoder.next_interval(&mut |ev| evs.push(ev)) {
+            streamed.push((s, std::mem::take(&mut evs)));
+        }
+
+        let plan = ReplayPlan::from_ranges(
+            raw_ranges.iter().map(|&(s, len)| (s.min(n), (s + len).min(n))),
+        );
+        let expected: Vec<_> = streamed
+            .iter()
+            .filter(|(s, _)| {
+                plan.ranges()
+                    .unwrap()
+                    .iter()
+                    .any(|&(lo, hi)| (lo..hi).contains(&s.index))
+            })
+            .cloned()
+            .collect();
+
+        let mut replay =
+            PlannedReplay::new(StreamingDecoder::new(&payload).unwrap(), &index, &plan).unwrap();
+        let mut sampled = Vec::new();
+        let mut evs = Vec::new();
+        while let Some(s) = replay.next_interval(&mut |ev| evs.push(ev)) {
+            sampled.push((s, std::mem::take(&mut evs)));
+        }
+        prop_assert_eq!(replay.error(), None);
+        prop_assert_eq!(sampled, expected);
+        prop_assert_eq!(
+            replay.skip_stats().intervals_skipped,
+            n - plan.intervals_planned(n)
+        );
+    }
+
+    /// Truncated or byte-flipped sidecars decode to a typed
+    /// `IndexError` — never a panic — and a tampered sidecar that still
+    /// parses structurally fails payload validation.
+    #[test]
+    fn corrupt_sidecars_fail_gracefully(
+        events in prop::collection::vec(arb_event(), 1..120),
+        interval_size in 1u64..2_000,
+        flips in prop::collection::vec((any::<usize>(), 1u8..255), 1..6),
+        cut_seed in any::<u64>(),
+    ) {
+        let trace = RecordedTrace::record(IntervalCutter::from_iter(interval_size, events));
+        let (payload, index) = encode_trace_with_index(&trace);
+        prop_assert!(index.validate(&payload).is_ok());
+        let sidecar = index.encode();
+
+        // Truncation anywhere strictly inside the sidecar is corrupt.
+        let cut = (cut_seed % sidecar.len() as u64) as usize;
+        prop_assert_eq!(
+            TraceIndex::decode(&sidecar[..cut]),
+            Err(IndexError::CorruptIndex)
+        );
+
+        // Byte flips anywhere fail the sidecar's self-checksum at decode
+        // time. The only way decode can still succeed is when the flips
+        // cancelled each other out — in which case the result must be the
+        // original index.
+        let mut flipped = sidecar.to_vec();
+        for &(pos, mask) in &flips {
+            let i = pos % flipped.len();
+            flipped[i] ^= mask;
+        }
+        match TraceIndex::decode(&flipped) {
+            Err(IndexError::CorruptIndex) => {}
+            Err(e) => prop_assert!(false, "unexpected decode error {e:?}"),
+            Ok(parsed) => prop_assert_eq!(parsed, index),
+        }
     }
 
     /// Manhattan distance is symmetric, zero on self, and bounded by 2.

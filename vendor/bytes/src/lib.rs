@@ -212,6 +212,11 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         self.data.into()
     }
+
+    /// The bytes written so far, as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
 }
 
 impl BufMut for BytesMut {
