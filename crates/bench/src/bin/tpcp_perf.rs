@@ -62,11 +62,12 @@ struct Args {
     lanes: Vec<usize>,
     refresh_baseline: bool,
     telemetry: Option<PathBuf>,
+    serve: bool,
 }
 
 const USAGE: &str = "usage: tpcp-perf [--smoke] [--iters N] [--out DIR] [--check FILE] [--strict] \
                      [--tolerance FRAC] [--no-engine] [--lanes N,N,...] [--refresh-baseline] \
-                     [--telemetry PATH]";
+                     [--telemetry PATH] [--serve]";
 
 fn parse_args() -> Result<Args, String> {
     let mut smoke = false;
@@ -79,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
     let mut lanes = vec![1usize, 8, 32];
     let mut refresh_baseline = false;
     let mut telemetry = None;
+    let mut serve = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |flag: &str| {
@@ -115,6 +117,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--refresh-baseline" => refresh_baseline = true,
             "--telemetry" => telemetry = Some(PathBuf::from(value("--telemetry")?)),
+            // Opt-in: the serve lane times a socket round-trip fleet, so
+            // it never joins the default lane set a strict baseline pins.
+            "--serve" => serve = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
@@ -134,6 +139,7 @@ fn parse_args() -> Result<Args, String> {
         lanes,
         refresh_baseline,
         telemetry,
+        serve,
     })
 }
 
@@ -196,6 +202,104 @@ fn lane_line(stats: &LaneStats) {
     );
 }
 
+/// One `serve_echo` repetition: a concurrent client fleet runs its full
+/// deterministic scripts against an already-listening `tpcp-serve`
+/// instance, folding every classification and query answer into the
+/// lane checksum (so a serve-path regression that corrupts results fails
+/// the repetition-equality assertion, not just the clock).
+fn serve_echo(addr: std::net::SocketAddr, scripts: &[tpcp_serve::SessionScript]) -> LaneRun {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let fold = |acc: u64, x: u64| (acc ^ x).wrapping_mul(FNV_PRIME);
+    let results = tpcp_serve::drive_sessions(
+        addr,
+        scripts,
+        &tpcp_serve::client::no_faults,
+        Duration::from_millis(200),
+    );
+    let mut run = LaneRun {
+        intervals: 0,
+        events: 0,
+        checksum: FNV_OFFSET,
+    };
+    for (script, result) in scripts.iter().zip(results) {
+        let transcript = result.unwrap_or_else(|e| {
+            panic!("serve_echo session {} failed: {e}", script.session);
+        });
+        assert!(
+            transcript.completed,
+            "serve_echo session {} did not run to completion",
+            script.session
+        );
+        run.intervals += transcript.classified.len() as u64;
+        run.events += script.intervals * script.events_per_interval;
+        for &(phase, transition, count) in &transcript.classified {
+            run.checksum = fold(run.checksum, phase << 1 | u64::from(transition));
+            run.checksum = fold(run.checksum, count);
+        }
+        for &(kind, value) in &transcript.answers {
+            run.checksum = fold(run.checksum, kind as u64);
+            match value {
+                Some((v, confident)) => {
+                    run.checksum = fold(run.checksum, v << 1 | u64::from(confident));
+                }
+                None => run.checksum = fold(run.checksum, u64::MAX),
+            }
+        }
+    }
+    run
+}
+
+/// Flushes a `BENCH_<sha>.partial.json` for the lanes measured before a
+/// SIGINT/SIGTERM arrived, then exits with the conventional interrupted
+/// status. Partial reports use a distinct filename so they can never be
+/// mistaken for (or gate against) a complete run.
+fn flush_partial(
+    args: &Args,
+    suite_traces: usize,
+    totals: (u64, u64, u64),
+    calibration: f64,
+    lanes: Vec<LaneStats>,
+) -> ExitCode {
+    let (suite_intervals, suite_events, suite_bytes) = totals;
+    let report = PerfReport {
+        git_sha: git_sha(),
+        smoke: args.smoke,
+        suite_traces,
+        suite_intervals,
+        suite_events,
+        suite_encoded_bytes: suite_bytes,
+        peak_rss_bytes: peak_rss_bytes(),
+        calibration_ops_per_sec: calibration,
+        replay_classify_speedup: 0.0,
+        lanes,
+        engine: None,
+    };
+    let _ = std::fs::create_dir_all(&args.out);
+    let path = args
+        .out
+        .join(format!("BENCH_{}.partial.json", report.git_sha));
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => eprintln!(
+            "# interrupted: partial report ({} lanes) flushed to {}",
+            report.lanes.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("# interrupted: failed to flush partial report: {e}"),
+    }
+    ExitCode::from(130)
+}
+
+/// Between lane families: if a shutdown signal arrived, flush what we
+/// have and stop instead of discarding minutes of measurements.
+macro_rules! bail_if_interrupted {
+    ($args:expr, $suite_traces:expr, $totals:expr, $calibration:expr, $lanes:expr) => {
+        if tpcp_experiments::shutdown::requested() {
+            return flush_partial($args, $suite_traces, $totals, $calibration, $lanes);
+        }
+    };
+}
+
 /// Unwraps an engine-lane result; on a `tpcp_experiments::EngineError`
 /// prints the one-line cause (trace name, lane, cause) and exits nonzero
 /// instead of unwinding with a backtrace.
@@ -219,6 +323,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    // Catch SIGINT/SIGTERM so an interrupted run flushes a partial
+    // report instead of discarding everything measured so far.
+    tpcp_experiments::shutdown::install();
 
     let scale = if args.smoke {
         Scale::Smoke
@@ -319,6 +427,9 @@ fn main() -> ExitCode {
         );
     }
 
+    let totals = (suite_intervals, suite_events, suite_bytes);
+    bail_if_interrupted!(&args, suite.len(), totals, calibration, lanes);
+
     println!("timing sampled replay lanes ({} iters) ...", args.iters);
     let indices = replay_indices(&suite);
     let (replay_full_run, full_samples, replay_sampled_run, sampled_samples) = time_lane_pair(
@@ -352,6 +463,8 @@ fn main() -> ExitCode {
             );
         }
     }
+
+    bail_if_interrupted!(&args, suite.len(), totals, calibration, lanes);
 
     println!("timing distance micro lanes ({} iters) ...", args.iters);
     let (dist_table, dist_probes) = distance_fixture();
@@ -399,6 +512,8 @@ fn main() -> ExitCode {
         ));
     }
 
+    bail_if_interrupted!(&args, suite.len(), totals, calibration, lanes);
+
     println!("timing replay+classify lanes ({} iters) ...", args.iters);
     let (cls_eager_run, samples) = time_lane(args.iters, || classify_eager(&suite, config));
     lanes.push(summarize(
@@ -434,6 +549,45 @@ fn main() -> ExitCode {
     } else {
         0.0
     };
+
+    if args.serve {
+        println!("timing serve round-trip lane ({} iters) ...", args.iters);
+        let handle = match tpcp_serve::Server::spawn(tpcp_serve::ServeConfig::default()) {
+            Ok(handle) => handle,
+            Err(e) => {
+                eprintln!("tpcp-perf: cannot start tpcp-serve for the serve lane: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let addr = match handle.tcp_addr() {
+            Some(addr) => addr,
+            None => {
+                eprintln!("tpcp-perf: serve lane server bound no TCP address");
+                return ExitCode::FAILURE;
+            }
+        };
+        let serve_intervals: u64 = if args.smoke { 32 } else { 256 };
+        // Scripts close their sessions, so every repetition reuses the
+        // same ids against the same long-lived server — exactly the
+        // steady-state serve path, with no rebind in the timed region.
+        let scripts: Vec<tpcp_serve::SessionScript> = (1..=8)
+            .map(|s| tpcp_serve::SessionScript::for_session(s, serve_intervals))
+            .collect();
+        let (serve_run, samples) = time_lane(args.iters, || serve_echo(addr, &scripts));
+        lanes.push(summarize(
+            "serve_echo",
+            &samples,
+            serve_run.intervals,
+            serve_run.events,
+        ));
+        let telemetry = handle.join();
+        assert!(
+            telemetry.malformed_frames == 0 && telemetry.oversized_frames == 0,
+            "serve lane tripped the server's error paths"
+        );
+    }
+
+    bail_if_interrupted!(&args, suite.len(), totals, calibration, lanes);
 
     let engine = if args.engine {
         println!("timing engine suite (quick params; first run warms the trace cache) ...");

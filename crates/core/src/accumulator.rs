@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use tpcp_trace::BranchEvent;
 
+use crate::snapshot::{self, SnapReader, SnapshotError};
+
 /// Saturation ceiling for each accumulator: 24 bits, as in the paper
 /// ("each entry in the accumulator table is 24 bits, so it will never
 /// overflow with 10 million instruction intervals").
@@ -119,6 +121,41 @@ impl AccumulatorTable {
     pub fn reset(&mut self) {
         self.counters.fill(0);
         self.total = 0;
+    }
+
+    /// Appends this table's state to a snapshot.
+    pub(crate) fn snap_write(&self, out: &mut Vec<u8>) {
+        snapshot::put_varint(out, self.counters.len() as u64);
+        for &c in &self.counters {
+            snapshot::put_varint(out, c);
+        }
+        snapshot::put_varint(out, self.total);
+    }
+
+    /// Restores a table from a snapshot, re-checking the constructor's
+    /// invariants and recomputing the index mask.
+    pub(crate) fn snap_read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.bounded_count(1)?;
+        if n == 0 || !n.is_power_of_two() {
+            return Err(SnapshotError::Malformed(
+                "accumulator count must be a power of two",
+            ));
+        }
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = r.varint()?;
+            if c > COUNTER_MAX {
+                return Err(SnapshotError::Malformed(
+                    "accumulator counter above the 24-bit ceiling",
+                ));
+            }
+            counters.push(c);
+        }
+        Ok(Self {
+            counters,
+            total: r.varint()?,
+            index_mask: n as u64 - 1,
+        })
     }
 }
 

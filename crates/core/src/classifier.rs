@@ -6,10 +6,11 @@ use serde::{Deserialize, Serialize};
 
 use tpcp_trace::BranchEvent;
 
-use crate::config::ClassifierConfig;
-use crate::extractor::{AnyExtractor, FeatureExtractor};
+use crate::config::{BitSelectionMode, ClassifierConfig};
+use crate::extractor::{AnyExtractor, ExtractorKind, FeatureExtractor};
 use crate::phase_id::PhaseId;
 use crate::signature::Signature;
+use crate::snapshot::{self, SnapReader, SnapshotError, SNAPSHOT_MAGIC};
 use crate::table::{MatchOutcome, SignatureTable};
 
 /// Detailed result of classifying one interval.
@@ -306,6 +307,66 @@ impl PhaseClassifier {
         &self.table
     }
 
+    /// Serializes the complete classifier state into a versioned binary
+    /// snapshot (magic `TPCPSNP1`).
+    ///
+    /// A classifier rebuilt with [`from_snapshot`](Self::from_snapshot)
+    /// continues bit-identically: same phase IDs, same LRU order, same
+    /// adaptive-threshold decisions. The scratch dimension buffer is the
+    /// only state excluded — it never affects outcomes.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        write_config(&mut out, &self.config);
+        self.extractor.snap_write(&mut out);
+        self.table.snap_write(&mut out);
+        snapshot::put_varint(&mut out, u64::from(self.next_phase_id));
+        snapshot::put_varint(&mut out, self.intervals_seen);
+        snapshot::put_varint(&mut out, self.transition_intervals);
+        out
+    }
+
+    /// Rebuilds a classifier from a [`snapshot`](Self::snapshot).
+    ///
+    /// Never panics on malformed input: every invariant the constructors
+    /// assert is re-checked and reported as a [`SnapshotError`], and
+    /// declared counts are bounded against the input size before
+    /// allocation — the entry point is safe to feed bytes that crossed a
+    /// network or a disk.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let Some(body) = bytes.strip_prefix(SNAPSHOT_MAGIC.as_slice()) else {
+            return Err(SnapshotError::BadMagic);
+        };
+        let mut r = SnapReader::new(body);
+        let config = read_config(&mut r)?;
+        let extractor = AnyExtractor::snap_read(&mut r)?;
+        if extractor.kind() != config.extractor || extractor.dims() != config.accumulators {
+            return Err(SnapshotError::Malformed(
+                "extractor state does not match the configuration",
+            ));
+        }
+        let table = SignatureTable::snap_read(&mut r)?;
+        let next_phase_id = u32::try_from(r.varint()?)
+            .map_err(|_| SnapshotError::Malformed("phase ID counter exceeds 32 bits"))?;
+        if next_phase_id == 0 {
+            return Err(SnapshotError::Malformed("phase ID counter must start at 1"));
+        }
+        let intervals_seen = r.varint()?;
+        let transition_intervals = r.varint()?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Malformed("trailing bytes"));
+        }
+        Ok(Self {
+            config,
+            extractor,
+            table,
+            next_phase_id,
+            intervals_seen,
+            transition_intervals,
+            scratch: Vec::with_capacity(config.accumulators),
+        })
+    }
+
     /// Routes the table search through the scalar per-entry scan even when
     /// the `simd` feature is compiled in
     /// (see [`SignatureTable::set_scalar_scan`]). Classification outcomes
@@ -315,6 +376,137 @@ impl PhaseClassifier {
     pub fn force_scalar_kernels(&mut self, scalar: bool) {
         self.table.set_scalar_scan(scalar);
     }
+}
+
+/// Appends a classifier configuration to a snapshot.
+fn write_config(out: &mut Vec<u8>, config: &ClassifierConfig) {
+    snapshot::put_varint(out, config.accumulators as u64);
+    snapshot::put_varint(out, u64::from(config.bits_per_dim));
+    match config.table_entries {
+        Some(c) => {
+            out.push(1);
+            snapshot::put_varint(out, c as u64);
+        }
+        None => out.push(0),
+    }
+    snapshot::put_f64(out, config.similarity_threshold);
+    out.push(config.min_count);
+    match config.adaptive {
+        Some(a) => {
+            out.push(1);
+            snapshot::put_f64(out, a.deviation_threshold);
+        }
+        None => out.push(0),
+    }
+    out.push(u8::from(config.best_match));
+    match config.bit_selection {
+        BitSelectionMode::Dynamic => out.push(0),
+        BitSelectionMode::Static { low_bit } => {
+            out.push(1);
+            snapshot::put_varint(out, u64::from(low_bit));
+        }
+    }
+    out.push(match config.extractor {
+        ExtractorKind::Bbv => 0,
+        ExtractorKind::WorkingSet => 1,
+        ExtractorKind::BranchMix => 2,
+    });
+}
+
+/// Restores a classifier configuration, re-applying every rule
+/// [`ClassifierConfig::validate`] asserts — as errors, not panics, since
+/// snapshot bytes may come from an untrusted peer.
+fn read_config(r: &mut SnapReader<'_>) -> Result<ClassifierConfig, SnapshotError> {
+    let accumulators = r.varint()? as usize;
+    let bits_per_dim = u32::try_from(r.varint()?)
+        .map_err(|_| SnapshotError::Malformed("bits per dimension out of range"))?;
+    let table_entries = match r.u8()? {
+        0 => None,
+        _ => Some(r.varint()? as usize),
+    };
+    let similarity_threshold = r.f64()?;
+    let min_count = r.u8()?;
+    let adaptive = match r.u8()? {
+        0 => None,
+        _ => Some(crate::config::AdaptiveConfig {
+            deviation_threshold: r.f64()?,
+        }),
+    };
+    let best_match = r.u8()? != 0;
+    let bit_selection = match r.u8()? {
+        0 => BitSelectionMode::Dynamic,
+        1 => BitSelectionMode::Static {
+            low_bit: u32::try_from(r.varint()?)
+                .map_err(|_| SnapshotError::Malformed("static low bit out of range"))?,
+        },
+        _ => return Err(SnapshotError::Malformed("unknown bit selection tag")),
+    };
+    let extractor = match r.u8()? {
+        0 => ExtractorKind::Bbv,
+        1 => ExtractorKind::WorkingSet,
+        2 => ExtractorKind::BranchMix,
+        _ => return Err(SnapshotError::Malformed("unknown extractor kind tag")),
+    };
+    let config = ClassifierConfig {
+        accumulators,
+        bits_per_dim,
+        table_entries,
+        similarity_threshold,
+        min_count,
+        adaptive,
+        best_match,
+        bit_selection,
+        extractor,
+    };
+
+    // The same rules `validate()` panics on, as decode errors.
+    if accumulators == 0 || !accumulators.is_power_of_two() {
+        return Err(SnapshotError::Malformed(
+            "accumulator count must be a power of two",
+        ));
+    }
+    match extractor {
+        ExtractorKind::Bbv => {}
+        ExtractorKind::WorkingSet => {
+            if let BitSelectionMode::Static { low_bit } = bit_selection {
+                if low_bit != 0 {
+                    return Err(SnapshotError::Malformed(
+                        "working-set extractor needs a static selection at bit 0",
+                    ));
+                }
+            }
+        }
+        ExtractorKind::BranchMix => {
+            if accumulators < 2 {
+                return Err(SnapshotError::Malformed(
+                    "branch-mix extractor needs at least 2 dimensions",
+                ));
+            }
+        }
+    }
+    if !(1..=16).contains(&bits_per_dim) {
+        return Err(SnapshotError::Malformed(
+            "bits per dimension must be in 1..=16",
+        ));
+    }
+    let threshold_ok = similarity_threshold > 0.0 && similarity_threshold <= 1.0;
+    if !threshold_ok {
+        return Err(SnapshotError::Malformed(
+            "similarity threshold must be in (0, 1]",
+        ));
+    }
+    if table_entries == Some(0) {
+        return Err(SnapshotError::Malformed("table capacity must be positive"));
+    }
+    if let Some(a) = adaptive {
+        let deviation_ok = a.deviation_threshold > 0.0;
+        if !deviation_ok {
+            return Err(SnapshotError::Malformed(
+                "deviation threshold must be positive",
+            ));
+        }
+    }
+    Ok(config)
 }
 
 #[cfg(test)]
@@ -650,6 +842,111 @@ mod tests {
         .unwrap_err();
         let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
         assert!(msg.contains("blew up"), "panic payload: {msg:?}");
+    }
+
+    #[test]
+    fn snapshot_restores_bit_identical_classification() {
+        // Across all three extractors: classify a while, snapshot, restore,
+        // then drive the original and the restored copy with the same
+        // stream and require identical full diagnostics.
+        for kind in ExtractorKind::ALL {
+            let cfg = ClassifierConfig::builder().extractor(kind).build();
+            let mut c = PhaseClassifier::new(cfg);
+            for rep in 0..12 {
+                run_interval(
+                    &mut c,
+                    0x1000 + (rep % 3) * 0x9_0000,
+                    1.0 + rep as f64 * 0.1,
+                );
+            }
+            // Mid-interval events too: the extractor state must survive.
+            for i in 0..37u64 {
+                c.observe(BranchEvent::new(0x5000 + i * 0x40, 21));
+            }
+            let snap = c.snapshot();
+            let mut restored =
+                PhaseClassifier::from_snapshot(&snap).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            for step in 0..24u64 {
+                let ev = BranchEvent::new(0x1000 + (step % 5) * 0x11_0000, 33);
+                c.observe(ev);
+                restored.observe(ev);
+                if step % 4 == 3 {
+                    let cpi = 1.0 + (step % 7) as f64;
+                    let a = c.end_interval_detailed(cpi);
+                    let b = restored.end_interval_detailed(cpi);
+                    assert_eq!(a, b, "{kind} diverged after restore");
+                }
+            }
+            assert_eq!(c.phases_created(), restored.phases_created());
+            assert_eq!(c.intervals_seen(), restored.intervals_seen());
+            assert_eq!(c.transition_intervals(), restored.transition_intervals());
+        }
+    }
+
+    #[test]
+    fn snapshot_survives_lru_churn() {
+        // A tiny table churns its LRU constantly; the private stamps must
+        // round-trip so post-restore evictions pick the same victims.
+        let cfg = ClassifierConfig::builder()
+            .table_entries(Some(2))
+            .min_count(0)
+            .build();
+        let mut c = PhaseClassifier::new(cfg);
+        for rep in 0..9 {
+            run_interval(&mut c, 0x1000 + (rep % 3) * 0x9_0000, 1.0);
+        }
+        let mut restored = PhaseClassifier::from_snapshot(&c.snapshot()).unwrap();
+        for rep in 0..9 {
+            let pc = 0x1000 + (rep % 4) * 0x7_0000;
+            let a = run_interval(&mut c, pc, 2.0);
+            let b = run_interval(&mut restored, pc, 2.0);
+            assert_eq!(a, b);
+        }
+        assert_eq!(c.table().evictions(), restored.table().evictions());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage_without_panicking() {
+        assert!(matches!(
+            PhaseClassifier::from_snapshot(b"not a snapshot"),
+            Err(crate::snapshot::SnapshotError::BadMagic)
+        ));
+        // Every truncation of a valid snapshot must fail cleanly.
+        let mut c = paper_classifier();
+        for _ in 0..10 {
+            run_interval(&mut c, 0x1000, 1.0);
+        }
+        let snap = c.snapshot();
+        for len in 0..snap.len() {
+            assert!(
+                PhaseClassifier::from_snapshot(&snap[..len]).is_err(),
+                "prefix of {len} bytes must not decode"
+            );
+        }
+        // Flipping each byte must never panic (errors are fine; some flips
+        // still decode — e.g. a toggled boolean).
+        for i in 0..snap.len() {
+            let mut bad = snap.clone();
+            bad[i] ^= 0xFF;
+            let _ = PhaseClassifier::from_snapshot(&bad);
+        }
+        // Trailing bytes are rejected.
+        let mut padded = snap.clone();
+        padded.push(0);
+        assert!(PhaseClassifier::from_snapshot(&padded).is_err());
+    }
+
+    #[test]
+    fn snapshot_bounds_declared_counts() {
+        // A snapshot declaring a huge entry count with no bytes behind it
+        // must be rejected before allocating.
+        let c = paper_classifier();
+        let snap = c.snapshot();
+        // Corrupt: replace everything after the magic + config with a
+        // huge varint; decode must error (not OOM or panic).
+        let mut bad = snap[..SNAPSHOT_MAGIC.len() + 24].to_vec();
+        bad.extend([0xFF; 10]);
+        assert!(PhaseClassifier::from_snapshot(&bad).is_err());
     }
 
     #[test]

@@ -35,6 +35,7 @@ use tpcp_trace::BranchEvent;
 use crate::accumulator::{mix64, AccumulatorTable, COUNTER_MAX};
 use crate::config::{BitSelectionMode, ClassifierConfig};
 use crate::signature::{BitSelection, Signature};
+use crate::snapshot::{self, SnapReader, SnapshotError};
 
 /// The default feature back-end: the paper's [`AccumulatorTable`] of
 /// PC-hashed, instruction-weighted saturating counters. The refactor that
@@ -227,6 +228,43 @@ impl WorkingSetExtractor {
     pub fn touched_regions(&self) -> u64 {
         self.regions
     }
+
+    /// Appends the bitmap to a snapshot, packed 8 regions per byte (the
+    /// region count and index mask are derived state, recomputed on
+    /// restore).
+    pub(crate) fn snap_write(&self, out: &mut Vec<u8>) {
+        snapshot::put_varint(out, self.touched.len() as u64);
+        for chunk in self.touched.chunks(8) {
+            let mut byte = 0u8;
+            for (bit, &slot) in chunk.iter().enumerate() {
+                byte |= (slot as u8) << bit;
+            }
+            out.push(byte);
+        }
+    }
+
+    /// Restores the bitmap from a snapshot.
+    pub(crate) fn snap_read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let dims = r.varint()? as usize;
+        if dims == 0 || !dims.is_power_of_two() {
+            return Err(SnapshotError::Malformed(
+                "working-set dimension count must be a power of two",
+            ));
+        }
+        let packed = r.bytes(dims.div_ceil(8))?;
+        let mut touched = Vec::with_capacity(dims);
+        let mut regions = 0u64;
+        for i in 0..dims {
+            let bit = u64::from(packed[i / 8] >> (i % 8)) & 1;
+            regions += bit;
+            touched.push(bit);
+        }
+        Ok(Self {
+            touched,
+            regions,
+            index_mask: dims as u64 - 1,
+        })
+    }
 }
 
 impl FeatureExtractor for WorkingSetExtractor {
@@ -321,6 +359,42 @@ impl BranchMixExtractor {
     pub fn total(&self) -> u64 {
         self.total
     }
+
+    /// Appends the mix counters to a snapshot.
+    pub(crate) fn snap_write(&self, out: &mut Vec<u8>) {
+        snapshot::put_varint(out, self.counters.len() as u64);
+        for &c in &self.counters {
+            snapshot::put_varint(out, c);
+        }
+        snapshot::put_varint(out, self.total);
+        snapshot::put_varint(out, self.last_pc);
+    }
+
+    /// Restores the mix counters from a snapshot.
+    pub(crate) fn snap_read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let dims = r.bounded_count(1)?;
+        if !dims.is_power_of_two() || dims < 2 {
+            return Err(SnapshotError::Malformed(
+                "branch-mix dimension count must be a power of two of at least 2",
+            ));
+        }
+        let mut counters = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            let c = r.varint()?;
+            if c > COUNTER_MAX {
+                return Err(SnapshotError::Malformed(
+                    "branch-mix counter above the 24-bit ceiling",
+                ));
+            }
+            counters.push(c);
+        }
+        Ok(Self {
+            counters,
+            total: r.varint()?,
+            last_pc: r.varint()?,
+            index_mask: (dims / 2) as u64 - 1,
+        })
+    }
 }
 
 impl FeatureExtractor for BranchMixExtractor {
@@ -368,6 +442,36 @@ pub enum AnyExtractor {
     WorkingSet(WorkingSetExtractor),
     /// Taken/not-taken branch counts.
     BranchMix(BranchMixExtractor),
+}
+
+impl AnyExtractor {
+    /// Appends this extractor (kind tag + state) to a snapshot.
+    pub(crate) fn snap_write(&self, out: &mut Vec<u8>) {
+        match self {
+            AnyExtractor::Bbv(x) => {
+                out.push(0);
+                x.snap_write(out);
+            }
+            AnyExtractor::WorkingSet(x) => {
+                out.push(1);
+                x.snap_write(out);
+            }
+            AnyExtractor::BranchMix(x) => {
+                out.push(2);
+                x.snap_write(out);
+            }
+        }
+    }
+
+    /// Restores an extractor from a snapshot.
+    pub(crate) fn snap_read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(AnyExtractor::Bbv(AccumulatorTable::snap_read(r)?)),
+            1 => Ok(AnyExtractor::WorkingSet(WorkingSetExtractor::snap_read(r)?)),
+            2 => Ok(AnyExtractor::BranchMix(BranchMixExtractor::snap_read(r)?)),
+            _ => Err(SnapshotError::Malformed("unknown extractor kind tag")),
+        }
+    }
 }
 
 impl FeatureExtractor for AnyExtractor {

@@ -56,6 +56,7 @@ mod extractor;
 mod observer;
 mod phase_id;
 mod signature;
+mod snapshot;
 mod table;
 
 pub use accumulator::AccumulatorTable;
@@ -72,5 +73,6 @@ pub use phase_id::PhaseId;
 // Re-exported so observer implementors downstream (predictors, metrics)
 // can name the interval types without depending on `tpcp-trace` directly.
 pub use signature::{BitSelection, Signature};
+pub use snapshot::SnapshotError;
 pub use table::{MatchOutcome, SignatureTable, TableEntry};
 pub use tpcp_trace::{BranchEvent, IntervalSummary, MetricCounts};

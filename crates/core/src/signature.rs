@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::accumulator::AccumulatorTable;
+use crate::snapshot::{self, SnapReader, SnapshotError};
 
 /// Which bits to copy out of each accumulator when forming a signature.
 ///
@@ -262,6 +263,52 @@ impl Signature {
             total += u64::from(a.abs_diff(b));
         }
         accept_total(total, bound, denom, threshold)
+    }
+
+    /// Appends this signature to a snapshot (the cached weight is derived
+    /// state, recomputed on restore).
+    pub(crate) fn snap_write(&self, out: &mut Vec<u8>) {
+        snapshot::put_varint(out, u64::from(self.selection.low_bit));
+        snapshot::put_varint(out, u64::from(self.selection.bits_per_dim));
+        snapshot::put_varint(out, self.dims.len() as u64);
+        for &d in &self.dims {
+            snapshot::put_varint(out, u64::from(d));
+        }
+    }
+
+    /// Restores a signature from a snapshot, re-checking the selection
+    /// range and dimension bounds the constructors enforce.
+    pub(crate) fn snap_read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let low_bit = r.varint()?;
+        let bits_per_dim = r.varint()?;
+        // `for_average` can select up to bit 65 for a saturated average
+        // (one headroom bit past the top), so allow a little past 64.
+        if low_bit > 66 || !(1..=16).contains(&bits_per_dim) {
+            return Err(SnapshotError::Malformed("bit selection out of range"));
+        }
+        let selection = BitSelection {
+            low_bit: low_bit as u32,
+            bits_per_dim: bits_per_dim as u32,
+        };
+        let n = r.bounded_count(1)?;
+        let max_dim = u64::from(selection.max_dim());
+        let mut dims = Vec::with_capacity(n);
+        let mut weight = 0u64;
+        for _ in 0..n {
+            let d = r.varint()?;
+            if d > max_dim {
+                return Err(SnapshotError::Malformed(
+                    "signature dimension above the selection's ceiling",
+                ));
+            }
+            weight += d;
+            dims.push(d as u16);
+        }
+        Ok(Self {
+            dims,
+            selection,
+            weight,
+        })
     }
 
     /// Shared preamble of the thresholded scans: dimensionality assert and

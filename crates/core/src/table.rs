@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use crate::columns::{ColumnStore, BLOCK};
 use crate::phase_id::PhaseId;
 use crate::signature::Signature;
+use crate::snapshot::{self, SnapReader, SnapshotError};
 
 /// One signature table entry.
 ///
@@ -384,6 +385,101 @@ impl SignatureTable {
             stamp: self.clock,
         });
         self.entries.len() - 1
+    }
+
+    /// Appends the full table state — entries with their private LRU
+    /// stamps included — to a snapshot.
+    pub(crate) fn snap_write(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(self.scalar_scan));
+        match self.capacity {
+            Some(c) => {
+                out.push(1);
+                snapshot::put_varint(out, c as u64);
+            }
+            None => out.push(0),
+        }
+        snapshot::put_f64(out, self.base_threshold);
+        snapshot::put_varint(out, self.clock);
+        snapshot::put_varint(out, self.evictions);
+        snapshot::put_varint(out, self.entries.len() as u64);
+        for entry in &self.entries {
+            entry.signature.snap_write(out);
+            match entry.phase_id {
+                Some(id) => {
+                    out.push(1);
+                    snapshot::put_varint(out, u64::from(id.value()));
+                }
+                None => out.push(0),
+            }
+            out.push(entry.min_counter);
+            snapshot::put_f64(out, entry.threshold);
+            snapshot::put_f64(out, entry.cpi_mean);
+            snapshot::put_varint(out, entry.cpi_samples);
+            snapshot::put_varint(out, entry.stamp);
+        }
+    }
+
+    /// Restores a table from a snapshot, re-checking the constructor's
+    /// invariants and rebuilding the simd column mirror entry by entry (in
+    /// table order, so the mirror matches an incrementally built one).
+    pub(crate) fn snap_read(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let scalar_scan = r.u8()? != 0;
+        let capacity = match r.u8()? {
+            0 => None,
+            _ => Some(r.varint()? as usize),
+        };
+        if capacity == Some(0) {
+            return Err(SnapshotError::Malformed("table capacity must be positive"));
+        }
+        let base_threshold = r.f64()?;
+        let threshold_ok = base_threshold > 0.0 && base_threshold <= 1.0;
+        if !threshold_ok {
+            return Err(SnapshotError::Malformed(
+                "similarity threshold must be in (0, 1]",
+            ));
+        }
+        let clock = r.varint()?;
+        let evictions = r.varint()?;
+        // Each entry costs at least a signature header (3 varints) plus
+        // the fixed fields.
+        let n = r.bounded_count(3 + 1 + 1 + 8 + 8 + 1 + 1)?;
+        if let Some(cap) = capacity {
+            if n > cap {
+                return Err(SnapshotError::Malformed("more entries than capacity"));
+            }
+        }
+        let mut table = Self {
+            entries: Vec::with_capacity(n),
+            #[cfg(feature = "simd")]
+            columns: ColumnStore::default(),
+            scalar_scan,
+            capacity,
+            base_threshold,
+            clock,
+            evictions,
+        };
+        for _ in 0..n {
+            let signature = Signature::snap_read(r)?;
+            let phase_id = match r.u8()? {
+                0 => None,
+                _ => Some(PhaseId::new(u32::try_from(r.varint()?).map_err(|_| {
+                    SnapshotError::Malformed("phase ID exceeds 32 bits")
+                })?)),
+            };
+            let entry = TableEntry {
+                signature,
+                phase_id,
+                min_counter: r.u8()?,
+                threshold: r.f64()?,
+                cpi_mean: r.f64()?,
+                cpi_samples: r.varint()?,
+                stamp: r.varint()?,
+            };
+            #[cfg(feature = "simd")]
+            table.columns.push(entry.signature.dims());
+            table.entries.push(entry);
+        }
+        Ok(table)
     }
 }
 

@@ -79,6 +79,11 @@ fn register_figure(name: &str, engine: &mut Engine) -> PendingTables {
 }
 
 fn main() {
+    // SIGINT/SIGTERM set a flag; the engine stops claiming new groups and
+    // the normal post-run path below still flushes telemetry and the
+    // failure report — an interrupted night run leaves evidence, not a
+    // truncated file.
+    tpcp_experiments::shutdown::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut bars = false;
@@ -162,7 +167,7 @@ fn main() {
     // Register every requested shared figure on one engine, replay once,
     // then render in registration order.
     if !shared.is_empty() {
-        let mut engine = Engine::new(params);
+        let mut engine = Engine::new(params).with_cancel(tpcp_experiments::shutdown::requested);
         let pending: Vec<(String, PendingTables)> = shared
             .iter()
             .map(|name| {
@@ -216,6 +221,12 @@ fn main() {
             // errors, so the table closures below would panic on take().
             for err in report.failures() {
                 eprintln!("error: {err}");
+            }
+            if tpcp_experiments::shutdown::requested() {
+                eprintln!(
+                    "# interrupted: partial telemetry flushed above; unclaimed groups cancelled"
+                );
+                std::process::exit(130);
             }
             std::process::exit(1);
         }

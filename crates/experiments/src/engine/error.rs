@@ -34,6 +34,11 @@ pub enum FailureCause {
     /// A plan built for a different trace fails the group loudly instead
     /// of silently truncating.
     Plan(IndexError),
+    /// The group was claimed after a cooperative shutdown request (see
+    /// [`Engine::with_cancel`](crate::Engine::with_cancel)): its replay
+    /// never started, and its handles resolve to this instead of hanging
+    /// a partial result off an interrupted run.
+    Cancelled,
 }
 
 impl fmt::Display for FailureCause {
@@ -42,6 +47,7 @@ impl fmt::Display for FailureCause {
             Self::Panic(msg) => write!(f, "panic: {msg}"),
             Self::Decode(e) => write!(f, "trace decode failed mid-replay: {e}"),
             Self::Plan(e) => write!(f, "replay plan rejected: {e}"),
+            Self::Cancelled => write!(f, "cancelled before replay (shutdown requested)"),
         }
     }
 }

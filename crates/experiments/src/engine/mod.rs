@@ -174,6 +174,7 @@ pub struct Engine {
     groups: Vec<TraceGroup>,
     workers: Option<usize>,
     pub(crate) telemetry: bool,
+    pub(crate) cancel: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
     #[cfg(feature = "fault-inject")]
     faults: Option<Arc<crate::fault::FaultInjector>>,
 }
@@ -186,6 +187,7 @@ impl Engine {
             groups: Vec::new(),
             workers: None,
             telemetry: true,
+            cancel: None,
             #[cfg(feature = "fault-inject")]
             faults: None,
         }
@@ -205,6 +207,22 @@ impl Engine {
     #[cfg(feature = "fault-inject")]
     pub fn with_faults(mut self, faults: Arc<crate::fault::FaultInjector>) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Registers a cooperative cancellation probe: the sweep polls it
+    /// once per claimed group, *before* loading or replaying anything.
+    /// When it returns `true`, every not-yet-started group is failed with
+    /// [`FailureCause::Cancelled`] instead of being replayed — groups
+    /// already mid-replay finish normally, so an interrupted run still
+    /// flushes complete results for everything it got through. Binaries
+    /// wire this to [`crate::shutdown::requested`] so SIGINT/SIGTERM
+    /// produce a partial report instead of a dead process.
+    pub fn with_cancel<F>(mut self, probe: F) -> Self
+    where
+        F: Fn() -> bool + Send + Sync + 'static,
+    {
+        self.cancel = Some(Arc::new(probe));
         self
     }
 

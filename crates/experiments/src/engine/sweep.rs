@@ -185,6 +185,7 @@ impl Engine {
         let workers = resolve_workers(self.workers);
         let collect = self.telemetry;
         let run_start = collect.then(Instant::now);
+        let cancel = self.cancel.clone();
         #[cfg(feature = "fault-inject")]
         let faults = self.faults.clone();
         #[allow(unused_mut)]
@@ -222,6 +223,20 @@ impl Engine {
                         .take()
                         .expect("each group is claimed exactly once");
                     let key = format!("{}-{}", group.kind.label(), group.params.fingerprint());
+                    // Cooperative shutdown: a cancelled sweep stops
+                    // *between* groups — never mid-replay — so everything
+                    // already produced stays complete and flushable.
+                    if cancel.as_ref().is_some_and(|probe| probe()) {
+                        let err = EngineError::Sweep(SweepError::Group {
+                            group: key,
+                            cause: FailureCause::Cancelled,
+                        });
+                        for handle in group.failure_handles() {
+                            handle(&err);
+                        }
+                        lock_ignore_poison(&stats).report.record_failure(err);
+                        continue;
+                    }
                     // The collector lives *outside* the replay's
                     // catch_unwind so a panicking group leaves its
                     // partial timings readable.

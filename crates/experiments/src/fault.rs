@@ -46,6 +46,33 @@ struct TruncateReplay {
     times: u32,
 }
 
+/// A transport-level fault the chaos client injects into one session's
+/// connection to `tpcp-serve`, keyed by the frame number at which it
+/// fires. Unlike the sweep faults, these are consulted (not consumed) —
+/// the (session, frame) key already makes each deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// Send only the first `keep` bytes of the frame, then close.
+    TruncateFrame {
+        /// Bytes of the frame (prefix + payload) actually sent.
+        keep: usize,
+    },
+    /// Send a garbage length prefix (declaring an absurd frame size).
+    GarbagePrefix,
+    /// Send part of the frame, then stop feeding bytes while holding the
+    /// connection open (exercises the server's read deadline).
+    StalledRead,
+    /// Close the connection abruptly instead of sending the frame.
+    Disconnect,
+}
+
+#[derive(Debug, Clone)]
+struct TransportSpec {
+    session: String,
+    frame: u64,
+    fault: TransportFault,
+}
+
 /// A declarative, seedable set of faults to inject into one sweep.
 ///
 /// Build with the chained constructors, then [`FaultPlan::build`] into an
@@ -68,6 +95,7 @@ pub struct FaultPlan {
     fail_read: Vec<FailRead>,
     panic_lane: Vec<PanicLane>,
     truncate_replay: Vec<TruncateReplay>,
+    transport: Vec<TransportSpec>,
 }
 
 impl FaultPlan {
@@ -121,6 +149,45 @@ impl FaultPlan {
         self
     }
 
+    /// Injects a transport fault into `session`'s connection when the
+    /// chaos client is about to send frame number `frame` (0-based).
+    pub fn transport(mut self, session: &str, frame: u64, fault: TransportFault) -> Self {
+        self.transport.push(TransportSpec {
+            session: session.to_owned(),
+            frame,
+            fault,
+        });
+        self
+    }
+
+    /// A seed-derived plan of transport faults: one pseudo-random fault
+    /// per listed session, fired somewhere in that session's first
+    /// `frames` frames. Identical seeds yield identical plans.
+    pub fn randomized_transport(seed: u64, sessions: &[&str], frames: u64) -> Self {
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut plan = Self::new();
+        for &session in sessions {
+            let frame = next() % frames.max(1);
+            let fault = match next() % 4 {
+                0 => TransportFault::TruncateFrame {
+                    keep: 1 + (next() % 6) as usize,
+                },
+                1 => TransportFault::GarbagePrefix,
+                2 => TransportFault::StalledRead,
+                _ => TransportFault::Disconnect,
+            };
+            plan = plan.transport(session, frame, fault);
+        }
+        plan
+    }
+
     /// A seed-derived plan: one pseudo-random fault (truncation, failed
     /// read, or lane panic) per listed group. Identical seeds yield
     /// identical plans — randomized chaos runs stay reproducible.
@@ -169,6 +236,7 @@ impl FaultPlan {
                 .into_iter()
                 .map(|f| (f.clone(), AtomicU32::new(f.times)))
                 .collect(),
+            transport: self.transport,
         })
     }
 }
@@ -181,6 +249,7 @@ pub struct FaultInjector {
     fail_read: Vec<(FailRead, AtomicU32)>,
     panic_lane: Vec<PanicLane>,
     truncate_replay: Vec<(TruncateReplay, AtomicU32)>,
+    transport: Vec<TransportSpec>,
 }
 
 /// Atomically consumes one trigger if any remain.
@@ -223,5 +292,20 @@ impl FaultInjector {
             .iter()
             .find(|(f, remaining)| f.group == group && consume(remaining))
             .map(|(f, _)| f.offset)
+    }
+
+    /// The transport fault (if any) the chaos client should inject when
+    /// sending `session`'s frame number `frame`. Deterministic — keyed
+    /// lookups, nothing consumed.
+    pub fn transport_fault(&self, session: &str, frame: u64) -> Option<TransportFault> {
+        self.transport
+            .iter()
+            .find(|f| f.session == session && f.frame == frame)
+            .map(|f| f.fault)
+    }
+
+    /// Whether any transport fault targets `session`.
+    pub fn targets_session(&self, session: &str) -> bool {
+        self.transport.iter().any(|f| f.session == session)
     }
 }

@@ -1,0 +1,82 @@
+//! Cooperative shutdown on SIGINT/SIGTERM.
+//!
+//! Long-running binaries (`repro`, `tpcp-perf`, `tpcp-serve`) install the
+//! handler once at startup; the signal only sets a flag, and every loop
+//! that wants to be interruptible polls [`requested`] at its natural
+//! checkpoints (between sweep groups, between perf lane families, each
+//! accept-loop tick). That keeps the interrupted path identical to the
+//! normal path — partial reports and telemetry flush through the same
+//! code that flushes them on success, instead of dying mid-write.
+//!
+//! The handler is a single store to a static atomic — the only thing
+//! that is async-signal-safe to do — registered through the raw `signal`
+//! libc symbol, since this workspace vendors no libc crate. This is the
+//! one `unsafe` block in the crate (the crate is `deny(unsafe_code)`
+//! with a scoped allow here); nothing else links against it, and the
+//! miri suite does not compile this crate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// POSIX SIGINT (Ctrl-C).
+pub const SIGINT: i32 = 2;
+
+/// POSIX SIGTERM (the orchestrator's polite kill).
+pub const SIGTERM: i32 = 15;
+
+/// The platform signal-handler shape. Keeping the extern declaration in
+/// terms of this type (instead of casting function pointers to integers)
+/// lets the compiler check the handler's ABI.
+type SigHandler = extern "C" fn(i32);
+
+extern "C" {
+    fn signal(signum: i32, handler: SigHandler) -> usize;
+}
+
+extern "C" fn mark_requested(_signum: i32) {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT and SIGTERM handlers. Idempotent; call once at
+/// the top of `main`.
+pub fn install() {
+    #[allow(unsafe_code)]
+    // SAFETY: `signal` is only asked to register `mark_requested`, whose
+    // body is a single atomic store — async-signal-safe by construction.
+    unsafe {
+        signal(SIGINT, mark_requested);
+        signal(SIGTERM, mark_requested);
+    }
+}
+
+/// Whether a shutdown signal has arrived (or [`trigger`] was called).
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Requests shutdown programmatically — what tests and in-process drain
+/// drills use instead of delivering a real signal.
+pub fn trigger() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (tests only; a real process shuts down instead).
+pub fn reset() {
+    REQUESTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_and_reset_round_trip() {
+        reset();
+        assert!(!requested());
+        trigger();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+}

@@ -362,12 +362,33 @@ impl TraceCache {
 
 /// Quarantines a corrupt cache entry: renames it to `<entry>.corrupt` so
 /// the bad bytes stay inspectable and the path is free for the repaired
-/// entry. Best-effort — a concurrent quarantine of the same entry (or a
-/// read-only directory) loses the rename race benignly.
+/// entry. A second corruption of the same entry must not overwrite the
+/// first post-mortem (`fs::rename` clobbers on Linux), so when
+/// `<entry>.corrupt` already exists the rename targets the first free
+/// numbered suffix — `<entry>.corrupt.1`, `.corrupt.2`, … — and gives up
+/// past a bounded probe rather than destroy prior evidence. Best-effort —
+/// a concurrent quarantine of the same entry (or a read-only directory)
+/// loses the rename race benignly.
 fn quarantine(path: &Path) -> Option<PathBuf> {
-    let mut name = path.as_os_str().to_owned();
-    name.push(".corrupt");
-    let target = PathBuf::from(name);
+    let mut base = path.as_os_str().to_owned();
+    base.push(".corrupt");
+    let base = PathBuf::from(base);
+    let mut target = base.clone();
+    let mut suffix = 0u32;
+    while target.exists() {
+        suffix += 1;
+        if suffix > 999 {
+            // Something is churning out corrupt entries faster than anyone
+            // can inspect them; refuse to pick suffix 1000 (and beyond)
+            // rather than scan the namespace forever.
+            return None;
+        }
+        target = PathBuf::from({
+            let mut numbered = base.as_os_str().to_owned();
+            numbered.push(format!(".{suffix}"));
+            numbered
+        });
+    }
     fs::rename(path, &target).ok().map(|()| target)
 }
 
@@ -473,6 +494,38 @@ mod tests {
             cache.load_or_simulate(BenchmarkKind::PerlDiffmail, &params),
             good
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeated_quarantine_preserves_every_post_mortem() {
+        let dir = std::env::temp_dir().join(format!("tpcp-cache-requar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TraceCache::new(&dir);
+        let params = tiny_params();
+        let kind = BenchmarkKind::PerlDiffmail;
+        let good = cache.load_or_simulate(kind, &params);
+        let path = cache.path_for(kind, &params);
+
+        // First corruption: quarantined under the plain `.corrupt` name.
+        std::fs::write(&path, b"first corruption").unwrap();
+        assert_eq!(cache.load_or_simulate(kind, &params), good);
+        let first = PathBuf::from(format!("{}.corrupt", path.display()));
+        assert_eq!(std::fs::read(&first).unwrap(), b"first corruption");
+
+        // Second and third corruptions: the plain name is taken, so the
+        // rename picks the first free numbered suffix — never clobbering
+        // earlier evidence.
+        std::fs::write(&path, b"second corruption").unwrap();
+        assert_eq!(cache.load_or_simulate(kind, &params), good);
+        std::fs::write(&path, b"third corruption").unwrap();
+        assert_eq!(cache.load_or_simulate(kind, &params), good);
+
+        assert_eq!(std::fs::read(&first).unwrap(), b"first corruption");
+        let second = PathBuf::from(format!("{}.corrupt.1", path.display()));
+        assert_eq!(std::fs::read(&second).unwrap(), b"second corruption");
+        let third = PathBuf::from(format!("{}.corrupt.2", path.display()));
+        assert_eq!(std::fs::read(&third).unwrap(), b"third corruption");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

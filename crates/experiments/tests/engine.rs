@@ -612,6 +612,87 @@ fn out_of_range_plan_is_a_structured_group_failure() {
     assert!(unaffected.try_take().is_ok());
 }
 
+/// A cancellation probe that is already true when the sweep starts fails
+/// every group with `FailureCause::Cancelled` — the cooperative-shutdown
+/// path binaries wire to SIGINT/SIGTERM — without replaying anything.
+#[test]
+fn pre_cancelled_sweep_fails_all_groups_without_replaying() {
+    use tpcp_experiments::FailureCause;
+
+    let cache = test_cache();
+    let mut engine = Engine::new(SuiteParams::quick())
+        .with_workers(1)
+        .with_cancel(|| true);
+    let a = engine.classified(BenchmarkKind::Mcf, ClassifierConfig::hpca2005());
+    let b = engine.classified(BenchmarkKind::GzipGraphic, ClassifierConfig::hpca2005());
+    let stats = engine.run(&cache);
+
+    assert_eq!(
+        stats.traces_replayed(),
+        0,
+        "no group replays once cancelled"
+    );
+    let failures = stats.failure_report().failures();
+    assert_eq!(failures.len(), 2, "{failures:?}");
+    for failure in failures {
+        assert!(matches!(
+            failure,
+            EngineError::Sweep(SweepError::Group {
+                cause: FailureCause::Cancelled,
+                ..
+            })
+        ));
+    }
+    for cell in [a, b] {
+        let err = cell
+            .try_take()
+            .expect_err("cancelled cells resolve to errors");
+        assert!(err.to_string().contains("cancelled before replay"), "{err}");
+    }
+}
+
+/// Cancellation is cooperative and per-group: a probe that flips after
+/// the first claim lets the in-flight group finish bit-identically and
+/// only cancels the unclaimed remainder.
+#[test]
+fn mid_sweep_cancel_finishes_claimed_group_and_cancels_the_rest() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use tpcp_experiments::FailureCause;
+
+    let cache = test_cache();
+    let params = SuiteParams::quick();
+    let claims = Arc::new(AtomicUsize::new(0));
+    let probe = Arc::clone(&claims);
+    // The probe runs once per claimed group: first poll false (group one
+    // replays), every later poll true (the rest cancel).
+    let mut engine = Engine::new(params)
+        .with_workers(1)
+        .with_cancel(move || probe.fetch_add(1, Ordering::SeqCst) >= 1);
+    let first = engine.classified(BenchmarkKind::Mcf, ClassifierConfig::hpca2005());
+    let second = engine.classified(BenchmarkKind::GzipGraphic, ClassifierConfig::hpca2005());
+    let stats = engine.run(&cache);
+
+    assert_eq!(stats.traces_replayed(), 1);
+    let completed = first.take();
+    let trace = cache.load_or_simulate(BenchmarkKind::Mcf, &params);
+    assert_eq!(
+        completed,
+        run_classifier(&trace, ClassifierConfig::hpca2005()),
+        "the claimed group's results are complete, not truncated"
+    );
+    let failures = stats.failure_report().failures();
+    assert_eq!(failures.len(), 1, "{failures:?}");
+    assert!(matches!(
+        &failures[0],
+        EngineError::Sweep(SweepError::Group {
+            cause: FailureCause::Cancelled,
+            ..
+        })
+    ));
+    assert!(second.try_take().is_err());
+}
+
 mod randomized {
     use super::*;
     use proptest::prelude::*;

@@ -314,6 +314,13 @@ impl NextPhasePredictor {
         resolved
     }
 
+    /// The outstanding prediction for the *next* interval's phase, with
+    /// its confidence — `None` until the first observation. This is what
+    /// an online query answers between interval boundaries.
+    pub fn current_prediction(&self) -> Option<(PhaseId, bool)> {
+        self.pending.as_ref().map(|p| (p.predicted, p.confident))
+    }
+
     /// The accumulated Figure 7 breakdown.
     pub fn breakdown(&self) -> NextPhaseBreakdown {
         self.breakdown

@@ -1,0 +1,338 @@
+//! A blocking client and deterministic chaos driver for `tpcp-serve`.
+//!
+//! [`SessionScript`] derives a session's whole workload — event streams,
+//! CPIs, query points — from its session id with splitmix64, so two runs
+//! of the same session are byte-identical on the wire. That is what makes
+//! the chaos suite's core assertion possible: run the same scripts twice,
+//! once fault-free and once with transport faults on a subset of
+//! sessions, and require the *survivor* sessions' transcripts to match
+//! bit for bit.
+//!
+//! Transport faults (under the `fault-inject` feature) are applied
+//! client-side at the frame counter the
+//! `FaultPlan` names, keyed by the
+//! session label `s<id>` — truncated frames, garbage length prefixes,
+//! mid-frame stalls, and abrupt disconnects, each ending the faulted
+//! session's connection.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use tpcp_trace::{FrameReader, FrameWriter};
+
+use crate::protocol::{QueryKind, Request, Response, WireEvent, WireExtractor};
+
+/// Deterministic per-session workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionScript {
+    /// The session id (drives the event stream's seed).
+    pub session: u64,
+    /// Which extractor the session's classifier runs.
+    pub extractor: WireExtractor,
+    /// Intervals to classify.
+    pub intervals: u64,
+    /// Events per interval.
+    pub events_per_interval: u64,
+    /// Issue the three queries after every `query_every`-th interval
+    /// (0 disables queries).
+    pub query_every: u64,
+}
+
+impl SessionScript {
+    /// A script for `session`, cycling the extractor by id so a fleet of
+    /// sessions exercises all three back-ends.
+    pub fn for_session(session: u64, intervals: u64) -> Self {
+        Self {
+            session,
+            extractor: WireExtractor::ALL[(session % 3) as usize],
+            intervals,
+            events_per_interval: 24,
+            query_every: 4,
+        }
+    }
+
+    /// The fault-plan label for this session (`s<id>`).
+    pub fn label(&self) -> String {
+        format!("s{}", self.session)
+    }
+}
+
+/// splitmix64 — the workspace's standard seedable generator.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Everything a session observed, for bitwise comparison across runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Transcript {
+    /// `(phase, transition, intervals)` from every `Classified` response.
+    pub classified: Vec<(u64, bool, u64)>,
+    /// Every query answer, in issue order.
+    pub answers: Vec<(QueryKind, Option<(u64, bool)>)>,
+    /// Whether the script ran to its clean `Close` (false when a
+    /// transport fault cut the connection).
+    pub completed: bool,
+}
+
+/// How the driver should terminate a frame it was told to fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportAction {
+    /// Send the frame normally.
+    Send,
+    /// Send only the first `keep` bytes of prefix+payload, then close.
+    Truncate(usize),
+    /// Send a length prefix declaring an absurd payload, then close.
+    GarbagePrefix,
+    /// Send half the frame, hold the connection silent, then close.
+    Stall,
+    /// Close without sending.
+    Disconnect,
+}
+
+/// A per-frame fault oracle. The fault-free driver uses [`no_faults`].
+pub type FaultOracle<'a> = dyn Fn(&str, u64) -> TransportAction + Sync + 'a;
+
+/// The fault-free oracle: every frame is sent normally.
+pub fn no_faults(_session: &str, _frame: u64) -> TransportAction {
+    TransportAction::Send
+}
+
+/// Adapts a built [`FaultInjector`](tpcp_experiments::fault::FaultInjector)
+/// into a [`FaultOracle`].
+#[cfg(feature = "fault-inject")]
+pub fn injector_oracle(
+    faults: &tpcp_experiments::fault::FaultInjector,
+) -> impl Fn(&str, u64) -> TransportAction + Sync + '_ {
+    use tpcp_experiments::fault::TransportFault;
+    move |session, frame| match faults.transport_fault(session, frame) {
+        None => TransportAction::Send,
+        Some(TransportFault::TruncateFrame { keep }) => TransportAction::Truncate(keep),
+        Some(TransportFault::GarbagePrefix) => TransportAction::GarbagePrefix,
+        Some(TransportFault::StalledRead) => TransportAction::Stall,
+        Some(TransportFault::Disconnect) => TransportAction::Disconnect,
+    }
+}
+
+/// A connected client: frame transport plus a send counter the fault
+/// oracle keys on.
+struct Connection {
+    reader: FrameReader<TcpStream>,
+    writer: FrameWriter<TcpStream>,
+    label: String,
+    sent: u64,
+    /// How long a stall fault holds the socket silent before closing.
+    stall_hold: Duration,
+}
+
+/// Outcome of a faulted (or clean) send.
+enum SendOutcome {
+    Sent,
+    /// A fault ended the connection; the session's run is over.
+    Cut,
+}
+
+impl Connection {
+    fn open(addr: SocketAddr, label: String, stall_hold: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // The server runs per-read deadlines; a Nagle-delayed request
+        // half must never read as a mid-frame stall.
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let write = stream.try_clone()?;
+        Ok(Self {
+            reader: FrameReader::new(stream),
+            writer: FrameWriter::new(write),
+            label,
+            sent: 0,
+            stall_hold,
+        })
+    }
+
+    /// Sends one request, consulting the oracle at this frame counter.
+    fn send(&mut self, request: &Request, oracle: &FaultOracle<'_>) -> io::Result<SendOutcome> {
+        let frame = self.sent;
+        self.sent += 1;
+        let payload = request.encode();
+        match oracle(&self.label, frame) {
+            TransportAction::Send => {
+                self.writer.write_frame(&payload)?;
+                Ok(SendOutcome::Sent)
+            }
+            TransportAction::Truncate(keep) => {
+                let mut raw = (payload.len() as u32).to_le_bytes().to_vec();
+                raw.extend_from_slice(&payload);
+                let keep = keep.min(raw.len());
+                self.writer.get_ref().write_all(&raw[..keep])?;
+                self.writer.get_ref().flush()?;
+                Ok(SendOutcome::Cut)
+            }
+            TransportAction::GarbagePrefix => {
+                self.writer.get_ref().write_all(&u32::MAX.to_le_bytes())?;
+                self.writer.get_ref().flush()?;
+                Ok(SendOutcome::Cut)
+            }
+            TransportAction::Stall => {
+                let half = (payload.len() / 2).max(1).min(payload.len());
+                let mut raw = (payload.len() as u32).to_le_bytes().to_vec();
+                raw.extend_from_slice(&payload[..half]);
+                self.writer.get_ref().write_all(&raw)?;
+                self.writer.get_ref().flush()?;
+                // Hold the socket open and silent long enough for the
+                // server's read deadline to fire.
+                std::thread::sleep(self.stall_hold);
+                Ok(SendOutcome::Cut)
+            }
+            TransportAction::Disconnect => Ok(SendOutcome::Cut),
+        }
+    }
+
+    fn receive(&mut self) -> io::Result<Response> {
+        match self.reader.read_frame() {
+            Ok(Some(payload)) => Response::decode(payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before responding",
+            )),
+            Err(e) => Err(io::Error::other(e.to_string())),
+        }
+    }
+}
+
+/// Runs one session's script against the server at `addr`, returning its
+/// transcript. A transport fault ends the run early with
+/// `completed: false`; protocol errors from the server are returned as
+/// `io` errors (the chaos suite treats any error frame on a *survivor*
+/// session as a failure).
+pub fn run_session(
+    addr: SocketAddr,
+    script: &SessionScript,
+    oracle: &FaultOracle<'_>,
+    stall_hold: Duration,
+) -> io::Result<Transcript> {
+    let mut transcript = Transcript::default();
+    let mut conn = Connection::open(addr, script.label(), stall_hold)?;
+    let mut seed = script.session.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed;
+
+    let hello = Request::Hello {
+        session: script.session,
+        extractor: script.extractor,
+    };
+    match conn.send(&hello, oracle)? {
+        SendOutcome::Cut => return Ok(transcript),
+        SendOutcome::Sent => {}
+    }
+    expect_ok(&mut conn, script.session)?;
+
+    for interval in 0..script.intervals {
+        // Deterministic event stream: a handful of hot base addresses per
+        // session, revisited in a pattern that changes every interval.
+        let mut events = Vec::with_capacity(script.events_per_interval as usize);
+        for _ in 0..script.events_per_interval {
+            let r = splitmix(&mut seed);
+            let base = 0x40_0000 + (r % 7) * 0x8_0000;
+            events.push(WireEvent {
+                pc: base + (r >> 16) % 0x400,
+                insns: 20 + r % 40,
+            });
+        }
+        let events = Request::Events {
+            session: script.session,
+            events,
+        };
+        match conn.send(&events, oracle)? {
+            SendOutcome::Cut => return Ok(transcript),
+            SendOutcome::Sent => {}
+        }
+        let cpi = 0.8 + ((splitmix(&mut seed) % 400) as f64) / 100.0;
+        let end = Request::EndInterval {
+            session: script.session,
+            cpi,
+        };
+        match conn.send(&end, oracle)? {
+            SendOutcome::Cut => return Ok(transcript),
+            SendOutcome::Sent => {}
+        }
+        match conn.receive()? {
+            Response::Classified {
+                phase,
+                transition,
+                intervals,
+                ..
+            } => transcript.classified.push((phase, transition, intervals)),
+            other => return Err(unexpected(&other)),
+        }
+
+        if script.query_every > 0 && (interval + 1) % script.query_every == 0 {
+            for kind in QueryKind::ALL {
+                let query = Request::Query {
+                    session: script.session,
+                    kind,
+                };
+                match conn.send(&query, oracle)? {
+                    SendOutcome::Cut => return Ok(transcript),
+                    SendOutcome::Sent => {}
+                }
+                match conn.receive()? {
+                    Response::Answer { kind, value, .. } => transcript.answers.push((kind, value)),
+                    other => return Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+
+    let close = Request::Close {
+        session: script.session,
+    };
+    match conn.send(&close, oracle)? {
+        SendOutcome::Cut => return Ok(transcript),
+        SendOutcome::Sent => {}
+    }
+    expect_ok(&mut conn, script.session)?;
+    transcript.completed = true;
+    Ok(transcript)
+}
+
+fn expect_ok(conn: &mut Connection, session: u64) -> io::Result<()> {
+    match conn.receive()? {
+        Response::Ok { session: s } if s == session => Ok(()),
+        other => Err(unexpected(&other)),
+    }
+}
+
+fn unexpected(response: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {response:?}"),
+    )
+}
+
+/// Drives `sessions` scripts concurrently (one thread per session) and
+/// returns each session's result in id order.
+pub fn drive_sessions(
+    addr: SocketAddr,
+    scripts: &[SessionScript],
+    oracle: &FaultOracle<'_>,
+    stall_hold: Duration,
+) -> Vec<io::Result<Transcript>> {
+    let mut results: Vec<Option<io::Result<Transcript>>> =
+        (0..scripts.len()).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (slot, script) in results.iter_mut().zip(scripts) {
+            scope.spawn(move |_| {
+                *slot = Some(run_session(addr, script, oracle, stall_hold));
+            });
+        }
+    })
+    // Session threads forward failures through their result slot.
+    .unwrap_or_else(|_| panic!("session driver thread panicked"));
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|| Err(io::Error::other("session thread produced no result"))))
+        .collect()
+}

@@ -1,0 +1,48 @@
+//! `tpcp-serve`: a robust online phase-classification service.
+//!
+//! The crate wraps the workspace's [`PhaseClassifier`](tpcp_core) and
+//! predictors in a long-running server that speaks length-prefixed
+//! frames of the varint codec over TCP and Unix sockets. Each client
+//! session owns its own classifier (any extractor back-end) and can ask
+//! for the current phase, the predicted next phase, and the predicted
+//! run-length class, with a confidence flag on each answer.
+//!
+//! Robustness is the design driver, not an afterthought:
+//!
+//! - **Deadlines** — every connection has a read deadline and an idle
+//!   timeout; a stalled or silent peer is disconnected without touching
+//!   its siblings, and the accept loop retries with exponential backoff.
+//! - **Backpressure** — responses flow through a bounded per-connection
+//!   queue, so one slow reader blocks only its own session.
+//! - **Eviction** — session state lives in a bounded LRU; under
+//!   pressure the coldest session is parked as a `TPCPSNP1` snapshot and
+//!   restored bit-identically on its next frame.
+//! - **Malformed-frame tolerance** — every decode error maps to a
+//!   structured error response; the connection survives everything
+//!   except an unrecoverable stream offset (oversized frame).
+//! - **Graceful drain** — on request (SIGTERM in the binary) the server
+//!   stops accepting, lets in-flight sessions finish against a deadline,
+//!   and freezes a final [`ServeTelemetry`] snapshot.
+//!
+//! The [`client`] module doubles as the chaos harness: deterministic
+//! per-session scripts plus client-side transport faults (truncated
+//! frames, garbage prefixes, mid-frame stalls, disconnects) from the
+//! `fault-inject` `FaultPlan`,
+//! used to pin survivor sessions bit-identical to a fault-free run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod telemetry;
+
+pub use client::{drive_sessions, run_session, SessionScript, Transcript, TransportAction};
+pub use protocol::{
+    DecodeFailure, ErrorCode, QueryKind, Request, Response, WireEvent, WireExtractor,
+};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use session::{Session, SessionStore, StoreCounters, StoreError};
+pub use telemetry::{ServeCounters, ServeTelemetry};

@@ -1,0 +1,613 @@
+//! The serve wire protocol: tagged request/response payloads inside
+//! length-prefixed frames ([`tpcp_trace::FrameReader`]).
+//!
+//! Every payload starts with a one-byte tag, then the session id as a
+//! varint, then tag-specific fields using the trace codec's varint /
+//! zigzag / f64-bits encodings (via [`tpcp_trace::wire`]) — event bytes
+//! on the wire compress exactly like event bytes in a trace file.
+//!
+//! Decoding is total: any byte sequence decodes to either a `Request` or
+//! a [`CodecError`], never a panic, and the server maps decode errors to
+//! a structured [`Response::Error`] frame instead of dropping the
+//! connection. Unknown tags are their own error code so a newer client
+//! degrades loudly against an older server.
+
+use tpcp_trace::{wire, CodecError};
+
+/// Client-frame tags.
+const TAG_HELLO: u8 = 0x01;
+const TAG_EVENTS: u8 = 0x02;
+const TAG_END_INTERVAL: u8 = 0x03;
+const TAG_QUERY: u8 = 0x04;
+const TAG_CLOSE: u8 = 0x05;
+
+/// Server-frame tags.
+const TAG_CLASSIFIED: u8 = 0x81;
+const TAG_ANSWER: u8 = 0x82;
+const TAG_OK: u8 = 0x83;
+const TAG_DRAINING: u8 = 0x84;
+const TAG_ERROR: u8 = 0x7f;
+
+/// Which feature extractor a session's classifier runs (wire code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireExtractor {
+    /// Basic-block-vector approximation (the paper's default).
+    Bbv,
+    /// Touched-region working-set bitmap.
+    WorkingSet,
+    /// Branch-mix histogram.
+    BranchMix,
+}
+
+impl WireExtractor {
+    /// All extractor codes, in wire order.
+    pub const ALL: [Self; 3] = [Self::Bbv, Self::WorkingSet, Self::BranchMix];
+
+    fn code(self) -> u8 {
+        match self {
+            Self::Bbv => 0,
+            Self::WorkingSet => 1,
+            Self::BranchMix => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, CodecError> {
+        match code {
+            0 => Ok(Self::Bbv),
+            1 => Ok(Self::WorkingSet),
+            2 => Ok(Self::BranchMix),
+            _ => Err(CodecError::Truncated),
+        }
+    }
+
+    /// The core extractor kind this wire code selects.
+    pub fn kind(self) -> tpcp_core::ExtractorKind {
+        match self {
+            Self::Bbv => tpcp_core::ExtractorKind::Bbv,
+            Self::WorkingSet => tpcp_core::ExtractorKind::WorkingSet,
+            Self::BranchMix => tpcp_core::ExtractorKind::BranchMix,
+        }
+    }
+}
+
+/// What a query asks about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// The session's most recent phase id.
+    Phase,
+    /// The predicted next phase (and whether the predictor is confident).
+    NextPhase,
+    /// The predicted run-length class of the current phase.
+    RunLength,
+}
+
+impl QueryKind {
+    /// All query kinds, in wire order.
+    pub const ALL: [Self; 3] = [Self::Phase, Self::NextPhase, Self::RunLength];
+
+    fn code(self) -> u8 {
+        match self {
+            Self::Phase => 0,
+            Self::NextPhase => 1,
+            Self::RunLength => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, CodecError> {
+        match code {
+            0 => Ok(Self::Phase),
+            1 => Ok(Self::NextPhase),
+            2 => Ok(Self::RunLength),
+            _ => Err(CodecError::Truncated),
+        }
+    }
+}
+
+/// One committed-branch event on the wire: the PC as a zigzag delta from
+/// the previous event *in the same frame* (the first event's delta is
+/// from 0), and the instruction count since the previous event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEvent {
+    /// Branch program counter.
+    pub pc: u64,
+    /// Instructions committed since the previous event.
+    pub insns: u64,
+}
+
+/// A decoded client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open session `session` with the given extractor back-end.
+    Hello {
+        /// Session id (client-chosen, nonzero).
+        session: u64,
+        /// Which feature extractor the session's classifier uses.
+        extractor: WireExtractor,
+    },
+    /// Feed committed-branch events into the session's current interval.
+    Events {
+        /// Session id.
+        session: u64,
+        /// The decoded events.
+        events: Vec<WireEvent>,
+    },
+    /// Close the session's current interval with its measured CPI.
+    EndInterval {
+        /// Session id.
+        session: u64,
+        /// The interval's cycles-per-instruction feedback metric.
+        cpi: f64,
+    },
+    /// Ask about the session's classification or prediction state.
+    Query {
+        /// Session id.
+        session: u64,
+        /// What to ask.
+        kind: QueryKind,
+    },
+    /// Retire the session and free its table space.
+    Close {
+        /// Session id.
+        session: u64,
+    },
+}
+
+/// Structured error codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame payload failed to decode.
+    Malformed,
+    /// The frame referenced a session that is neither live nor parked.
+    UnknownSession,
+    /// The frame declared a payload beyond the frame limit.
+    Oversized,
+    /// A `Hello` re-used a session id that is still live or parked.
+    SessionExists,
+    /// The server is draining and accepts no new work.
+    Draining,
+    /// The frame's tag byte is not part of this protocol version.
+    BadTag,
+}
+
+impl ErrorCode {
+    fn code(self) -> u8 {
+        match self {
+            Self::Malformed => 1,
+            Self::UnknownSession => 2,
+            Self::Oversized => 3,
+            Self::SessionExists => 4,
+            Self::Draining => 5,
+            Self::BadTag => 6,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, CodecError> {
+        match code {
+            1 => Ok(Self::Malformed),
+            2 => Ok(Self::UnknownSession),
+            3 => Ok(Self::Oversized),
+            4 => Ok(Self::SessionExists),
+            5 => Ok(Self::Draining),
+            6 => Ok(Self::BadTag),
+            _ => Err(CodecError::Truncated),
+        }
+    }
+}
+
+/// A decoded server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The interval was classified (answer to `EndInterval`).
+    Classified {
+        /// Session id.
+        session: u64,
+        /// The phase the interval was classified into.
+        phase: u64,
+        /// Whether the interval is in the transition phase.
+        transition: bool,
+        /// Total intervals this session has classified.
+        intervals: u64,
+    },
+    /// The answer to a `Query`.
+    Answer {
+        /// Session id.
+        session: u64,
+        /// Which query this answers.
+        kind: QueryKind,
+        /// `Some((value, confident))` when the session has an answer:
+        /// a phase id for `Phase`/`NextPhase`, a run-length-class code
+        /// for `RunLength`. `confident` is meaningful for `NextPhase`.
+        value: Option<(u64, bool)>,
+    },
+    /// Acknowledges `Hello` and `Close`.
+    Ok {
+        /// Session id.
+        session: u64,
+    },
+    /// The server is draining; the client should close.
+    Draining,
+    /// A structured per-session error; the connection stays usable
+    /// unless the transport itself is broken.
+    Error {
+        /// Session id the failing frame named (0 when undecodable).
+        session: u64,
+        /// The structured error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Request {
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Self::Hello { session, extractor } => {
+                buf.push(TAG_HELLO);
+                wire::put_varint(&mut buf, *session);
+                buf.push(extractor.code());
+            }
+            Self::Events { session, events } => {
+                buf.push(TAG_EVENTS);
+                wire::put_varint(&mut buf, *session);
+                wire::put_varint(&mut buf, events.len() as u64);
+                let mut prev_pc = 0u64;
+                for ev in events {
+                    wire::put_signed(&mut buf, ev.pc.wrapping_sub(prev_pc) as i64);
+                    wire::put_varint(&mut buf, ev.insns);
+                    prev_pc = ev.pc;
+                }
+            }
+            Self::EndInterval { session, cpi } => {
+                buf.push(TAG_END_INTERVAL);
+                wire::put_varint(&mut buf, *session);
+                wire::put_f64(&mut buf, *cpi);
+            }
+            Self::Query { session, kind } => {
+                buf.push(TAG_QUERY);
+                wire::put_varint(&mut buf, *session);
+                buf.push(kind.code());
+            }
+            Self::Close { session } => {
+                buf.push(TAG_CLOSE);
+                wire::put_varint(&mut buf, *session);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a frame payload into a request.
+    ///
+    /// The error side carries the session id when it decoded before the
+    /// failure (so the server can address its error frame) and `0`
+    /// otherwise. An unknown tag is distinguished from a malformed body.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeFailure> {
+        let mut pos = 0usize;
+        let tag = wire::read_u8(payload, &mut pos).map_err(|e| DecodeFailure {
+            session: 0,
+            code: ErrorCode::Malformed,
+            error: e,
+        })?;
+        if !matches!(
+            tag,
+            TAG_HELLO | TAG_EVENTS | TAG_END_INTERVAL | TAG_QUERY | TAG_CLOSE
+        ) {
+            return Err(DecodeFailure {
+                session: 0,
+                code: ErrorCode::BadTag,
+                error: CodecError::Truncated,
+            });
+        }
+        let session = wire::read_varint(payload, &mut pos).map_err(|e| DecodeFailure {
+            session: 0,
+            code: ErrorCode::Malformed,
+            error: e,
+        })?;
+        let fail = |error: CodecError| DecodeFailure {
+            session,
+            code: ErrorCode::Malformed,
+            error,
+        };
+        let decoded = match tag {
+            TAG_HELLO => {
+                let extractor =
+                    WireExtractor::from_code(wire::read_u8(payload, &mut pos).map_err(fail)?)
+                        .map_err(fail)?;
+                Self::Hello { session, extractor }
+            }
+            TAG_EVENTS => {
+                let count = wire::read_varint(payload, &mut pos).map_err(fail)?;
+                // OOM guard: every event needs at least 2 payload bytes,
+                // so bound the declared count against what is actually
+                // present before allocating.
+                let remaining = payload.len().saturating_sub(pos) as u64;
+                if count > remaining / 2 {
+                    return Err(fail(CodecError::ImplausibleLength));
+                }
+                let mut events = Vec::with_capacity(count as usize);
+                let mut pc = 0u64;
+                for _ in 0..count {
+                    let delta = wire::read_signed(payload, &mut pos).map_err(fail)?;
+                    pc = pc.wrapping_add(delta as u64);
+                    let insns = wire::read_varint(payload, &mut pos).map_err(fail)?;
+                    events.push(WireEvent { pc, insns });
+                }
+                Self::Events { session, events }
+            }
+            TAG_END_INTERVAL => Self::EndInterval {
+                session,
+                cpi: wire::read_f64(payload, &mut pos).map_err(fail)?,
+            },
+            TAG_QUERY => Self::Query {
+                session,
+                kind: QueryKind::from_code(wire::read_u8(payload, &mut pos).map_err(fail)?)
+                    .map_err(fail)?,
+            },
+            // Tag membership was checked above.
+            _ => Self::Close { session },
+        };
+        if pos != payload.len() {
+            return Err(fail(CodecError::Truncated));
+        }
+        Ok(decoded)
+    }
+}
+
+/// Why a client frame failed to decode: the structured code and session
+/// id the server should put in its error response, plus the underlying
+/// codec error for the detail string.
+#[derive(Debug)]
+pub struct DecodeFailure {
+    /// Session id if it decoded before the failure, else 0.
+    pub session: u64,
+    /// The structured error code to report.
+    pub code: ErrorCode,
+    /// The underlying codec error.
+    pub error: CodecError,
+}
+
+impl Response {
+    /// Encodes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Self::Classified {
+                session,
+                phase,
+                transition,
+                intervals,
+            } => {
+                buf.push(TAG_CLASSIFIED);
+                wire::put_varint(&mut buf, *session);
+                wire::put_varint(&mut buf, *phase);
+                buf.push(u8::from(*transition));
+                wire::put_varint(&mut buf, *intervals);
+            }
+            Self::Answer {
+                session,
+                kind,
+                value,
+            } => {
+                buf.push(TAG_ANSWER);
+                wire::put_varint(&mut buf, *session);
+                buf.push(kind.code());
+                match value {
+                    Some((v, confident)) => {
+                        buf.push(1);
+                        wire::put_varint(&mut buf, *v);
+                        buf.push(u8::from(*confident));
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Self::Ok { session } => {
+                buf.push(TAG_OK);
+                wire::put_varint(&mut buf, *session);
+            }
+            Self::Draining => buf.push(TAG_DRAINING),
+            Self::Error {
+                session,
+                code,
+                detail,
+            } => {
+                buf.push(TAG_ERROR);
+                wire::put_varint(&mut buf, *session);
+                buf.push(code.code());
+                let detail = detail.as_bytes();
+                wire::put_varint(&mut buf, detail.len() as u64);
+                buf.extend_from_slice(detail);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a frame payload into a response (used by clients).
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut pos = 0usize;
+        let tag = wire::read_u8(payload, &mut pos)?;
+        let decoded = match tag {
+            TAG_CLASSIFIED => {
+                let session = wire::read_varint(payload, &mut pos)?;
+                let phase = wire::read_varint(payload, &mut pos)?;
+                let transition = wire::read_u8(payload, &mut pos)? != 0;
+                let intervals = wire::read_varint(payload, &mut pos)?;
+                Self::Classified {
+                    session,
+                    phase,
+                    transition,
+                    intervals,
+                }
+            }
+            TAG_ANSWER => {
+                let session = wire::read_varint(payload, &mut pos)?;
+                let kind = QueryKind::from_code(wire::read_u8(payload, &mut pos)?)?;
+                let value = if wire::read_u8(payload, &mut pos)? != 0 {
+                    let v = wire::read_varint(payload, &mut pos)?;
+                    let confident = wire::read_u8(payload, &mut pos)? != 0;
+                    Some((v, confident))
+                } else {
+                    None
+                };
+                Self::Answer {
+                    session,
+                    kind,
+                    value,
+                }
+            }
+            TAG_OK => Self::Ok {
+                session: wire::read_varint(payload, &mut pos)?,
+            },
+            TAG_DRAINING => Self::Draining,
+            TAG_ERROR => {
+                let session = wire::read_varint(payload, &mut pos)?;
+                let code = ErrorCode::from_code(wire::read_u8(payload, &mut pos)?)?;
+                let len = wire::read_varint(payload, &mut pos)?;
+                let remaining = payload.len().saturating_sub(pos) as u64;
+                if len > remaining {
+                    return Err(CodecError::ImplausibleLength);
+                }
+                let end = pos + len as usize;
+                let detail = String::from_utf8_lossy(&payload[pos..end]).into_owned();
+                pos = end;
+                Self::Error {
+                    session,
+                    code,
+                    detail,
+                }
+            }
+            _ => return Err(CodecError::Truncated),
+        };
+        if pos != payload.len() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(decoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Hello {
+                session: 7,
+                extractor: WireExtractor::WorkingSet,
+            },
+            Request::Events {
+                session: 7,
+                events: vec![
+                    WireEvent {
+                        pc: 0x40_0000,
+                        insns: 120,
+                    },
+                    WireEvent {
+                        pc: 0x3f_fff0,
+                        insns: 4,
+                    },
+                ],
+            },
+            Request::EndInterval {
+                session: 7,
+                cpi: 1.375,
+            },
+            Request::Query {
+                session: 7,
+                kind: QueryKind::NextPhase,
+            },
+            Request::Close { session: 7 },
+        ];
+        for request in requests {
+            let decoded = Request::decode(&request.encode()).expect("round trip");
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Classified {
+                session: 3,
+                phase: 12,
+                transition: true,
+                intervals: 900,
+            },
+            Response::Answer {
+                session: 3,
+                kind: QueryKind::RunLength,
+                value: Some((2, true)),
+            },
+            Response::Answer {
+                session: 3,
+                kind: QueryKind::Phase,
+                value: None,
+            },
+            Response::Ok { session: 3 },
+            Response::Draining,
+            Response::Error {
+                session: 0,
+                code: ErrorCode::Malformed,
+                detail: "varint ran off the end".to_owned(),
+            },
+        ];
+        for response in responses {
+            let decoded = Response::decode(&response.encode()).expect("round trip");
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_bad_tag_not_malformed() {
+        let failure = Request::decode(&[0x60, 0x01]).expect_err("unknown tag");
+        assert_eq!(failure.code, ErrorCode::BadTag);
+        assert_eq!(failure.session, 0);
+    }
+
+    #[test]
+    fn malformed_body_reports_the_session_it_decoded() {
+        // A QUERY naming session 9 with a missing kind byte.
+        let failure = Request::decode(&[TAG_QUERY, 9]).expect_err("missing kind");
+        assert_eq!(failure.code, ErrorCode::Malformed);
+        assert_eq!(failure.session, 9);
+    }
+
+    #[test]
+    fn event_count_is_bounded_before_allocation() {
+        // EVENTS declaring u64::MAX events with 2 bytes of payload: the
+        // count must be rejected by the plausibility bound, not trusted
+        // into a Vec::with_capacity.
+        let mut buf = vec![TAG_EVENTS, 1];
+        wire::put_varint(&mut buf, u64::MAX);
+        buf.extend_from_slice(&[0, 0]);
+        let failure = Request::decode(&buf).expect_err("implausible count");
+        assert_eq!(failure.code, ErrorCode::Malformed);
+        assert!(matches!(failure.error, CodecError::ImplausibleLength));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Request::Close { session: 1 }.encode();
+        buf.push(0);
+        assert!(Request::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn every_request_prefix_truncation_errors_without_panicking() {
+        let full = Request::Events {
+            session: 1,
+            events: vec![
+                WireEvent {
+                    pc: 0x1000,
+                    insns: 50
+                };
+                8
+            ],
+        }
+        .encode();
+        for len in 0..full.len() {
+            assert!(Request::decode(&full[..len]).is_err(), "prefix {len}");
+        }
+    }
+}

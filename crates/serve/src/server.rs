@@ -1,0 +1,561 @@
+//! The serve loop: accept with exponential-backoff retry, per-connection
+//! read deadlines, bounded per-connection write queues, and graceful
+//! drain.
+//!
+//! # Failure model
+//!
+//! Every failure degrades the smallest unit that contains it:
+//!
+//! - a **malformed frame** costs one error response — the connection and
+//!   every session stay up;
+//! - an **oversized frame** costs the connection (the stream offset is
+//!   unrecoverable once a length prefix lies) but no session state;
+//! - an **idle or stalled peer** costs its own connection at the read
+//!   deadline; sessions survive for the next connection to resume;
+//! - a **slow reader** fills only its own bounded response queue — the
+//!   reader thread blocks on *its* queue while every other connection's
+//!   queue keeps draining (the session-store lock is never held across a
+//!   send);
+//! - **memory pressure** parks LRU sessions as snapshots instead of
+//!   growing without bound (see [`SessionStore`]);
+//! - **drain** (SIGTERM or [`ServerHandle::begin_drain`]) stops accepting,
+//!   lets in-flight work flush within a deadline, then freezes a final
+//!   telemetry snapshot.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use tpcp_trace::{FrameError, FrameReader, FrameWriter};
+
+use crate::protocol::{DecodeFailure, ErrorCode, Request, Response};
+use crate::session::{SessionStore, StoreError};
+use crate::telemetry::{ServeCounters, ServeTelemetry};
+
+/// Tuning knobs for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP bind address (e.g. `127.0.0.1:0`); `None` disables TCP.
+    pub tcp: Option<String>,
+    /// Unix socket path; `None` disables the Unix listener.
+    pub unix: Option<PathBuf>,
+    /// Most sessions kept materialized before LRU eviction parks them.
+    pub max_live: usize,
+    /// Most parked snapshots kept before the oldest is dropped.
+    pub max_parked: usize,
+    /// Socket read deadline — the poll tick that turns silence into
+    /// [`FrameError::Idle`] / [`FrameError::Stalled`].
+    pub read_timeout: Duration,
+    /// How long a connection may sit idle at a frame boundary before the
+    /// server closes it.
+    pub idle_timeout: Duration,
+    /// Socket write deadline — a reader that stops draining its queue
+    /// this long loses its connection (never its sessions).
+    pub write_timeout: Duration,
+    /// Responses queued per connection before the reader thread blocks
+    /// (backpressure is per-connection by construction).
+    pub response_queue: usize,
+    /// How long drain waits for in-flight connections to finish.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            tcp: Some("127.0.0.1:0".to_owned()),
+            unix: None,
+            max_live: 256,
+            max_parked: 1024,
+            read_timeout: Duration::from_millis(100),
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            response_queue: 8,
+            drain_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// State shared between the accept loop and every connection thread.
+struct Shared {
+    store: Mutex<SessionStore>,
+    counters: ServeCounters,
+    /// Set by [`ServerHandle::begin_drain`]; the accept loop stops and
+    /// connections answer `Draining` and close at their next deadline.
+    stop: AtomicBool,
+    /// The wall-clock moment drain must finish, set when drain begins.
+    drain_by: Mutex<Option<Instant>>,
+    read_timeout: Duration,
+    idle_timeout: Duration,
+    response_queue: usize,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn past_drain_deadline(&self) -> bool {
+        match *self.drain_by.lock() {
+            Some(by) => Instant::now() >= by,
+            None => false,
+        }
+    }
+}
+
+/// A running server.
+pub struct Server;
+
+/// Handle to a spawned server: its bound addresses, a drain trigger, and
+/// the final telemetry on join.
+pub struct ServerHandle {
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+    shared: Arc<Shared>,
+    thread: thread::JoinHandle<ServeTelemetry>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address, if a TCP listener was configured.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The Unix socket path, if a Unix listener was configured.
+    pub fn unix_path(&self) -> Option<&PathBuf> {
+        self.unix_path.as_ref()
+    }
+
+    /// Requests a graceful drain: stop accepting, flush in-flight work,
+    /// freeze telemetry. Idempotent.
+    pub fn begin_drain(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the serve loop is still running.
+    pub fn is_running(&self) -> bool {
+        !self.thread.is_finished()
+    }
+
+    /// Drains (if not already draining) and waits for the final telemetry
+    /// snapshot.
+    pub fn join(self) -> ServeTelemetry {
+        self.begin_drain();
+        match self.thread.join() {
+            Ok(telemetry) => telemetry,
+            // The serve loop isolates every per-connection panic; one
+            // escaping is an internal bug, surfaced loudly.
+            Err(_) => panic!("serve loop panicked"),
+        }
+    }
+}
+
+impl Server {
+    /// Binds the configured listeners and spawns the serve loop on a
+    /// background thread. Fails only on bind errors; everything after is
+    /// handled inside the loop.
+    pub fn spawn(config: ServeConfig) -> io::Result<ServerHandle> {
+        let tcp = match &config.tcp {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let tcp_addr = match &tcp {
+            Some(listener) => Some(listener.local_addr()?),
+            None => None,
+        };
+        let unix = match &config.unix {
+            Some(path) => {
+                // A stale socket file from a previous run blocks the bind.
+                let _ = std::fs::remove_file(path);
+                Some(std::os::unix::net::UnixListener::bind(path)?)
+            }
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            store: Mutex::new(SessionStore::new(config.max_live, config.max_parked)),
+            counters: ServeCounters::default(),
+            stop: AtomicBool::new(false),
+            drain_by: Mutex::new(None),
+            read_timeout: config.read_timeout,
+            idle_timeout: config.idle_timeout,
+            response_queue: config.response_queue,
+        });
+        let loop_shared = Arc::clone(&shared);
+        let unix_path = config.unix.clone();
+        let thread = thread::spawn(move || accept_loop(tcp, unix, config, loop_shared));
+        Ok(ServerHandle {
+            tcp_addr,
+            unix_path,
+            shared,
+            thread,
+        })
+    }
+}
+
+/// Sleeps `total`, in small slices so a drain request cuts the sleep
+/// short.
+fn backoff_sleep(shared: &Shared, total: Duration) {
+    let slice = Duration::from_millis(20);
+    let mut remaining = total;
+    while !remaining.is_zero() && !shared.draining() {
+        let step = remaining.min(slice);
+        thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}
+
+/// One accept attempt's outcome, unified across listener kinds.
+enum Accepted {
+    /// A connection arrived and its threads were spawned.
+    Conn(thread::JoinHandle<()>),
+    /// Nothing pending.
+    WouldBlock,
+    /// The listener failed transiently (backoff and retry).
+    Failed,
+}
+
+fn accept_tcp(listener: &TcpListener, config: &ServeConfig, shared: &Arc<Shared>) -> Accepted {
+    match listener.accept() {
+        Ok((stream, _)) => spawn_connection(stream, config, shared),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Accepted::WouldBlock,
+        Err(_) => Accepted::Failed,
+    }
+}
+
+fn accept_unix(
+    listener: &std::os::unix::net::UnixListener,
+    config: &ServeConfig,
+    shared: &Arc<Shared>,
+) -> Accepted {
+    match listener.accept() {
+        Ok((stream, _)) => spawn_unix_connection(stream, config, shared),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Accepted::WouldBlock,
+        Err(_) => Accepted::Failed,
+    }
+}
+
+fn spawn_connection(stream: TcpStream, config: &ServeConfig, shared: &Arc<Shared>) -> Accepted {
+    // Frames are latency-bound request/response units; Nagle delays on
+    // small responses read as server-side stalls to a deadline-running
+    // client.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let Ok(write_half) = stream.try_clone() else {
+        return Accepted::Failed;
+    };
+    ServeCounters::bump(&shared.counters.connections);
+    let shared = Arc::clone(shared);
+    Accepted::Conn(thread::spawn(move || {
+        serve_connection(stream, write_half, &shared);
+    }))
+}
+
+fn spawn_unix_connection(
+    stream: std::os::unix::net::UnixStream,
+    config: &ServeConfig,
+    shared: &Arc<Shared>,
+) -> Accepted {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let Ok(write_half) = stream.try_clone() else {
+        return Accepted::Failed;
+    };
+    ServeCounters::bump(&shared.counters.connections);
+    let shared = Arc::clone(shared);
+    Accepted::Conn(thread::spawn(move || {
+        serve_connection(stream, write_half, &shared);
+    }))
+}
+
+/// The accept loop: polls the nonblocking listeners, backing off
+/// exponentially (1 ms doubling to 1 s) while nothing is pending or a
+/// listener errors, resetting on every accepted connection. On drain it
+/// stops accepting, arms the drain deadline, joins the connection
+/// threads, and freezes the final telemetry snapshot.
+fn accept_loop(
+    tcp: Option<TcpListener>,
+    unix: Option<std::os::unix::net::UnixListener>,
+    config: ServeConfig,
+    shared: Arc<Shared>,
+) -> ServeTelemetry {
+    if let Some(listener) = &tcp {
+        let _ = listener.set_nonblocking(true);
+    }
+    if let Some(listener) = &unix {
+        let _ = listener.set_nonblocking(true);
+    }
+    const BACKOFF_MIN: Duration = Duration::from_millis(1);
+    const BACKOFF_MAX: Duration = Duration::from_secs(1);
+    let mut backoff = BACKOFF_MIN;
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !shared.draining() {
+        let mut progressed = false;
+        for accepted in tcp
+            .as_ref()
+            .map(|l| accept_tcp(l, &config, &shared))
+            .into_iter()
+            .chain(unix.as_ref().map(|l| accept_unix(l, &config, &shared)))
+        {
+            match accepted {
+                Accepted::Conn(handle) => {
+                    connections.push(handle);
+                    progressed = true;
+                }
+                Accepted::WouldBlock | Accepted::Failed => {}
+            }
+        }
+        if progressed {
+            backoff = BACKOFF_MIN;
+        } else {
+            backoff_sleep(&shared, backoff);
+            backoff = (backoff * 2).min(BACKOFF_MAX);
+        }
+        // Reap finished connection threads so the handle list stays
+        // bounded by *live* connections.
+        connections.retain(|h| !h.is_finished());
+    }
+    // Drain: arm the deadline every connection thread checks, then wait
+    // for them. The deadline guarantees each loop exits within one read
+    // tick of it, so these joins are bounded.
+    *shared.drain_by.lock() = Some(Instant::now() + config.drain_deadline);
+    for handle in connections {
+        let _ = handle.join();
+    }
+    if let Some(path) = &config.unix {
+        let _ = std::fs::remove_file(path);
+    }
+    let store = shared.store.lock().counters();
+    ServeTelemetry::freeze(&shared.counters, store, true)
+}
+
+/// Outcome of handling one decoded frame.
+enum FrameOutcome {
+    /// Keep reading.
+    Continue,
+    /// Stop reading (the stream is unrecoverable or the client closed).
+    Close,
+}
+
+/// Serves one connection: reads frames on this thread, writes responses
+/// from a dedicated writer thread fed by a bounded queue, so a peer that
+/// stops reading blocks only this connection.
+fn serve_connection<R: Read, W: Write + Send + 'static>(read: R, write: W, shared: &Shared) {
+    let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(shared.response_queue.max(1));
+    let writer = thread::spawn(move || {
+        let mut frames = FrameWriter::new(write);
+        let mut written = 0u64;
+        while let Ok(payload) = rx.recv() {
+            if frames.write_frame(&payload).is_err() {
+                // Write deadline or broken pipe: stop draining the queue;
+                // the closed channel unblocks the reader thread.
+                break;
+            }
+            written += 1;
+        }
+        written
+    });
+
+    let mut reader = FrameReader::new(read);
+    let mut idle = Duration::ZERO;
+    loop {
+        if shared.draining() && shared.past_drain_deadline() {
+            let _ = tx.send(Response::Draining.encode());
+            break;
+        }
+        match reader.read_frame() {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                idle = Duration::ZERO;
+                ServeCounters::bump(&shared.counters.frames_read);
+                match handle_frame(payload, shared, &tx) {
+                    FrameOutcome::Continue => {}
+                    FrameOutcome::Close => break,
+                }
+            }
+            Err(FrameError::Idle) => {
+                if shared.draining() {
+                    let _ = tx.send(Response::Draining.encode());
+                    break;
+                }
+                idle += shared.read_timeout;
+                if idle >= shared.idle_timeout {
+                    ServeCounters::bump(&shared.counters.idle_closes);
+                    break;
+                }
+            }
+            Err(FrameError::Stalled) => {
+                ServeCounters::bump(&shared.counters.stalled_closes);
+                break;
+            }
+            Err(FrameError::Truncated) => {
+                ServeCounters::bump(&shared.counters.truncated_closes);
+                break;
+            }
+            Err(FrameError::Oversized { declared }) => {
+                // The prefix lied, so the stream offset is gone — answer
+                // the error, then close.
+                ServeCounters::bump(&shared.counters.oversized_frames);
+                let _ = tx.send(
+                    Response::Error {
+                        session: 0,
+                        code: ErrorCode::Oversized,
+                        detail: format!("declared frame length {declared}"),
+                    }
+                    .encode(),
+                );
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        }
+    }
+    drop(tx);
+    if let Ok(written) = writer.join() {
+        shared
+            .counters
+            .frames_written
+            .fetch_add(written, Ordering::Relaxed);
+    }
+}
+
+/// Maps a store error to its protocol response.
+fn store_error(session: u64, err: &StoreError) -> Response {
+    let (code, detail) = match err {
+        StoreError::UnknownSession => (ErrorCode::UnknownSession, "no such session".to_owned()),
+        StoreError::SessionExists => (
+            ErrorCode::SessionExists,
+            "session id already in use".to_owned(),
+        ),
+        StoreError::Restore(e) => (
+            ErrorCode::Malformed,
+            format!("session snapshot failed to restore: {e}"),
+        ),
+    };
+    Response::Error {
+        session,
+        code,
+        detail,
+    }
+}
+
+/// Decodes and executes one frame, sending the response (if any) through
+/// the connection's bounded queue. Store work happens under the store
+/// lock; the send happens after it is released, so a blocked send never
+/// stalls other connections' store access.
+fn handle_frame(
+    payload: &[u8],
+    shared: &Shared,
+    tx: &crossbeam::channel::Sender<Vec<u8>>,
+) -> FrameOutcome {
+    let request = match Request::decode(payload) {
+        Ok(request) => request,
+        Err(DecodeFailure {
+            session,
+            code,
+            error,
+        }) => {
+            // Malformed payload inside a well-formed frame: the stream
+            // stays frame-aligned, so answer and keep the connection.
+            ServeCounters::bump(&shared.counters.malformed_frames);
+            let _ = tx.send(
+                Response::Error {
+                    session,
+                    code,
+                    detail: error.to_string(),
+                }
+                .encode(),
+            );
+            return FrameOutcome::Continue;
+        }
+    };
+    let response = match request {
+        Request::Hello { session, extractor } => {
+            if shared.draining() {
+                Some(Response::Error {
+                    session,
+                    code: ErrorCode::Draining,
+                    detail: "server is draining".to_owned(),
+                })
+            } else if session == 0 {
+                Some(Response::Error {
+                    session,
+                    code: ErrorCode::Malformed,
+                    detail: "session id 0 is reserved".to_owned(),
+                })
+            } else {
+                match shared.store.lock().open(session, extractor) {
+                    Ok(()) => Some(Response::Ok { session }),
+                    Err(e) => Some(store_error(session, &e)),
+                }
+            }
+        }
+        Request::Events { session, events } => {
+            let mut store = shared.store.lock();
+            match store.touch(session) {
+                Ok(live) => {
+                    live.observe(events.iter().map(|ev| {
+                        // Wire insns are varint u64; the event type
+                        // carries u32. Saturate deterministically.
+                        let insns = ev.insns.min(u64::from(u32::MAX)) as u32;
+                        tpcp_core::BranchEvent::new(ev.pc, insns)
+                    }));
+                    // Fire-and-forget: events are the hot path, and the
+                    // interval boundary acknowledges the whole batch.
+                    None
+                }
+                Err(e) => Some(store_error(session, &e)),
+            }
+        }
+        Request::EndInterval { session, cpi } => {
+            let result = {
+                let mut store = shared.store.lock();
+                store.touch(session).map(|live| live.end_interval(cpi))
+            };
+            match result {
+                Ok(classified) => {
+                    ServeCounters::bump(&shared.counters.intervals);
+                    Some(Response::Classified {
+                        session,
+                        phase: classified.phase,
+                        transition: classified.transition,
+                        intervals: classified.intervals,
+                    })
+                }
+                Err(e) => Some(store_error(session, &e)),
+            }
+        }
+        Request::Query { session, kind } => {
+            let result = {
+                let mut store = shared.store.lock();
+                store.touch(session).map(|live| live.query(kind))
+            };
+            match result {
+                Ok(value) => {
+                    ServeCounters::bump(&shared.counters.queries);
+                    Some(Response::Answer {
+                        session,
+                        kind,
+                        value,
+                    })
+                }
+                Err(e) => Some(store_error(session, &e)),
+            }
+        }
+        Request::Close { session } => match shared.store.lock().close(session) {
+            Ok(()) => Some(Response::Ok { session }),
+            Err(e) => Some(store_error(session, &e)),
+        },
+    };
+    if let Some(response) = response {
+        // This send is the per-connection backpressure point: it blocks
+        // when this client stops reading, and only then.
+        if tx.send(response.encode()).is_err() {
+            return FrameOutcome::Close;
+        }
+    }
+    FrameOutcome::Continue
+}

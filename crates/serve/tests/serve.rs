@@ -1,0 +1,386 @@
+//! End-to-end tests for `tpcp-serve`: protocol round-trips over real
+//! sockets, malformed-frame tolerance, backpressure isolation, graceful
+//! drain, and (under `fault-inject`) the transport chaos suite pinning
+//! survivor sessions bit-identical to a fault-free run.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use tpcp_serve::client::{drive_sessions, no_faults, run_session, SessionScript};
+use tpcp_serve::protocol::{QueryKind, Request, Response, WireExtractor};
+use tpcp_serve::server::{ServeConfig, Server, ServerHandle};
+use tpcp_trace::{FrameReader, FrameWriter};
+
+/// Small timeouts so failure-path tests finish in milliseconds, with an
+/// idle window generous enough that healthy clients never trip it.
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        read_timeout: Duration::from_millis(25),
+        idle_timeout: Duration::from_secs(5),
+        drain_deadline: Duration::from_secs(2),
+        ..ServeConfig::default()
+    }
+}
+
+fn spawn(config: ServeConfig) -> (ServerHandle, SocketAddr) {
+    let handle = Server::spawn(config).expect("bind on loopback");
+    let addr = handle.tcp_addr().expect("tcp listener configured");
+    (handle, addr)
+}
+
+/// Time a stall fault holds its socket silent — must out-wait the
+/// server's 25ms read tick by a wide margin.
+const STALL_HOLD: Duration = Duration::from_millis(200);
+
+/// A raw frame-level client for tests that need to misbehave on purpose.
+struct TestClient {
+    reader: FrameReader<TcpStream>,
+    writer: FrameWriter<TcpStream>,
+}
+
+impl TestClient {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("set client read timeout");
+        let write = stream.try_clone().expect("clone stream for writing");
+        Self {
+            reader: FrameReader::new(stream),
+            writer: FrameWriter::new(write),
+        }
+    }
+
+    fn send(&mut self, request: &Request) {
+        self.writer
+            .write_frame(&request.encode())
+            .expect("write request frame");
+    }
+
+    fn send_raw(&mut self, payload: &[u8]) {
+        self.writer.write_frame(payload).expect("write raw frame");
+    }
+
+    fn recv(&mut self) -> Response {
+        let payload = self
+            .reader
+            .read_frame()
+            .expect("read response frame")
+            .expect("server closed unexpectedly");
+        Response::decode(payload).expect("decode response")
+    }
+}
+
+#[test]
+fn identical_scripts_produce_bitwise_identical_transcripts() {
+    let scripts: Vec<SessionScript> = (1..=6).map(|s| SessionScript::for_session(s, 8)).collect();
+
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let (handle, addr) = spawn(quick_config());
+        let transcripts: Vec<_> = drive_sessions(addr, &scripts, &no_faults, STALL_HOLD)
+            .into_iter()
+            .map(|r| r.expect("fault-free session must succeed"))
+            .collect();
+        let telemetry = handle.join();
+        assert!(telemetry.drained);
+        assert_eq!(telemetry.connections, scripts.len() as u64);
+        runs.push(transcripts);
+    }
+
+    for (script, (a, b)) in scripts.iter().zip(runs[0].iter().zip(&runs[1])) {
+        assert!(a.completed, "session {} did not complete", script.session);
+        assert_eq!(
+            a.classified.len(),
+            script.intervals as usize,
+            "one Classified per interval"
+        );
+        assert_eq!(a, b, "session {} diverged across runs", script.session);
+    }
+}
+
+#[test]
+fn malformed_frame_gets_error_response_and_connection_survives() {
+    let (handle, addr) = spawn(quick_config());
+    let mut client = TestClient::connect(addr);
+
+    // A well-formed frame whose payload is garbage: structured error,
+    // stream stays frame-aligned, connection stays up.
+    client.send_raw(&[0xee, 0xee, 0xee]);
+    match client.recv() {
+        Response::Error { .. } => {}
+        other => panic!("expected an error response, got {other:?}"),
+    }
+
+    // The same connection still serves real sessions.
+    client.send(&Request::Hello {
+        session: 7,
+        extractor: WireExtractor::Bbv,
+    });
+    assert!(matches!(client.recv(), Response::Ok { session: 7 }));
+    client.send(&Request::EndInterval {
+        session: 7,
+        cpi: 1.25,
+    });
+    assert!(matches!(
+        client.recv(),
+        Response::Classified {
+            session: 7,
+            intervals: 1,
+            ..
+        }
+    ));
+
+    let telemetry = handle.join();
+    assert_eq!(telemetry.malformed_frames, 1);
+    assert_eq!(telemetry.intervals, 1);
+}
+
+#[test]
+fn oversized_frame_is_answered_then_connection_closes() {
+    let (handle, addr) = spawn(quick_config());
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    let mut write = stream.try_clone().expect("clone stream");
+    // A length prefix declaring far more than FRAME_MAX.
+    write
+        .write_all(&u32::MAX.to_le_bytes())
+        .expect("send garbage prefix");
+    write.flush().expect("flush");
+
+    let mut reader = FrameReader::new(stream);
+    let payload = reader
+        .read_frame()
+        .expect("server answers before closing")
+        .expect("error frame expected");
+    match Response::decode(payload).expect("decode error response") {
+        Response::Error { detail, .. } => assert!(detail.contains("declared frame length")),
+        other => panic!("expected oversized error, got {other:?}"),
+    }
+    // Then EOF: the stream offset was unrecoverable.
+    assert!(matches!(reader.read_frame(), Ok(None)));
+
+    let telemetry = handle.join();
+    assert_eq!(telemetry.oversized_frames, 1);
+}
+
+#[test]
+fn slow_reader_does_not_stall_sibling_sessions() {
+    let mut config = quick_config();
+    config.response_queue = 4;
+    let (handle, addr) = spawn(config);
+
+    // The laggard: floods interval requests without reading a single
+    // response, so its bounded queue fills and *its* reader blocks.
+    let mut laggard = TestClient::connect(addr);
+    laggard.send(&Request::Hello {
+        session: 100,
+        extractor: WireExtractor::WorkingSet,
+    });
+    assert!(matches!(laggard.recv(), Response::Ok { session: 100 }));
+    const FLOOD: u64 = 200;
+    for i in 0..FLOOD {
+        laggard.send(&Request::EndInterval {
+            session: 100,
+            cpi: 1.0 + (i as f64) / 100.0,
+        });
+    }
+
+    // A healthy sibling must run to completion while the laggard's
+    // responses are still queued.
+    let script = SessionScript::for_session(101, 8);
+    let transcript =
+        run_session(addr, &script, &no_faults, STALL_HOLD).expect("sibling session succeeds");
+    assert!(transcript.completed);
+
+    // The laggard's responses were never lost — they all arrive, in
+    // order, once it finally reads.
+    for i in 0..FLOOD {
+        match laggard.recv() {
+            Response::Classified {
+                session: 100,
+                intervals,
+                ..
+            } => assert_eq!(intervals, i + 1),
+            other => panic!("expected Classified #{i}, got {other:?}"),
+        }
+    }
+
+    let telemetry = handle.join();
+    assert_eq!(telemetry.intervals, FLOOD + 8);
+}
+
+#[test]
+fn unix_socket_serves_the_same_protocol() {
+    let dir = std::env::temp_dir().join(format!("tpcp-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create socket dir");
+    let socket = dir.join("serve.sock");
+    let mut config = quick_config();
+    config.unix = Some(socket.clone());
+    let handle = Server::spawn(config).expect("bind tcp + unix");
+
+    let stream = std::os::unix::net::UnixStream::connect(&socket).expect("connect unix socket");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    let write = stream.try_clone().expect("clone unix stream");
+    let mut reader = FrameReader::new(stream);
+    let mut writer = FrameWriter::new(write);
+
+    let hello = Request::Hello {
+        session: 9,
+        extractor: WireExtractor::BranchMix,
+    };
+    writer.write_frame(&hello.encode()).expect("send hello");
+    let payload = reader.read_frame().expect("read").expect("response");
+    assert!(matches!(
+        Response::decode(payload).expect("decode"),
+        Response::Ok { session: 9 }
+    ));
+
+    let query = Request::Query {
+        session: 9,
+        kind: QueryKind::Phase,
+    };
+    writer.write_frame(&query.encode()).expect("send query");
+    let payload = reader.read_frame().expect("read").expect("response");
+    assert!(matches!(
+        Response::decode(payload).expect("decode"),
+        Response::Answer {
+            session: 9,
+            kind: QueryKind::Phase,
+            value: None,
+        }
+    ));
+
+    handle.join();
+    // Drain removes the socket file.
+    assert!(!socket.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_completes_within_deadline_and_notifies_idle_clients() {
+    let mut config = quick_config();
+    config.drain_deadline = Duration::from_millis(500);
+    let (handle, addr) = spawn(config);
+
+    // An idle-but-open client: drain must not wait for it to speak.
+    let mut idle = TestClient::connect(addr);
+    idle.send(&Request::Hello {
+        session: 42,
+        extractor: WireExtractor::Bbv,
+    });
+    assert!(matches!(idle.recv(), Response::Ok { session: 42 }));
+
+    let started = Instant::now();
+    handle.begin_drain();
+    assert!(matches!(idle.recv(), Response::Draining));
+    let telemetry = handle.join();
+    let elapsed = started.elapsed();
+
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "drain took {elapsed:?}, expected well under the 500ms deadline plus margin"
+    );
+    assert!(telemetry.drained);
+    assert_eq!(telemetry.connections, 1);
+    assert_eq!(telemetry.store.created, 1);
+
+    // New connections after drain are refused outright (listener down).
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // The OS may still complete the handshake against a closed
+            // listener's backlog; a Hello must then go unanswered.
+            let mut late = TestClient::connect(addr);
+            late.send(&Request::Hello {
+                session: 43,
+                extractor: WireExtractor::Bbv,
+            });
+            late.reader_eof()
+        }
+    );
+}
+
+impl TestClient {
+    /// True if the server side is closed (EOF or reset on next read).
+    fn reader_eof(&mut self) -> bool {
+        matches!(self.reader.read_frame(), Ok(None) | Err(_))
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+mod chaos {
+    use super::*;
+    use tpcp_experiments::fault::FaultPlan;
+    use tpcp_serve::client::injector_oracle;
+    use tpcp_serve::Transcript;
+
+    /// The tentpole chaos assertion: transport faults on a subset of
+    /// sessions leave every *survivor* session's transcript bit-identical
+    /// to a fault-free run — across truncated frames, garbage prefixes,
+    /// mid-frame stalls, and disconnects, while the store is small enough
+    /// that eviction churn happens underneath.
+    #[test]
+    fn transport_faults_leave_survivor_sessions_bit_identical() {
+        let scripts: Vec<SessionScript> =
+            (1..=12).map(|s| SessionScript::for_session(s, 8)).collect();
+        let faulted: &[u64] = &[3, 6, 9, 11];
+
+        let run = |use_faults: bool| -> Vec<Transcript> {
+            let mut config = quick_config();
+            // Four live slots for twelve sessions: eviction and snapshot
+            // restore run constantly underneath the chaos.
+            config.max_live = 4;
+            let (handle, addr) = spawn(config);
+            let results = if use_faults {
+                let labels: Vec<String> = faulted.iter().map(|s| format!("s{s}")).collect();
+                let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                // Frame budget below each session's total frame count, so
+                // every planned fault actually fires mid-script.
+                let plan = FaultPlan::randomized_transport(0xC4A05, &label_refs, 12);
+                let injector = plan.build();
+                for label in &label_refs {
+                    assert!(injector.targets_session(label));
+                }
+                let oracle = injector_oracle(&injector);
+                drive_sessions(addr, &scripts, &oracle, STALL_HOLD)
+            } else {
+                drive_sessions(addr, &scripts, &no_faults, STALL_HOLD)
+            };
+            let telemetry = handle.join();
+            assert!(telemetry.drained);
+            assert!(
+                telemetry.store.evictions > 0,
+                "twelve sessions over four live slots must evict"
+            );
+            results
+                .into_iter()
+                .map(|r| r.expect("sessions never see protocol errors"))
+                .collect()
+        };
+
+        let baseline = run(false);
+        let chaotic = run(true);
+
+        for (script, (clean, faulty)) in scripts.iter().zip(baseline.iter().zip(&chaotic)) {
+            if faulted.contains(&script.session) {
+                assert!(
+                    !faulty.completed,
+                    "session {} was faulted mid-script and cannot have closed cleanly",
+                    script.session
+                );
+            } else {
+                assert!(faulty.completed, "survivor {} must finish", script.session);
+                assert_eq!(
+                    clean, faulty,
+                    "survivor session {} diverged under chaos",
+                    script.session
+                );
+            }
+        }
+    }
+}

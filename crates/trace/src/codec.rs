@@ -78,11 +78,11 @@ impl core::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn zigzag_encode(v: i64) -> u64 {
+pub(crate) fn zigzag_encode(v: i64) -> u64 {
     (v.wrapping_shl(1) ^ (v >> 63)) as u64
 }
 
-fn zigzag_decode(v: u64) -> i64 {
+pub(crate) fn zigzag_decode(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
@@ -109,7 +109,7 @@ fn read_u64_le(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
 
 /// Decodes a varint at `*pos` in place, advancing it.
 #[inline]
-fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+pub(crate) fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     // One- and two-byte fast paths: per-event PC deltas and instruction
     // counts almost always fit in 14 bits, and this function dominates
     // decode time.

@@ -1,0 +1,472 @@
+//! Length-prefixed framing for streaming the varint codec over a socket.
+//!
+//! The serve binary (`tpcp-serve`) exchanges *frames*: a 4-byte
+//! little-endian payload length followed by that many payload bytes. The
+//! payload reuses the trace codec's varint/zigzag primitives (exposed here
+//! through [`wire`]) so event streams on the wire compress exactly like
+//! events in a recorded trace file.
+//!
+//! Framing is where transport robustness lives, so the reader distinguishes
+//! every way a frame can fail to arrive:
+//!
+//! - a clean EOF *between* frames is a normal connection close
+//!   ([`FrameReader::read_frame`] returns `Ok(None)`);
+//! - an EOF *inside* a frame is [`FrameError::Truncated`];
+//! - a read timeout with no bytes of the next frame yet is
+//!   [`FrameError::Idle`] (the caller decides whether the session idled
+//!   out);
+//! - a read timeout *mid-frame* is [`FrameError::Stalled`] — a peer that
+//!   started a frame and stopped feeding it;
+//! - a declared length beyond [`FRAME_MAX`] is [`FrameError::Oversized`]
+//!   and is detected *before* allocating, so a garbage prefix cannot OOM
+//!   the server.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::codec::{self, CodecError};
+
+/// Hard upper bound on a frame payload (1 MiB). Checked against the
+/// declared length before any allocation.
+pub const FRAME_MAX: usize = 1 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport error.
+    Io(io::Error),
+    /// The connection closed mid-frame (length prefix or payload cut off).
+    Truncated,
+    /// The declared payload length exceeds [`FRAME_MAX`].
+    Oversized {
+        /// The length the prefix declared.
+        declared: u64,
+    },
+    /// A read deadline expired with no bytes of a new frame — the
+    /// connection is idle at a frame boundary.
+    Idle,
+    /// A read deadline expired in the middle of a frame — the peer
+    /// stalled after starting one.
+    Stalled,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Truncated => write!(f, "connection closed mid-frame"),
+            Self::Oversized { declared } => {
+                write!(f, "declared frame length {declared} exceeds {FRAME_MAX}")
+            }
+            Self::Idle => write!(f, "read deadline expired between frames"),
+            Self::Stalled => write!(f, "read deadline expired mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Outcome of trying to fill a fixed-size buffer from a stream.
+enum Fill {
+    /// All requested bytes arrived.
+    Complete,
+    /// EOF before any byte arrived.
+    CleanEof,
+    /// EOF after some bytes arrived.
+    Partial,
+    /// Timeout before any byte arrived.
+    TimedOutEmpty,
+    /// Timeout after some bytes arrived.
+    TimedOutPartial,
+}
+
+/// Reads exactly `buf.len()` bytes, classifying EOF and timeouts by
+/// whether the fill had started. `WouldBlock`/`TimedOut` come from
+/// `set_read_timeout` on sockets; `Interrupted` is retried.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<Fill, io::Error> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Fill::CleanEof
+                } else {
+                    Fill::Partial
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(if filled == 0 {
+                    Fill::TimedOutEmpty
+                } else {
+                    Fill::TimedOutPartial
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Fill::Complete)
+}
+
+/// Reads length-prefixed frames from a stream, reusing one payload buffer.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    payload: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a stream.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Shared access to the underlying stream.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Reads the next frame. `Ok(Some(payload))` on success, `Ok(None)` on
+    /// a clean close at a frame boundary, `Err` otherwise (see
+    /// [`FrameError`] for the taxonomy). The returned slice is valid until
+    /// the next call.
+    pub fn read_frame(&mut self) -> Result<Option<&[u8]>, FrameError> {
+        let mut prefix = [0u8; 4];
+        match read_full(&mut self.inner, &mut prefix)? {
+            Fill::Complete => {}
+            Fill::CleanEof => return Ok(None),
+            Fill::Partial => return Err(FrameError::Truncated),
+            Fill::TimedOutEmpty => return Err(FrameError::Idle),
+            Fill::TimedOutPartial => return Err(FrameError::Stalled),
+        }
+        let declared = u32::from_le_bytes(prefix) as usize;
+        if declared > FRAME_MAX {
+            return Err(FrameError::Oversized {
+                declared: declared as u64,
+            });
+        }
+        self.payload.resize(declared, 0);
+        match read_full(&mut self.inner, &mut self.payload)? {
+            Fill::Complete => Ok(Some(&self.payload)),
+            Fill::CleanEof | Fill::Partial => Err(FrameError::Truncated),
+            Fill::TimedOutEmpty | Fill::TimedOutPartial => Err(FrameError::Stalled),
+        }
+    }
+}
+
+/// Writes length-prefixed frames to a stream.
+#[derive(Debug)]
+pub struct FrameWriter<W> {
+    inner: W,
+    /// Staging buffer so prefix + payload leave in ONE write call. Two
+    /// small writes over TCP interact badly with Nagle + delayed ACK: the
+    /// payload segment can lag the prefix by tens of milliseconds, which
+    /// a peer running tight read deadlines misreads as a mid-frame stall.
+    buf: Vec<u8>,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps a stream.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Shared access to the underlying stream.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    /// Writes one frame (length prefix, payload, flush) as a single
+    /// write to the underlying stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds [`FRAME_MAX`] — writers construct their
+    /// own payloads, so an oversized one is a local bug, not peer input.
+    pub fn write_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        assert!(
+            payload.len() <= FRAME_MAX,
+            "frame payload exceeds FRAME_MAX"
+        );
+        self.buf.clear();
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self.inner.write_all(&self.buf)?;
+        self.inner.flush()
+    }
+}
+
+/// Varint/zigzag/f64 primitives for composing frame payloads — the same
+/// encodings the trace codec uses, re-exported for wire use so payload
+/// bytes match trace-file bytes for the same values.
+pub mod wire {
+    use super::*;
+
+    /// Appends a varint.
+    pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                buf.push(byte);
+                return;
+            }
+            buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends a zigzag-encoded signed varint.
+    pub fn put_signed(buf: &mut Vec<u8>, v: i64) {
+        put_varint(buf, codec::zigzag_encode(v));
+    }
+
+    /// Appends an `f64` as its little-endian bit pattern (bit-exact).
+    pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Decodes a varint at `*pos`, advancing it.
+    pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+        codec::read_varint(buf, pos)
+    }
+
+    /// Decodes a zigzag-encoded signed varint at `*pos`, advancing it.
+    pub fn read_signed(buf: &[u8], pos: &mut usize) -> Result<i64, CodecError> {
+        Ok(codec::zigzag_decode(codec::read_varint(buf, pos)?))
+    }
+
+    /// Reads an `f64` from its little-endian bit pattern at `*pos`.
+    pub fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64, CodecError> {
+        let end = pos.checked_add(8).ok_or(CodecError::Truncated)?;
+        let bytes = buf.get(*pos..end).ok_or(CodecError::Truncated)?;
+        *pos = end;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(bytes);
+        Ok(f64::from_bits(u64::from_le_bytes(raw)))
+    }
+
+    /// Reads one byte at `*pos`, advancing it.
+    pub fn read_u8(buf: &[u8], pos: &mut usize) -> Result<u8, CodecError> {
+        let byte = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        Ok(byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A reader that yields scripted results, for exercising the timeout
+    /// and short-read paths no in-memory cursor can produce.
+    struct Scripted {
+        steps: Vec<ScriptStep>,
+    }
+
+    enum ScriptStep {
+        Bytes(Vec<u8>),
+        WouldBlock,
+        Eof,
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.steps.is_empty() {
+                return Ok(0);
+            }
+            match self.steps.remove(0) {
+                ScriptStep::Bytes(b) => {
+                    let n = b.len().min(buf.len());
+                    buf[..n].copy_from_slice(&b[..n]);
+                    assert_eq!(n, b.len(), "script steps must fit the read buffer");
+                    Ok(n)
+                }
+                ScriptStep::WouldBlock => Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "scripted timeout",
+                )),
+                ScriptStep::Eof => Ok(0),
+            }
+        }
+    }
+
+    fn framed(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut w = FrameWriter::new(&mut out);
+        for p in payloads {
+            w.write_frame(p).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn round_trips_frames() {
+        let bytes = framed(&[b"hello", b"", b"world"]);
+        let mut r = FrameReader::new(Cursor::new(bytes));
+        assert_eq!(r.read_frame().unwrap(), Some(&b"hello"[..]));
+        assert_eq!(r.read_frame().unwrap(), Some(&b""[..]));
+        assert_eq!(r.read_frame().unwrap(), Some(&b"world"[..]));
+        assert!(r.read_frame().unwrap().is_none(), "clean EOF at boundary");
+    }
+
+    #[test]
+    fn truncated_prefix_is_truncated_error() {
+        let mut bytes = framed(&[b"hello"]);
+        bytes.truncate(2); // half a length prefix
+        let mut r = FrameReader::new(Cursor::new(bytes));
+        assert!(matches!(r.read_frame(), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn truncated_payload_is_truncated_error() {
+        let mut bytes = framed(&[b"hello"]);
+        bytes.truncate(bytes.len() - 2);
+        let mut r = FrameReader::new(Cursor::new(bytes));
+        assert!(matches!(r.read_frame(), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(b"garbage");
+        let mut r = FrameReader::new(Cursor::new(bytes));
+        match r.read_frame() {
+            Err(FrameError::Oversized { declared }) => {
+                assert_eq!(declared, u64::from(u32::MAX));
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_max_boundary_is_accepted() {
+        let payload = vec![0xAAu8; FRAME_MAX];
+        let bytes = framed(&[&payload]);
+        let mut r = FrameReader::new(Cursor::new(bytes));
+        assert_eq!(r.read_frame().unwrap(), Some(&payload[..]));
+    }
+
+    #[test]
+    fn timeout_at_boundary_is_idle() {
+        let mut r = FrameReader::new(Scripted {
+            steps: vec![ScriptStep::WouldBlock],
+        });
+        assert!(matches!(r.read_frame(), Err(FrameError::Idle)));
+    }
+
+    #[test]
+    fn timeout_mid_prefix_is_stalled() {
+        let mut r = FrameReader::new(Scripted {
+            steps: vec![ScriptStep::Bytes(vec![5, 0]), ScriptStep::WouldBlock],
+        });
+        assert!(matches!(r.read_frame(), Err(FrameError::Stalled)));
+    }
+
+    #[test]
+    fn timeout_mid_payload_is_stalled() {
+        let mut r = FrameReader::new(Scripted {
+            steps: vec![
+                ScriptStep::Bytes(vec![5, 0, 0, 0]),
+                ScriptStep::Bytes(vec![1, 2]),
+                ScriptStep::WouldBlock,
+            ],
+        });
+        assert!(matches!(r.read_frame(), Err(FrameError::Stalled)));
+    }
+
+    #[test]
+    fn timeout_with_empty_payload_pending_is_stalled() {
+        // Prefix complete, zero payload bytes delivered, then a timeout:
+        // the frame has started, so this is a stall, not idleness.
+        let mut r = FrameReader::new(Scripted {
+            steps: vec![ScriptStep::Bytes(vec![5, 0, 0, 0]), ScriptStep::WouldBlock],
+        });
+        assert!(matches!(r.read_frame(), Err(FrameError::Stalled)));
+    }
+
+    #[test]
+    fn eof_mid_payload_is_truncated() {
+        let mut r = FrameReader::new(Scripted {
+            steps: vec![
+                ScriptStep::Bytes(vec![5, 0, 0, 0]),
+                ScriptStep::Bytes(vec![1, 2]),
+                ScriptStep::Eof,
+            ],
+        });
+        assert!(matches!(r.read_frame(), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn reader_recovers_after_idle() {
+        // An Idle result leaves the stream positioned at the boundary; the
+        // next read sees the following frame intact.
+        let frame = framed(&[b"later"]);
+        let mut steps = vec![ScriptStep::WouldBlock];
+        steps.push(ScriptStep::Bytes(frame[..4].to_vec()));
+        steps.push(ScriptStep::Bytes(frame[4..].to_vec()));
+        let mut r = FrameReader::new(Scripted { steps });
+        assert!(matches!(r.read_frame(), Err(FrameError::Idle)));
+        assert_eq!(r.read_frame().unwrap(), Some(&b"later"[..]));
+    }
+
+    #[test]
+    fn wire_round_trips_primitives() {
+        let mut buf = Vec::new();
+        wire::put_varint(&mut buf, 0);
+        wire::put_varint(&mut buf, 300);
+        wire::put_varint(&mut buf, u64::MAX);
+        wire::put_signed(&mut buf, -12345);
+        wire::put_f64(&mut buf, -0.0);
+        wire::put_f64(&mut buf, 1.2345678901234567);
+        buf.push(0x42);
+
+        let mut pos = 0usize;
+        assert_eq!(wire::read_varint(&buf, &mut pos).unwrap(), 0);
+        assert_eq!(wire::read_varint(&buf, &mut pos).unwrap(), 300);
+        assert_eq!(wire::read_varint(&buf, &mut pos).unwrap(), u64::MAX);
+        assert_eq!(wire::read_signed(&buf, &mut pos).unwrap(), -12345);
+        assert_eq!(
+            wire::read_f64(&buf, &mut pos).unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(
+            wire::read_f64(&buf, &mut pos).unwrap(),
+            1.2345678901234567f64
+        );
+        assert_eq!(wire::read_u8(&buf, &mut pos).unwrap(), 0x42);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn wire_reads_fail_cleanly_on_truncation() {
+        let mut pos = 0usize;
+        assert!(wire::read_varint(&[], &mut pos).is_err());
+        assert!(wire::read_f64(&[1, 2, 3], &mut pos).is_err());
+        assert!(wire::read_u8(&[], &mut pos).is_err());
+    }
+}
