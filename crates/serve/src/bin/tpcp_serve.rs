@@ -7,10 +7,17 @@
 //!
 //! ```text
 //! tpcp-serve [--tcp ADDR] [--unix PATH] [--telemetry PATH]
+//!            [--workers N] [--shards N] [--telemetry-interval-ms N]
 //!            [--max-live N] [--max-parked N]
 //!            [--read-timeout-ms N] [--idle-timeout-ms N]
 //!            [--drain-deadline-ms N]
 //! ```
+//!
+//! `--workers 0` selects the thread-per-connection baseline; any other
+//! value serves every connection from that many pool workers behind a
+//! readiness loop. `--telemetry-interval-ms` (with `--telemetry PATH`)
+//! atomically rewrites the snapshot file on that period while running,
+//! instead of only at drain.
 //!
 //! Drive mode runs the deterministic client fleet against a server,
 //! optionally with transport chaos (requires the `fault-inject`
@@ -18,10 +25,16 @@
 //!
 //! ```text
 //! tpcp-serve drive --addr HOST:PORT [--sessions N] [--intervals N]
-//!                  [--chaos SEED]
+//!                  [--chaos SEED] [--fleet]
 //! ```
 //!
 //! Drive exits non-zero if any *unfaulted* session fails its script.
+//! `--fleet` switches to the pipelined fleet driver: all sessions are
+//! pumped by a fixed set of client threads instead of one thread per
+//! session, and the run prints an order-insensitive digest of every
+//! classification — the same digest for the same session count and
+//! interval count, whatever serve mode or thread schedule produced it.
+//! `--fleet` and `--chaos` are mutually exclusive.
 
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -73,6 +86,18 @@ fn serve_main(args: &[String]) -> Result<ExitCode, String> {
                 let path = it.next().ok_or("--telemetry requires a value")?;
                 telemetry_path = Some(PathBuf::from(path));
             }
+            "--workers" => config.workers = parse_u64(flag, it.next())? as usize,
+            "--shards" => {
+                let shards = parse_u64(flag, it.next())? as usize;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                config.shards = shards;
+            }
+            "--telemetry-interval-ms" => {
+                config.telemetry_interval =
+                    Some(Duration::from_millis(parse_u64(flag, it.next())?.max(1)));
+            }
             "--max-live" => config.max_live = parse_u64(flag, it.next())? as usize,
             "--max-parked" => config.max_parked = parse_u64(flag, it.next())? as usize,
             "--read-timeout-ms" => {
@@ -87,6 +112,10 @@ fn serve_main(args: &[String]) -> Result<ExitCode, String> {
             other => return Err(format!("unknown flag {other:?} (serve mode)")),
         }
     }
+
+    // Periodic snapshots (if an interval is set) go to the same file the
+    // final drain snapshot does, rewritten atomically.
+    config.telemetry_path = telemetry_path.clone();
 
     // Catch SIGINT/SIGTERM so the drain path below runs instead of the
     // default immediate termination.
@@ -123,6 +152,7 @@ fn drive_main(args: &[String]) -> Result<ExitCode, String> {
     let mut sessions: u64 = 16;
     let mut intervals: u64 = 24;
     let mut chaos: Option<u64> = None;
+    let mut fleet = false;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -138,10 +168,24 @@ fn drive_main(args: &[String]) -> Result<ExitCode, String> {
             "--sessions" => sessions = parse_u64(flag, it.next())?,
             "--intervals" => intervals = parse_u64(flag, it.next())?,
             "--chaos" => chaos = Some(parse_u64(flag, it.next())?),
+            "--fleet" => fleet = true,
             other => return Err(format!("unknown flag {other:?} (drive mode)")),
         }
     }
     let addr = addr.ok_or("drive mode requires --addr HOST:PORT")?;
+    if fleet {
+        if chaos.is_some() {
+            return Err("--fleet and --chaos are mutually exclusive".into());
+        }
+        let script = tpcp_serve::FleetScript::new(sessions, intervals);
+        let run =
+            tpcp_serve::drive_fleet(addr, &script).map_err(|e| format!("fleet failed: {e}"))?;
+        println!(
+            "# fleet: {} connections x {} intervals, digest {:016x}",
+            run.connections, intervals, run.checksum
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
     let scripts: Vec<SessionScript> = (0..sessions)
         .map(|s| SessionScript::for_session(s + 1, intervals))
         .collect();

@@ -312,6 +312,265 @@ fn unexpected(response: &Response) -> io::Error {
     )
 }
 
+/// Parameters for a throughput-oriented fleet run (the `serve_fleet`
+/// perf lane): many concurrent connections, pipelined intervals, no
+/// faults, no queries.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetScript {
+    /// Concurrent connections (one session per connection).
+    pub connections: u64,
+    /// Intervals classified per session.
+    pub intervals: u64,
+    /// Events per interval.
+    pub events_per_interval: u64,
+    /// Intervals kept in flight per connection before reading responses.
+    /// Must stay at or below the server's `response_queue` so neither
+    /// side deadlocks on backpressure.
+    pub pipeline: u64,
+    /// Client pumper threads; connections are dealt round-robin.
+    pub client_threads: usize,
+}
+
+impl FleetScript {
+    /// A fleet of `connections` sessions with the perf lane's defaults.
+    pub fn new(connections: u64, intervals: u64) -> Self {
+        Self {
+            connections,
+            intervals,
+            events_per_interval: 24,
+            pipeline: 4,
+            client_threads: 8,
+        }
+    }
+}
+
+/// Aggregate of a fleet run. The checksum folds every `Classified`
+/// response (keyed by session and sequence, so ordering within a session
+/// matters but thread interleaving does not) and must be identical
+/// across serve modes for the same script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetRun {
+    /// Connections driven.
+    pub connections: u64,
+    /// Total intervals classified.
+    pub intervals: u64,
+    /// Order-insensitive digest of every classification.
+    pub checksum: u64,
+}
+
+/// One response folded into the fleet digest: mix the session, the
+/// interval's sequence number, and the classification, then XOR into the
+/// accumulator (commutative across sessions and threads).
+fn fold_classified(
+    acc: u64,
+    session: u64,
+    seq: u64,
+    phase: u64,
+    transition: bool,
+    total: u64,
+) -> u64 {
+    let mut h = session ^ seq.rotate_left(17);
+    h = h
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(phase)
+        .wrapping_add(u64::from(transition))
+        .wrapping_add(total.rotate_left(31));
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    acc ^ (h ^ (h >> 27))
+}
+
+/// Connects with exponential backoff — a 512-connection fleet slamming
+/// one listener overflows accept backlogs transiently.
+fn connect_retry(addr: SocketAddr) -> io::Result<TcpStream> {
+    let mut delay = Duration::from_millis(1);
+    for _ in 0..8 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(200));
+            }
+        }
+    }
+    TcpStream::connect(addr)
+}
+
+/// A fleet connection: plain frame transport, no fault machinery.
+struct FleetConn {
+    reader: FrameReader<TcpStream>,
+    writer: FrameWriter<TcpStream>,
+    session: u64,
+    seed: u64,
+    sent_intervals: u64,
+    read_intervals: u64,
+}
+
+impl FleetConn {
+    fn open(addr: SocketAddr, session: u64) -> io::Result<Self> {
+        let stream = connect_retry(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let write = stream.try_clone()?;
+        Ok(Self {
+            reader: FrameReader::new(stream),
+            writer: FrameWriter::new(write),
+            session,
+            // Same seed derivation as `run_session`, so the event stream
+            // for a given session id is one deterministic thing
+            // everywhere.
+            seed: session.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed,
+            sent_intervals: 0,
+            read_intervals: 0,
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> io::Result<()> {
+        self.writer.write_frame(&request.encode())
+    }
+
+    fn receive(&mut self) -> io::Result<Response> {
+        match self.reader.read_frame() {
+            Ok(Some(payload)) => Response::decode(payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before responding",
+            )),
+            Err(e) => Err(io::Error::other(e.to_string())),
+        }
+    }
+
+    /// Sends one interval (events + end) without reading the response.
+    fn send_interval(&mut self, events_per_interval: u64) -> io::Result<()> {
+        let mut events = Vec::with_capacity(events_per_interval as usize);
+        for _ in 0..events_per_interval {
+            let r = splitmix(&mut self.seed);
+            let base = 0x40_0000 + (r % 7) * 0x8_0000;
+            events.push(WireEvent {
+                pc: base + (r >> 16) % 0x400,
+                insns: 20 + r % 40,
+            });
+        }
+        self.send(&Request::Events {
+            session: self.session,
+            events,
+        })?;
+        let cpi = 0.8 + ((splitmix(&mut self.seed) % 400) as f64) / 100.0;
+        self.send(&Request::EndInterval {
+            session: self.session,
+            cpi,
+        })?;
+        self.sent_intervals += 1;
+        Ok(())
+    }
+
+    /// Reads one `Classified` response and folds it into `acc`.
+    fn read_classified(&mut self, acc: &mut u64) -> io::Result<()> {
+        match self.receive()? {
+            Response::Classified {
+                phase,
+                transition,
+                intervals,
+                ..
+            } => {
+                *acc = fold_classified(
+                    *acc,
+                    self.session,
+                    self.read_intervals,
+                    phase,
+                    transition,
+                    intervals,
+                );
+                self.read_intervals += 1;
+                Ok(())
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// One pumper thread's share of the fleet: opens its connections, then
+/// round-robins pipelined intervals across them so many requests are in
+/// flight at once. Returns its checksum contribution.
+fn pump_fleet(addr: SocketAddr, sessions: &[u64], script: &FleetScript) -> io::Result<u64> {
+    let mut conns = Vec::with_capacity(sessions.len());
+    for &session in sessions {
+        let mut conn = FleetConn::open(addr, session)?;
+        conn.send(&Request::Hello {
+            session,
+            extractor: WireExtractor::ALL[(session % 3) as usize],
+        })?;
+        conns.push(conn);
+    }
+    for conn in &mut conns {
+        match conn.receive()? {
+            Response::Ok { session } if session == conn.session => {}
+            other => return Err(unexpected(&other)),
+        }
+    }
+
+    let mut acc = 0u64;
+    let pipeline = script.pipeline.max(1);
+    while conns.iter().any(|c| c.read_intervals < script.intervals) {
+        for conn in &mut conns {
+            let batch = pipeline.min(script.intervals - conn.sent_intervals);
+            for _ in 0..batch {
+                conn.send_interval(script.events_per_interval)?;
+            }
+        }
+        for conn in &mut conns {
+            while conn.read_intervals < conn.sent_intervals {
+                conn.read_classified(&mut acc)?;
+            }
+        }
+    }
+
+    for conn in &mut conns {
+        conn.send(&Request::Close {
+            session: conn.session,
+        })?;
+    }
+    for conn in &mut conns {
+        match conn.receive()? {
+            Response::Ok { session } if session == conn.session => {}
+            other => return Err(unexpected(&other)),
+        }
+    }
+    Ok(acc)
+}
+
+/// Drives a [`FleetScript`] against the server at `addr`: `connections`
+/// concurrent sessions pumped by `client_threads` threads, each keeping
+/// `pipeline` intervals in flight per connection. The returned digest is
+/// independent of thread scheduling, so runs against different serve
+/// modes are directly comparable.
+pub fn drive_fleet(addr: SocketAddr, script: &FleetScript) -> io::Result<FleetRun> {
+    let threads = script.client_threads.max(1);
+    let sessions: Vec<u64> = (1..=script.connections).collect();
+    let shares: Vec<Vec<u64>> = (0..threads)
+        .map(|t| sessions.iter().skip(t).step_by(threads).copied().collect())
+        .collect();
+    let mut results: Vec<Option<io::Result<u64>>> = (0..threads).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (slot, share) in results.iter_mut().zip(&shares) {
+            scope.spawn(move |_| {
+                *slot = Some(pump_fleet(addr, share, script));
+            });
+        }
+    })
+    .unwrap_or_else(|_| panic!("fleet pumper thread panicked"));
+
+    let mut checksum = 0u64;
+    for result in results {
+        checksum ^= result.unwrap_or_else(|| Err(io::Error::other("pumper produced no result")))?;
+    }
+    Ok(FleetRun {
+        connections: script.connections,
+        intervals: script.connections * script.intervals,
+        checksum,
+    })
+}
+
 /// Drives `sessions` scripts concurrently (one thread per session) and
 /// returns each session's result in id order.
 pub fn drive_sessions(

@@ -9,17 +9,33 @@
 //!
 //! Robustness is the design driver, not an afterthought:
 //!
+//! - **Scalability** — by default connections are multiplexed through a
+//!   `poll(2)` readiness loop onto a small worker pool ([`server`] with
+//!   `workers > 0`), so a fleet of N clients costs N fds rather than N
+//!   threads; `workers = 0` keeps the thread-per-connection path as a
+//!   baseline.
+//! - **Sharding** — session state lives in a [`ShardedStore`]: the
+//!   session id hashes to one of `shards` independently locked
+//!   [`SessionStore`]s, each a bounded LRU with its own parked tier, so
+//!   unrelated sessions never contend on one mutex.
 //! - **Deadlines** — every connection has a read deadline and an idle
 //!   timeout; a stalled or silent peer is disconnected without touching
-//!   its siblings, and the accept loop retries with exponential backoff.
+//!   its siblings, and each listener retries failed accepts behind its
+//!   own exponential-backoff gate (a failing TCP listener never stalls
+//!   the Unix listener, or vice versa).
 //! - **Backpressure** — responses flow through a bounded per-connection
 //!   queue, so one slow reader blocks only its own session.
-//! - **Eviction** — session state lives in a bounded LRU; under
-//!   pressure the coldest session is parked as a `TPCPSNP1` snapshot and
-//!   restored bit-identically on its next frame.
+//! - **Eviction** — under pressure the coldest session in a shard is
+//!   parked as a `TPCPSNP1` snapshot and restored bit-identically on its
+//!   next frame.
 //! - **Malformed-frame tolerance** — every decode error maps to a
-//!   structured error response; the connection survives everything
-//!   except an unrecoverable stream offset (oversized frame).
+//!   structured error response, and an `EndInterval` carrying a
+//!   non-finite or negative CPI is rejected without touching session
+//!   state; the connection survives everything except an unrecoverable
+//!   stream offset (oversized frame).
+//! - **Observability** — hot paths bump [`ServeCounters`]; snapshots
+//!   freeze periodically while running (when a telemetry interval is
+//!   configured) and finally at drain, including per-shard occupancy.
 //! - **Graceful drain** — on request (SIGTERM in the binary) the server
 //!   stops accepting, lets in-flight sessions finish against a deadline,
 //!   and freezes a final [`ServeTelemetry`] snapshot.
@@ -30,19 +46,25 @@
 //! `fault-inject` `FaultPlan`,
 //! used to pin survivor sessions bit-identical to a fault-free run.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // one audited FFI call in `poll`; everything else forbidden
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod poll;
+mod pool;
 pub mod protocol;
 pub mod server;
 pub mod session;
 pub mod telemetry;
 
-pub use client::{drive_sessions, run_session, SessionScript, Transcript, TransportAction};
-pub use protocol::{
-    DecodeFailure, ErrorCode, QueryKind, Request, Response, WireEvent, WireExtractor,
+pub use client::{
+    drive_fleet, drive_sessions, run_session, FleetRun, FleetScript, SessionScript, Transcript,
+    TransportAction,
 };
-pub use server::{ServeConfig, Server, ServerHandle};
-pub use session::{Session, SessionStore, StoreCounters, StoreError};
+pub use protocol::{
+    decode_request_into, DecodeFailure, ErrorCode, FastRequest, QueryKind, Request, Response,
+    WireEvent, WireExtractor,
+};
+pub use server::{AcceptFaults, ServeConfig, Server, ServerHandle};
+pub use session::{Session, SessionStore, ShardedStore, StoreCounters, StoreError};
 pub use telemetry::{ServeCounters, ServeTelemetry};

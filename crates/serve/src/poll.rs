@@ -1,0 +1,170 @@
+//! A minimal safe wrapper over `poll(2)` for the worker-pool readiness
+//! loop, plus the one other socket syscall the server needs
+//! ([`set_listen_backlog`]).
+//!
+//! The workspace vendors no `libc`, so the syscalls are declared here
+//! directly. This module is the crate's only `unsafe` surface (the crate
+//! root is `#![deny(unsafe_code)]`): a `#[repr(C)]` pollfd mirror and
+//! two FFI calls whose invariants are local — the pointer and length
+//! come from one live slice, and the listen fd from a live listener.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readable data (or a connection on a listener) is available.
+pub const POLLIN: i16 = 0x001;
+/// Writing would no longer block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The fd was not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// Mirror of C's `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events, filled by [`poll`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A pollfd watching `fd` for `events`, with `revents` cleared.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the fd is ready or failed — any returned event counts,
+    /// because error states must reach the owner (a read on the fd will
+    /// surface the actual error).
+    pub fn ready(&self) -> bool {
+        self.revents & (POLLIN | POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+#[allow(unsafe_code)]
+mod sys {
+    use super::PollFd;
+    use std::os::raw::{c_int, c_ulong};
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+    }
+
+    /// Invokes `poll(2)` over the slice.
+    pub(super) fn poll_raw(fds: &mut [PollFd], timeout_ms: i32) -> c_int {
+        // SAFETY: `fds` is a live, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd structs; the kernel writes only `revents`
+        // within the `len()` entries passed.
+        unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) }
+    }
+
+    /// Re-invokes `listen(2)` on an already-listening fd.
+    pub(super) fn listen_raw(fd: c_int, backlog: c_int) -> c_int {
+        // SAFETY: no memory is passed; `fd` comes from a live listener
+        // owned by the caller.
+        unsafe { listen(fd, backlog) }
+    }
+}
+
+/// Waits until at least one fd in `fds` is ready or `timeout` expires.
+/// Returns how many entries have events. `EINTR` is reported as ready
+/// count 0 (the caller's loop re-evaluates and re-polls), every other
+/// failure as the underlying `io::Error`.
+pub fn poll(fds: &mut [PollFd], timeout: std::time::Duration) -> io::Result<usize> {
+    for slot in fds.iter_mut() {
+        slot.revents = 0;
+    }
+    let timeout_ms = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
+    let rc = sys::poll_raw(fds, timeout_ms);
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+/// Grows the accept backlog of an already-listening socket by calling
+/// `listen(2)` again on its fd (POSIX permits re-listening; only the
+/// queue depth changes). The standard library hardwires a backlog of
+/// 128, which a fleet of hundreds of clients connecting at once
+/// overflows — and an overflowed queue drops SYNs, stalling each
+/// affected client for a full TCP retransmission timeout.
+pub fn set_listen_backlog(fd: RawFd, backlog: u32) -> io::Result<()> {
+    let backlog = i32::try_from(backlog).unwrap_or(i32::MAX);
+    if sys::listen_raw(fd, backlog) < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn relisten_grows_backlog_without_breaking_accepts() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        set_listen_backlog(listener.as_raw_fd(), 1024).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (_accepted, _) = listener.accept().unwrap();
+        drop(client);
+    }
+
+    #[test]
+    fn poll_times_out_on_silent_socket() {
+        let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let ready = poll(&mut fds, Duration::from_millis(10)).unwrap();
+        assert_eq!(ready, 0);
+        assert!(!fds[0].ready());
+    }
+
+    #[test]
+    fn poll_reports_readable_after_write() {
+        let (a, mut b) = std::os::unix::net::UnixStream::pair().unwrap();
+        b.write_all(&[1]).unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let ready = poll(&mut fds, Duration::from_millis(1000)).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].ready());
+        assert_ne!(fds[0].revents & POLLIN, 0);
+    }
+
+    #[test]
+    fn poll_reports_hangup_on_dropped_peer() {
+        let (a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let ready = poll(&mut fds, Duration::from_millis(1000)).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].ready());
+    }
+
+    #[test]
+    fn poll_reports_writable_socket() {
+        let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        let ready = poll(&mut fds, Duration::from_millis(1000)).unwrap();
+        assert_eq!(ready, 1);
+        assert_ne!(fds[0].revents & POLLOUT, 0);
+    }
+}

@@ -354,6 +354,151 @@ impl Request {
     }
 }
 
+/// A decoded client frame *header*, with `Events` payloads decoded
+/// straight into a caller-owned buffer instead of a fresh `Vec`.
+///
+/// This is the server's hot-path view of [`Request`]: one
+/// [`decode_request_into`] call per frame fills a reused
+/// [`BranchEvent`](tpcp_core::BranchEvent) scratch buffer (wire `insns`
+/// saturated to the event type's `u32` during decode), so a frame of N
+/// events costs zero allocations and one batched `observe` call
+/// downstream. [`Request::decode`] remains the allocation-per-frame
+/// client-side view; the two decoders accept and reject byte-identical
+/// inputs (pinned by the protocol fuzz tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FastRequest {
+    /// `Hello`: open a session.
+    Hello {
+        /// Session id (client-chosen, nonzero).
+        session: u64,
+        /// Which feature extractor the session's classifier uses.
+        extractor: WireExtractor,
+    },
+    /// `Events`: the decoded events are in the scratch buffer.
+    Events {
+        /// Session id.
+        session: u64,
+    },
+    /// `EndInterval`: close the session's current interval.
+    EndInterval {
+        /// Session id.
+        session: u64,
+        /// The interval's cycles-per-instruction feedback metric.
+        cpi: f64,
+    },
+    /// `Query`: ask about classification or prediction state.
+    Query {
+        /// Session id.
+        session: u64,
+        /// What to ask.
+        kind: QueryKind,
+    },
+    /// `Close`: retire the session.
+    Close {
+        /// Session id.
+        session: u64,
+    },
+}
+
+/// Decodes a frame payload into a [`FastRequest`], filling `events` with
+/// the frame's event batch (cleared first; empty for non-`Events` tags).
+///
+/// Accepts and rejects exactly the inputs [`Request::decode`] does,
+/// including the `count > remaining / 2` over-allocation guard and the
+/// trailing-byte check.
+pub fn decode_request_into(
+    payload: &[u8],
+    events: &mut Vec<tpcp_core::BranchEvent>,
+) -> Result<FastRequest, DecodeFailure> {
+    events.clear();
+    let decoded = decode_request_into_inner(payload, events);
+    if decoded.is_err() {
+        // A rejected frame must leave nothing behind — a half-decoded
+        // event batch from a truncated body must not reach the next
+        // frame's observe call.
+        events.clear();
+    }
+    decoded
+}
+
+fn decode_request_into_inner(
+    payload: &[u8],
+    events: &mut Vec<tpcp_core::BranchEvent>,
+) -> Result<FastRequest, DecodeFailure> {
+    let mut pos = 0usize;
+    let tag = wire::read_u8(payload, &mut pos).map_err(|e| DecodeFailure {
+        session: 0,
+        code: ErrorCode::Malformed,
+        error: e,
+    })?;
+    if !matches!(
+        tag,
+        TAG_HELLO | TAG_EVENTS | TAG_END_INTERVAL | TAG_QUERY | TAG_CLOSE
+    ) {
+        return Err(DecodeFailure {
+            session: 0,
+            code: ErrorCode::BadTag,
+            error: CodecError::Truncated,
+        });
+    }
+    let session = wire::read_varint(payload, &mut pos).map_err(|e| DecodeFailure {
+        session: 0,
+        code: ErrorCode::Malformed,
+        error: e,
+    })?;
+    let fail = |error: CodecError| DecodeFailure {
+        session,
+        code: ErrorCode::Malformed,
+        error,
+    };
+    let decoded = match tag {
+        TAG_HELLO => {
+            let extractor =
+                WireExtractor::from_code(wire::read_u8(payload, &mut pos).map_err(fail)?)
+                    .map_err(fail)?;
+            FastRequest::Hello { session, extractor }
+        }
+        TAG_EVENTS => {
+            let count = wire::read_varint(payload, &mut pos).map_err(fail)?;
+            // Same over-allocation guard as `Request::decode`: at least
+            // 2 payload bytes per event must actually be present.
+            let remaining = payload.len().saturating_sub(pos) as u64;
+            if count > remaining / 2 {
+                return Err(fail(CodecError::ImplausibleLength));
+            }
+            events.reserve(count as usize);
+            let mut pc = 0u64;
+            for _ in 0..count {
+                let delta = wire::read_signed(payload, &mut pos).map_err(fail)?;
+                pc = pc.wrapping_add(delta as u64);
+                let insns = wire::read_varint(payload, &mut pos).map_err(fail)?;
+                // Wire insns are varint u64; the event type carries u32.
+                // Saturate deterministically.
+                events.push(tpcp_core::BranchEvent::new(
+                    pc,
+                    insns.min(u64::from(u32::MAX)) as u32,
+                ));
+            }
+            FastRequest::Events { session }
+        }
+        TAG_END_INTERVAL => FastRequest::EndInterval {
+            session,
+            cpi: wire::read_f64(payload, &mut pos).map_err(fail)?,
+        },
+        TAG_QUERY => FastRequest::Query {
+            session,
+            kind: QueryKind::from_code(wire::read_u8(payload, &mut pos).map_err(fail)?)
+                .map_err(fail)?,
+        },
+        // Tag membership was checked above.
+        _ => FastRequest::Close { session },
+    };
+    if pos != payload.len() {
+        return Err(fail(CodecError::Truncated));
+    }
+    Ok(decoded)
+}
+
 /// Why a client frame failed to decode: the structured code and session
 /// id the server should put in its error response, plus the underlying
 /// codec error for the detail string.

@@ -1,6 +1,7 @@
-//! The serve loop: accept with exponential-backoff retry, per-connection
-//! read deadlines, bounded per-connection write queues, and graceful
-//! drain.
+//! The serve loop: a readiness-driven worker pool (default) or a
+//! thread-per-connection fallback, over a sharded session store, with
+//! per-listener accept backoff, per-connection deadlines, bounded
+//! per-connection response queues, and graceful drain.
 //!
 //! # Failure model
 //!
@@ -8,34 +9,52 @@
 //!
 //! - a **malformed frame** costs one error response — the connection and
 //!   every session stay up;
+//! - an **invalid CPI** (NaN, infinite, negative) costs one error
+//!   response — the session's statistics are untouched;
 //! - an **oversized frame** costs the connection (the stream offset is
 //!   unrecoverable once a length prefix lies) but no session state;
 //! - an **idle or stalled peer** costs its own connection at the read
 //!   deadline; sessions survive for the next connection to resume;
-//! - a **slow reader** fills only its own bounded response queue — the
-//!   reader thread blocks on *its* queue while every other connection's
-//!   queue keeps draining (the session-store lock is never held across a
-//!   send);
+//! - a **slow reader** fills only its own bounded response queue — its
+//!   connection stops being read while every other connection keeps
+//!   flowing (the session-store locks are never held across a send);
 //! - **memory pressure** parks LRU sessions as snapshots instead of
-//!   growing without bound (see [`SessionStore`]);
-//! - **drain** (SIGTERM or [`ServerHandle::begin_drain`]) stops accepting,
-//!   lets in-flight work flush within a deadline, then freezes a final
-//!   telemetry snapshot.
+//!   growing without bound (see [`SessionStore`](crate::SessionStore));
+//! - a **failing listener** backs off exponentially *on its own gate*
+//!   (`BackoffGate`) — a broken TCP listener never delays accepts on
+//!   the healthy Unix listener, or vice versa;
+//! - **drain** (SIGTERM or [`ServerHandle::begin_drain`]) stops
+//!   accepting, lets in-flight work flush within a deadline, then
+//!   freezes a final telemetry snapshot.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use tpcp_core::BranchEvent;
 use tpcp_trace::{FrameError, FrameReader, FrameWriter};
 
-use crate::protocol::{DecodeFailure, ErrorCode, Request, Response};
-use crate::session::{SessionStore, StoreError};
+use crate::poll::{self, PollFd, POLLIN};
+use crate::protocol::{self, DecodeFailure, ErrorCode, FastRequest, Response};
+use crate::session::{ShardedStore, StoreError};
 use crate::telemetry::{ServeCounters, ServeTelemetry};
+
+/// Forced accept failures, for fault-injection tests: each listed
+/// listener fails its next N accept attempts before behaving normally.
+/// Zero (the default) injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AcceptFaults {
+    /// Forced failures on the TCP listener.
+    pub tcp: u64,
+    /// Forced failures on the Unix listener.
+    pub unix: u64,
+}
 
 /// Tuning knobs for one server instance.
 #[derive(Debug, Clone)]
@@ -44,24 +63,42 @@ pub struct ServeConfig {
     pub tcp: Option<String>,
     /// Unix socket path; `None` disables the Unix listener.
     pub unix: Option<PathBuf>,
-    /// Most sessions kept materialized before LRU eviction parks them.
+    /// Most sessions kept materialized before LRU eviction parks them
+    /// (split evenly across shards, rounding up).
     pub max_live: usize,
-    /// Most parked snapshots kept before the oldest is dropped.
+    /// Most parked snapshots kept before the oldest is dropped (split
+    /// evenly across shards, rounding up).
     pub max_parked: usize,
-    /// Socket read deadline — the poll tick that turns silence into
-    /// [`FrameError::Idle`] / [`FrameError::Stalled`].
+    /// Worker threads multiplexing connections via the readiness loop.
+    /// `0` selects the thread-per-connection fallback, kept as the
+    /// scaling baseline the `serve_fleet` perf lane measures against.
+    pub workers: usize,
+    /// Session-store shards (each an independently locked LRU).
+    pub shards: usize,
+    /// Socket read deadline — silence past this mid-frame is a stall,
+    /// and the poll tick that paces deadline sweeps.
     pub read_timeout: Duration,
     /// How long a connection may sit idle at a frame boundary before the
     /// server closes it.
     pub idle_timeout: Duration,
-    /// Socket write deadline — a reader that stops draining its queue
-    /// this long loses its connection (never its sessions).
+    /// Write deadline — a reader that stops draining its responses this
+    /// long loses its connection (never its sessions).
     pub write_timeout: Duration,
-    /// Responses queued per connection before the reader thread blocks
-    /// (backpressure is per-connection by construction).
+    /// Responses queued per connection before the server stops reading
+    /// more of its requests (backpressure is per-connection by
+    /// construction).
     pub response_queue: usize,
     /// How long drain waits for in-flight connections to finish.
     pub drain_deadline: Duration,
+    /// Emit a telemetry snapshot (counters + per-shard occupancy + queue
+    /// depths) this often while running; `None` snapshots only at drain.
+    pub telemetry_interval: Option<Duration>,
+    /// Where periodic snapshots are written (atomically, via a tempfile
+    /// rename); `None` keeps them in memory only
+    /// ([`ServerHandle::latest_periodic`]).
+    pub telemetry_path: Option<PathBuf>,
+    /// Forced accept failures for fault-injection tests.
+    pub accept_faults: AcceptFaults,
 }
 
 impl Default for ServeConfig {
@@ -71,52 +108,210 @@ impl Default for ServeConfig {
             unix: None,
             max_live: 256,
             max_parked: 1024,
+            workers: 4,
+            shards: 8,
             read_timeout: Duration::from_millis(100),
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(5),
             response_queue: 8,
             drain_deadline: Duration::from_secs(10),
+            telemetry_interval: None,
+            telemetry_path: None,
+            accept_faults: AcceptFaults::default(),
         }
     }
 }
 
-/// State shared between the accept loop and every connection thread.
-struct Shared {
-    store: Mutex<SessionStore>,
-    counters: ServeCounters,
-    /// Set by [`ServerHandle::begin_drain`]; the accept loop stops and
-    /// connections answer `Draining` and close at their next deadline.
+/// State shared between the serve loop, its workers, and the handle.
+pub(crate) struct Shared {
+    pub(crate) store: ShardedStore,
+    pub(crate) counters: ServeCounters,
+    /// Set by [`ServerHandle::begin_drain`]; the serve loop stops
+    /// accepting and connections drain and close.
     stop: AtomicBool,
+    /// Set when the serve loop has exited (stops the telemetry thread).
+    finished: AtomicBool,
     /// The wall-clock moment drain must finish, set when drain begins.
     drain_by: Mutex<Option<Instant>>,
-    read_timeout: Duration,
-    idle_timeout: Duration,
-    response_queue: usize,
+    pub(crate) read_timeout: Duration,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) write_timeout: Duration,
+    pub(crate) response_queue: usize,
+    workers: usize,
+    /// Write half of the pool's self-wake pipe: nudges the dispatcher
+    /// out of `poll` when a worker returns a connection or drain begins.
+    waker: Mutex<Option<std::os::unix::net::UnixStream>>,
+    /// Coalesces wakes: set by the first waker, cleared by the
+    /// dispatcher at the top of its loop. While set, further wakes are
+    /// free — the dispatcher is already committed to another pass, so a
+    /// burst of worker returns costs one pipe write and one poll wakeup
+    /// instead of one per return.
+    wake_pending: AtomicBool,
+    /// The most recent periodic telemetry snapshot.
+    latest: Mutex<Option<ServeTelemetry>>,
+    /// Remaining forced accept failures (fault injection).
+    fault_tcp: AtomicU64,
+    fault_unix: AtomicU64,
 }
 
 impl Shared {
-    fn draining(&self) -> bool {
+    fn new(config: &ServeConfig) -> Self {
+        Self {
+            store: ShardedStore::new(config.shards, config.max_live, config.max_parked),
+            counters: ServeCounters::default(),
+            stop: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            drain_by: Mutex::new(None),
+            read_timeout: config.read_timeout,
+            idle_timeout: config.idle_timeout,
+            write_timeout: config.write_timeout,
+            response_queue: config.response_queue,
+            workers: config.workers,
+            waker: Mutex::new(None),
+            wake_pending: AtomicBool::new(false),
+            latest: Mutex::new(None),
+            fault_tcp: AtomicU64::new(config.accept_faults.tcp),
+            fault_unix: AtomicU64::new(config.accept_faults.unix),
+        }
+    }
+
+    pub(crate) fn draining(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
     }
 
-    fn past_drain_deadline(&self) -> bool {
+    pub(crate) fn past_drain_deadline(&self) -> bool {
         match *self.drain_by.lock() {
             Some(by) => Instant::now() >= by,
             None => false,
         }
+    }
+
+    /// Arms the drain deadline (idempotent; first caller wins).
+    pub(crate) fn arm_drain_deadline(&self, deadline: Duration) {
+        let mut by = self.drain_by.lock();
+        if by.is_none() {
+            *by = Some(Instant::now() + deadline);
+        }
+    }
+
+    /// Nudges the pool dispatcher out of its poll wait. No-op in
+    /// thread-per-connection mode (nothing polls).
+    pub(crate) fn wake(&self) {
+        if self.wake_pending.swap(true, Ordering::SeqCst) {
+            // A wake is already in flight; the dispatcher will see our
+            // work when it runs its pass.
+            return;
+        }
+        if let Some(mut tx) = self.waker.lock().as_ref() {
+            // A WouldBlock here means the pipe is full, which already
+            // guarantees a pending wakeup.
+            let _ = tx.write(&[1u8]);
+        }
+    }
+
+    /// Re-arms wake coalescing; the dispatcher calls this at the top of
+    /// every pass, *before* it consumes pending work, so a wake that
+    /// races the pass is never lost — it just writes the pipe again.
+    pub(crate) fn begin_dispatch_pass(&self) {
+        self.wake_pending.store(false, Ordering::SeqCst);
+    }
+
+    /// Consumes one forced accept failure for the listener, if any are
+    /// left.
+    pub(crate) fn take_accept_fault(&self, tcp: bool) -> bool {
+        let slot = if tcp {
+            &self.fault_tcp
+        } else {
+            &self.fault_unix
+        };
+        slot.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Whether a forced accept failure is still pending for the listener
+    /// (fault-injected listeners must be *attempted* even when no real
+    /// connection is queued, so the injected failures actually fire).
+    pub(crate) fn accept_fault_pending(&self, tcp: bool) -> bool {
+        let slot = if tcp {
+            &self.fault_tcp
+        } else {
+            &self.fault_unix
+        };
+        slot.load(Ordering::SeqCst) > 0
+    }
+
+    /// Freezes a telemetry snapshot of the current counters and store
+    /// occupancy.
+    pub(crate) fn freeze(&self, drained: bool) -> ServeTelemetry {
+        ServeTelemetry::freeze(
+            &self.counters,
+            self.store.counters(),
+            &self.store.occupancy(),
+            self.workers as u64,
+            drained,
+        )
+    }
+}
+
+/// Per-listener accept backoff: exponential from 1 ms to 1 s on
+/// failures, reset by the first successful accept. Each listener owns
+/// its own gate, so one failing endpoint never delays the other — the
+/// serve loop simply excludes a backed-off listener from its readiness
+/// set until the gate's retry time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BackoffGate {
+    backoff: Duration,
+    retry_at: Option<Instant>,
+}
+
+impl BackoffGate {
+    const MIN: Duration = Duration::from_millis(1);
+    const MAX: Duration = Duration::from_secs(1);
+
+    pub(crate) fn new() -> Self {
+        Self {
+            backoff: Self::MIN,
+            retry_at: None,
+        }
+    }
+
+    /// Whether the listener may be polled/attempted now.
+    pub(crate) fn ready(&self, now: Instant) -> bool {
+        match self.retry_at {
+            Some(at) => now >= at,
+            None => true,
+        }
+    }
+
+    /// Time until the gate reopens, if it is currently closed.
+    pub(crate) fn time_to_retry(&self, now: Instant) -> Option<Duration> {
+        self.retry_at.and_then(|at| at.checked_duration_since(now))
+    }
+
+    /// Records a failed accept: close the gate and double the backoff.
+    pub(crate) fn failure(&mut self, now: Instant) {
+        self.retry_at = Some(now + self.backoff);
+        self.backoff = (self.backoff * 2).min(Self::MAX);
+    }
+
+    /// Records a successful accept: reopen and reset the backoff.
+    pub(crate) fn success(&mut self) {
+        self.backoff = Self::MIN;
+        self.retry_at = None;
     }
 }
 
 /// A running server.
 pub struct Server;
 
-/// Handle to a spawned server: its bound addresses, a drain trigger, and
-/// the final telemetry on join.
+/// Handle to a spawned server: its bound addresses, a drain trigger,
+/// live telemetry access, and the final telemetry on join.
 pub struct ServerHandle {
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
     shared: Arc<Shared>,
     thread: thread::JoinHandle<ServeTelemetry>,
+    telemetry_thread: Option<thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -134,6 +329,7 @@ impl ServerHandle {
     /// freeze telemetry. Idempotent.
     pub fn begin_drain(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wake();
     }
 
     /// Whether the serve loop is still running.
@@ -141,16 +337,33 @@ impl ServerHandle {
         !self.thread.is_finished()
     }
 
+    /// A telemetry snapshot of the server as it runs (not a drain
+    /// snapshot: `drained` is false).
+    pub fn telemetry_now(&self) -> ServeTelemetry {
+        self.shared.freeze(false)
+    }
+
+    /// The most recent periodic snapshot, if `telemetry_interval` was
+    /// configured and at least one tick has fired.
+    pub fn latest_periodic(&self) -> Option<ServeTelemetry> {
+        self.shared.latest.lock().clone()
+    }
+
     /// Drains (if not already draining) and waits for the final telemetry
     /// snapshot.
     pub fn join(self) -> ServeTelemetry {
         self.begin_drain();
-        match self.thread.join() {
+        let telemetry = match self.thread.join() {
             Ok(telemetry) => telemetry,
             // The serve loop isolates every per-connection panic; one
             // escaping is an internal bug, surfaced loudly.
             Err(_) => panic!("serve loop panicked"),
+        };
+        self.shared.finished.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.telemetry_thread {
+            let _ = handle.join();
         }
+        telemetry
     }
 }
 
@@ -159,53 +372,193 @@ impl Server {
     /// background thread. Fails only on bind errors; everything after is
     /// handled inside the loop.
     pub fn spawn(config: ServeConfig) -> io::Result<ServerHandle> {
+        // The std bind backlog (128) drops SYNs under a connect storm —
+        // hundreds of clients arriving inside one scheduling quantum —
+        // and every dropped SYN costs that client a full TCP
+        // retransmission timeout. Deepen the queue to cover the largest
+        // fleet the store is provisioned for.
+        let backlog = (config.max_live + config.max_parked).max(1024) as u32;
         let tcp = match &config.tcp {
             Some(addr) => Some(TcpListener::bind(addr)?),
             None => None,
         };
         let tcp_addr = match &tcp {
-            Some(listener) => Some(listener.local_addr()?),
+            Some(listener) => {
+                crate::poll::set_listen_backlog(listener.as_raw_fd(), backlog)?;
+                Some(listener.local_addr()?)
+            }
             None => None,
         };
         let unix = match &config.unix {
             Some(path) => {
                 // A stale socket file from a previous run blocks the bind.
                 let _ = std::fs::remove_file(path);
-                Some(std::os::unix::net::UnixListener::bind(path)?)
+                let listener = std::os::unix::net::UnixListener::bind(path)?;
+                crate::poll::set_listen_backlog(listener.as_raw_fd(), backlog)?;
+                Some(listener)
             }
             None => None,
         };
-        let shared = Arc::new(Shared {
-            store: Mutex::new(SessionStore::new(config.max_live, config.max_parked)),
-            counters: ServeCounters::default(),
-            stop: AtomicBool::new(false),
-            drain_by: Mutex::new(None),
-            read_timeout: config.read_timeout,
-            idle_timeout: config.idle_timeout,
-            response_queue: config.response_queue,
-        });
+        let shared = Arc::new(Shared::new(&config));
         let loop_shared = Arc::clone(&shared);
         let unix_path = config.unix.clone();
-        let thread = thread::spawn(move || accept_loop(tcp, unix, config, loop_shared));
+        let telemetry_thread = config.telemetry_interval.map(|interval| {
+            let shared = Arc::clone(&shared);
+            let path = config.telemetry_path.clone();
+            thread::spawn(move || telemetry_loop(&shared, interval, path.as_deref()))
+        });
+        let thread = if config.workers == 0 {
+            thread::spawn(move || accept_loop(tcp, unix, config, loop_shared))
+        } else {
+            let (wake_rx, wake_tx) = std::os::unix::net::UnixStream::pair()?;
+            wake_rx.set_nonblocking(true)?;
+            wake_tx.set_nonblocking(true)?;
+            *shared.waker.lock() = Some(wake_tx);
+            thread::spawn(move || crate::pool::pool_loop(tcp, unix, wake_rx, config, loop_shared))
+        };
         Ok(ServerHandle {
             tcp_addr,
             unix_path,
             shared,
             thread,
+            telemetry_thread,
         })
     }
 }
 
-/// Sleeps `total`, in small slices so a drain request cuts the sleep
-/// short.
-fn backoff_sleep(shared: &Shared, total: Duration) {
-    let slice = Duration::from_millis(20);
-    let mut remaining = total;
-    while !remaining.is_zero() && !shared.draining() {
-        let step = remaining.min(slice);
-        thread::sleep(step);
-        remaining = remaining.saturating_sub(step);
+/// The periodic-telemetry thread: every `interval`, freeze a live
+/// snapshot, stash it for [`ServerHandle::latest_periodic`], and (if a
+/// path is configured) write it atomically so a scraper never reads a
+/// torn document.
+fn telemetry_loop(shared: &Shared, interval: Duration, path: Option<&std::path::Path>) {
+    let slice = Duration::from_millis(10).min(interval.max(Duration::from_millis(1)));
+    let mut next = Instant::now() + interval;
+    while !shared.finished.load(Ordering::SeqCst) {
+        thread::sleep(slice);
+        if Instant::now() < next {
+            continue;
+        }
+        next = Instant::now() + interval;
+        let snapshot = shared.freeze(false);
+        if let Some(path) = path {
+            let _ = write_atomic(path, snapshot.to_json().as_bytes());
+        }
+        *shared.latest.lock() = Some(snapshot);
     }
+}
+
+/// Writes `bytes` to `path` via a sibling tempfile and rename, so
+/// concurrent readers see either the old document or the new one.
+pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// The thread-per-connection serve loop (`workers = 0`): polls the
+/// listeners for readiness, spawning a reader + writer thread pair per
+/// connection. Kept as the scaling baseline the worker pool is measured
+/// against, and for its simpler failure surface.
+fn accept_loop(
+    tcp: Option<TcpListener>,
+    unix: Option<std::os::unix::net::UnixListener>,
+    config: ServeConfig,
+    shared: Arc<Shared>,
+) -> ServeTelemetry {
+    if let Some(listener) = &tcp {
+        let _ = listener.set_nonblocking(true);
+    }
+    if let Some(listener) = &unix {
+        let _ = listener.set_nonblocking(true);
+    }
+    // One backoff gate per listener (satellite fix): a failing TCP
+    // listener closes only its own gate, so the Unix listener keeps
+    // accepting at full speed, and vice versa.
+    let mut tcp_gate = BackoffGate::new();
+    let mut unix_gate = BackoffGate::new();
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    let tick = Duration::from_millis(20);
+    while !shared.draining() {
+        let now = Instant::now();
+        let mut fds: Vec<PollFd> = Vec::with_capacity(2);
+        let mut which: Vec<bool> = Vec::with_capacity(2); // true = tcp
+        if let Some(listener) = &tcp {
+            if tcp_gate.ready(now) {
+                fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+                which.push(true);
+            }
+        }
+        if let Some(listener) = &unix {
+            if unix_gate.ready(now) {
+                fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+                which.push(false);
+            }
+        }
+        // Wake at the drain-check tick or when a closed gate reopens,
+        // whichever is sooner.
+        let mut timeout = tick;
+        for gate in [&tcp_gate, &unix_gate] {
+            if let Some(delay) = gate.time_to_retry(now) {
+                timeout = timeout.min(delay.max(Duration::from_millis(1)));
+            }
+        }
+        // Both gates closed (nothing to poll) and a failed poll pace
+        // the loop the same way: sleep out the timeout.
+        if fds.is_empty() || poll::poll(&mut fds, timeout).is_err() {
+            thread::sleep(timeout);
+        }
+        for (slot, &is_tcp) in fds.iter().zip(&which) {
+            // A fault-injected listener is attempted even without a
+            // queued connection, so its forced failures actually fire.
+            if !slot.ready() && !shared.accept_fault_pending(is_tcp) {
+                continue;
+            }
+            let gate = if is_tcp {
+                &mut tcp_gate
+            } else {
+                &mut unix_gate
+            };
+            loop {
+                let accepted = match (is_tcp, &tcp, &unix) {
+                    (true, Some(listener), _) => accept_tcp(listener, &config, &shared),
+                    (false, _, Some(listener)) => accept_unix(listener, &config, &shared),
+                    // A listener only enters the poll set if configured.
+                    _ => break,
+                };
+                match accepted {
+                    Accepted::Conn(handle) => {
+                        connections.push(handle);
+                        gate.success();
+                    }
+                    Accepted::WouldBlock => break,
+                    Accepted::Failed => {
+                        let counter = if is_tcp {
+                            &shared.counters.accept_failures_tcp
+                        } else {
+                            &shared.counters.accept_failures_unix
+                        };
+                        ServeCounters::bump(counter);
+                        gate.failure(Instant::now());
+                        break;
+                    }
+                }
+            }
+        }
+        // Reap finished connection threads so the handle list stays
+        // bounded by *live* connections.
+        connections.retain(|h| !h.is_finished());
+    }
+    // Drain: arm the deadline every connection thread checks, then wait
+    // for them. The deadline guarantees each loop exits within one read
+    // tick of it, so these joins are bounded.
+    shared.arm_drain_deadline(config.drain_deadline);
+    for handle in connections {
+        let _ = handle.join();
+    }
+    if let Some(path) = &config.unix {
+        let _ = std::fs::remove_file(path);
+    }
+    shared.freeze(true)
 }
 
 /// One accept attempt's outcome, unified across listener kinds.
@@ -219,6 +572,9 @@ enum Accepted {
 }
 
 fn accept_tcp(listener: &TcpListener, config: &ServeConfig, shared: &Arc<Shared>) -> Accepted {
+    if shared.take_accept_fault(true) {
+        return Accepted::Failed;
+    }
     match listener.accept() {
         Ok((stream, _)) => spawn_connection(stream, config, shared),
         Err(e) if e.kind() == io::ErrorKind::WouldBlock => Accepted::WouldBlock,
@@ -231,6 +587,9 @@ fn accept_unix(
     config: &ServeConfig,
     shared: &Arc<Shared>,
 ) -> Accepted {
+    if shared.take_accept_fault(false) {
+        return Accepted::Failed;
+    }
     match listener.accept() {
         Ok((stream, _)) => spawn_unix_connection(stream, config, shared),
         Err(e) if e.kind() == io::ErrorKind::WouldBlock => Accepted::WouldBlock,
@@ -243,6 +602,7 @@ fn spawn_connection(stream: TcpStream, config: &ServeConfig, shared: &Arc<Shared
     // small responses read as server-side stalls to a deadline-running
     // client.
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let Ok(write_half) = stream.try_clone() else {
@@ -260,6 +620,7 @@ fn spawn_unix_connection(
     config: &ServeConfig,
     shared: &Arc<Shared>,
 ) -> Accepted {
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let Ok(write_half) = stream.try_clone() else {
@@ -270,67 +631,6 @@ fn spawn_unix_connection(
     Accepted::Conn(thread::spawn(move || {
         serve_connection(stream, write_half, &shared);
     }))
-}
-
-/// The accept loop: polls the nonblocking listeners, backing off
-/// exponentially (1 ms doubling to 1 s) while nothing is pending or a
-/// listener errors, resetting on every accepted connection. On drain it
-/// stops accepting, arms the drain deadline, joins the connection
-/// threads, and freezes the final telemetry snapshot.
-fn accept_loop(
-    tcp: Option<TcpListener>,
-    unix: Option<std::os::unix::net::UnixListener>,
-    config: ServeConfig,
-    shared: Arc<Shared>,
-) -> ServeTelemetry {
-    if let Some(listener) = &tcp {
-        let _ = listener.set_nonblocking(true);
-    }
-    if let Some(listener) = &unix {
-        let _ = listener.set_nonblocking(true);
-    }
-    const BACKOFF_MIN: Duration = Duration::from_millis(1);
-    const BACKOFF_MAX: Duration = Duration::from_secs(1);
-    let mut backoff = BACKOFF_MIN;
-    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
-    while !shared.draining() {
-        let mut progressed = false;
-        for accepted in tcp
-            .as_ref()
-            .map(|l| accept_tcp(l, &config, &shared))
-            .into_iter()
-            .chain(unix.as_ref().map(|l| accept_unix(l, &config, &shared)))
-        {
-            match accepted {
-                Accepted::Conn(handle) => {
-                    connections.push(handle);
-                    progressed = true;
-                }
-                Accepted::WouldBlock | Accepted::Failed => {}
-            }
-        }
-        if progressed {
-            backoff = BACKOFF_MIN;
-        } else {
-            backoff_sleep(&shared, backoff);
-            backoff = (backoff * 2).min(BACKOFF_MAX);
-        }
-        // Reap finished connection threads so the handle list stays
-        // bounded by *live* connections.
-        connections.retain(|h| !h.is_finished());
-    }
-    // Drain: arm the deadline every connection thread checks, then wait
-    // for them. The deadline guarantees each loop exits within one read
-    // tick of it, so these joins are bounded.
-    *shared.drain_by.lock() = Some(Instant::now() + config.drain_deadline);
-    for handle in connections {
-        let _ = handle.join();
-    }
-    if let Some(path) = &config.unix {
-        let _ = std::fs::remove_file(path);
-    }
-    let store = shared.store.lock().counters();
-    ServeTelemetry::freeze(&shared.counters, store, true)
 }
 
 /// Outcome of handling one decoded frame.
@@ -344,27 +644,49 @@ enum FrameOutcome {
 /// Serves one connection: reads frames on this thread, writes responses
 /// from a dedicated writer thread fed by a bounded queue, so a peer that
 /// stops reading blocks only this connection.
-fn serve_connection<R: Read, W: Write + Send + 'static>(read: R, write: W, shared: &Shared) {
+fn serve_connection<R: Read, W: Write + Send + 'static>(read: R, write: W, shared: &Arc<Shared>) {
     let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(shared.response_queue.max(1));
-    let writer = thread::spawn(move || {
-        let mut frames = FrameWriter::new(write);
-        let mut written = 0u64;
-        while let Ok(payload) = rx.recv() {
-            if frames.write_frame(&payload).is_err() {
-                // Write deadline or broken pipe: stop draining the queue;
-                // the closed channel unblocks the reader thread.
-                break;
+    let writer = {
+        let shared = Arc::clone(shared);
+        thread::spawn(move || {
+            let mut frames = FrameWriter::new(write);
+            while let Ok(payload) = rx.recv() {
+                let ok = frames.write_frame(&payload).is_ok();
+                shared
+                    .counters
+                    .queued_responses
+                    .fetch_sub(1, Ordering::Relaxed);
+                if !ok {
+                    // Write deadline or broken pipe: stop draining the
+                    // queue; the closed channel unblocks the reader.
+                    break;
+                }
+                ServeCounters::bump(&shared.counters.frames_written);
             }
-            written += 1;
-        }
-        written
-    });
+        })
+    };
+    // Sends the encoded response, maintaining the queue-depth gauge.
+    let push = |payload: Vec<u8>| -> Result<(), ()> {
+        shared
+            .counters
+            .queued_responses
+            .fetch_add(1, Ordering::Relaxed);
+        tx.send(payload).map_err(|_| {
+            shared
+                .counters
+                .queued_responses
+                .fetch_sub(1, Ordering::Relaxed);
+        })
+    };
 
     let mut reader = FrameReader::new(read);
+    // Reused per-frame scratch: one decode fills it, one batched
+    // `observe` drains it — no per-event dispatch, no per-frame Vec.
+    let mut scratch: Vec<BranchEvent> = Vec::new();
     let mut idle = Duration::ZERO;
     loop {
         if shared.draining() && shared.past_drain_deadline() {
-            let _ = tx.send(Response::Draining.encode());
+            let _ = push(Response::Draining.encode());
             break;
         }
         match reader.read_frame() {
@@ -372,14 +694,14 @@ fn serve_connection<R: Read, W: Write + Send + 'static>(read: R, write: W, share
             Ok(Some(payload)) => {
                 idle = Duration::ZERO;
                 ServeCounters::bump(&shared.counters.frames_read);
-                match handle_frame(payload, shared, &tx) {
+                match handle_frame(payload, shared, &mut scratch, &push) {
                     FrameOutcome::Continue => {}
                     FrameOutcome::Close => break,
                 }
             }
             Err(FrameError::Idle) => {
                 if shared.draining() {
-                    let _ = tx.send(Response::Draining.encode());
+                    let _ = push(Response::Draining.encode());
                     break;
                 }
                 idle += shared.read_timeout;
@@ -400,7 +722,7 @@ fn serve_connection<R: Read, W: Write + Send + 'static>(read: R, write: W, share
                 // The prefix lied, so the stream offset is gone — answer
                 // the error, then close.
                 ServeCounters::bump(&shared.counters.oversized_frames);
-                let _ = tx.send(
+                let _ = push(
                     Response::Error {
                         session: 0,
                         code: ErrorCode::Oversized,
@@ -414,12 +736,48 @@ fn serve_connection<R: Read, W: Write + Send + 'static>(read: R, write: W, share
         }
     }
     drop(tx);
-    if let Ok(written) = writer.join() {
-        shared
-            .counters
-            .frames_written
-            .fetch_add(written, Ordering::Relaxed);
+    let _ = writer.join();
+}
+
+/// Decodes and executes one frame, sending the response (if any) through
+/// the connection's bounded queue. Store work happens under the owning
+/// shard's lock; the send happens after it is released, so a blocked
+/// send never stalls other connections' store access.
+fn handle_frame(
+    payload: &[u8],
+    shared: &Shared,
+    scratch: &mut Vec<BranchEvent>,
+    push: &dyn Fn(Vec<u8>) -> Result<(), ()>,
+) -> FrameOutcome {
+    let request = match protocol::decode_request_into(payload, scratch) {
+        Ok(request) => request,
+        Err(DecodeFailure {
+            session,
+            code,
+            error,
+        }) => {
+            // Malformed payload inside a well-formed frame: the stream
+            // stays frame-aligned, so answer and keep the connection.
+            ServeCounters::bump(&shared.counters.malformed_frames);
+            let _ = push(
+                Response::Error {
+                    session,
+                    code,
+                    detail: error.to_string(),
+                }
+                .encode(),
+            );
+            return FrameOutcome::Continue;
+        }
+    };
+    if let Some(response) = execute(shared, request, scratch) {
+        // This send is the per-connection backpressure point: it blocks
+        // when this client stops reading, and only then.
+        if push(response.encode()).is_err() {
+            return FrameOutcome::Close;
+        }
     }
+    FrameOutcome::Continue
 }
 
 /// Maps a store error to its protocol response.
@@ -442,38 +800,17 @@ fn store_error(session: u64, err: &StoreError) -> Response {
     }
 }
 
-/// Decodes and executes one frame, sending the response (if any) through
-/// the connection's bounded queue. Store work happens under the store
-/// lock; the send happens after it is released, so a blocked send never
-/// stalls other connections' store access.
-fn handle_frame(
-    payload: &[u8],
+/// Executes one decoded request against the sharded store, returning the
+/// response to send (if any). Shared verbatim by both serve modes, so
+/// their per-request semantics cannot diverge. Only the named session's
+/// shard is locked, and never across a send.
+pub(crate) fn execute(
     shared: &Shared,
-    tx: &crossbeam::channel::Sender<Vec<u8>>,
-) -> FrameOutcome {
-    let request = match Request::decode(payload) {
-        Ok(request) => request,
-        Err(DecodeFailure {
-            session,
-            code,
-            error,
-        }) => {
-            // Malformed payload inside a well-formed frame: the stream
-            // stays frame-aligned, so answer and keep the connection.
-            ServeCounters::bump(&shared.counters.malformed_frames);
-            let _ = tx.send(
-                Response::Error {
-                    session,
-                    code,
-                    detail: error.to_string(),
-                }
-                .encode(),
-            );
-            return FrameOutcome::Continue;
-        }
-    };
-    let response = match request {
-        Request::Hello { session, extractor } => {
+    request: FastRequest,
+    events: &[BranchEvent],
+) -> Option<Response> {
+    match request {
+        FastRequest::Hello { session, extractor } => {
             if shared.draining() {
                 Some(Response::Error {
                     session,
@@ -487,33 +824,42 @@ fn handle_frame(
                     detail: "session id 0 is reserved".to_owned(),
                 })
             } else {
-                match shared.store.lock().open(session, extractor) {
+                match shared.store.shard(session).lock().open(session, extractor) {
                     Ok(()) => Some(Response::Ok { session }),
                     Err(e) => Some(store_error(session, &e)),
                 }
             }
         }
-        Request::Events { session, events } => {
-            let mut store = shared.store.lock();
-            match store.touch(session) {
+        FastRequest::Events { session } => {
+            let mut shard = shared.store.shard(session).lock();
+            match shard.touch(session) {
                 Ok(live) => {
-                    live.observe(events.iter().map(|ev| {
-                        // Wire insns are varint u64; the event type
-                        // carries u32. Saturate deterministically.
-                        let insns = ev.insns.min(u64::from(u32::MAX)) as u32;
-                        tpcp_core::BranchEvent::new(ev.pc, insns)
-                    }));
-                    // Fire-and-forget: events are the hot path, and the
-                    // interval boundary acknowledges the whole batch.
+                    // One batched call per frame — the accumulate hot
+                    // path dispatches per frame, not per event.
+                    live.observe_batch(events);
+                    // Fire-and-forget: the interval boundary
+                    // acknowledges the whole batch.
                     None
                 }
                 Err(e) => Some(store_error(session, &e)),
             }
         }
-        Request::EndInterval { session, cpi } => {
+        FastRequest::EndInterval { session, cpi } => {
+            // Satellite fix: a NaN/negative/infinite CPI would poison
+            // the session's CPI and run-length statistics permanently
+            // (NaN propagates through every mean). Reject it with a
+            // structured error and leave the session untouched.
+            if !cpi.is_finite() || cpi < 0.0 {
+                ServeCounters::bump(&shared.counters.invalid_cpi);
+                return Some(Response::Error {
+                    session,
+                    code: ErrorCode::Malformed,
+                    detail: format!("CPI must be finite and non-negative, got {cpi}"),
+                });
+            }
             let result = {
-                let mut store = shared.store.lock();
-                store.touch(session).map(|live| live.end_interval(cpi))
+                let mut shard = shared.store.shard(session).lock();
+                shard.touch(session).map(|live| live.end_interval(cpi))
             };
             match result {
                 Ok(classified) => {
@@ -528,10 +874,10 @@ fn handle_frame(
                 Err(e) => Some(store_error(session, &e)),
             }
         }
-        Request::Query { session, kind } => {
+        FastRequest::Query { session, kind } => {
             let result = {
-                let mut store = shared.store.lock();
-                store.touch(session).map(|live| live.query(kind))
+                let mut shard = shared.store.shard(session).lock();
+                shard.touch(session).map(|live| live.query(kind))
             };
             match result {
                 Ok(value) => {
@@ -545,17 +891,63 @@ fn handle_frame(
                 Err(e) => Some(store_error(session, &e)),
             }
         }
-        Request::Close { session } => match shared.store.lock().close(session) {
+        FastRequest::Close { session } => match shared.store.shard(session).lock().close(session) {
             Ok(()) => Some(Response::Ok { session }),
             Err(e) => Some(store_error(session, &e)),
         },
-    };
-    if let Some(response) = response {
-        // This send is the per-connection backpressure point: it blocks
-        // when this client stops reading, and only then.
-        if tx.send(response.encode()).is_err() {
-            return FrameOutcome::Close;
-        }
     }
-    FrameOutcome::Continue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_gate_failure_closes_only_its_own_gate() {
+        let now = Instant::now();
+        let mut tcp = BackoffGate::new();
+        let unix = BackoffGate::new();
+        for _ in 0..10 {
+            tcp.failure(now);
+        }
+        assert!(!tcp.ready(now), "failed gate must be closed");
+        assert!(
+            unix.ready(now),
+            "sibling gate must be unaffected by the other listener's failures"
+        );
+        assert_eq!(unix.time_to_retry(now), None);
+    }
+
+    #[test]
+    fn backoff_gate_doubles_and_caps() {
+        let mut gate = BackoffGate::new();
+        let now = Instant::now();
+        let mut last = Duration::ZERO;
+        for _ in 0..15 {
+            gate.failure(now);
+            let delay = gate.time_to_retry(now).expect("gate closed after failure");
+            assert!(delay >= last, "backoff must be monotonic");
+            assert!(delay <= BackoffGate::MAX, "backoff must cap at MAX");
+            last = delay;
+        }
+        assert_eq!(last, BackoffGate::MAX);
+    }
+
+    #[test]
+    fn backoff_gate_reopens_at_retry_time_and_resets_on_success() {
+        let now = Instant::now();
+        let mut gate = BackoffGate::new();
+        gate.failure(now);
+        assert!(!gate.ready(now));
+        assert!(gate.ready(now + Duration::from_millis(2)));
+        gate.failure(now);
+        gate.success();
+        assert!(gate.ready(now), "success must reopen immediately");
+        gate.failure(now);
+        assert_eq!(
+            gate.time_to_retry(now),
+            Some(Duration::from_millis(1)),
+            "success must reset the backoff to its minimum"
+        );
+    }
 }

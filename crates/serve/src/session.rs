@@ -68,6 +68,15 @@ impl Session {
         }
     }
 
+    /// Feeds one decoded frame's event batch into the current interval —
+    /// the serve hot path: one call per frame, no per-event dispatch
+    /// through the store.
+    pub fn observe_batch(&mut self, events: &[BranchEvent]) {
+        for &ev in events {
+            self.classifier.observe(ev);
+        }
+    }
+
     /// Closes the current interval, feeding the phase into both
     /// predictors.
     pub fn end_interval(&mut self, cpi: f64) -> Classified {
@@ -278,6 +287,78 @@ impl SessionStore {
     }
 }
 
+/// [`SessionStore`] sharded by session-id hash: each shard is an
+/// independently locked two-tier LRU, so sessions that hash to different
+/// shards never contend on a lock and never share an eviction clock.
+///
+/// Sharding changes *which* sessions are evicted under pressure (each
+/// shard runs its own LRU over roughly `1/shards` of the capacity) but
+/// never *what* an evicted session computes: eviction goes through the
+/// same `TPCPSNP1` snapshot, so a session's classifications are
+/// bit-identical under any shard count — pinned by the shard-equivalence
+/// test against the single-lock store.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<parking_lot::Mutex<SessionStore>>,
+}
+
+impl ShardedStore {
+    /// A sharded store with `shards` shards (clamped to at least 1)
+    /// splitting `max_live` / `max_parked` capacity evenly, rounding up
+    /// so total capacity never shrinks below the configured bounds.
+    pub fn new(shards: usize, max_live: usize, max_parked: usize) -> Self {
+        let shards = shards.max(1);
+        let live_per = max_live.div_ceil(shards).max(1);
+        let parked_per = max_parked.div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| parking_lot::Mutex::new(SessionStore::new(live_per, parked_per)))
+                .collect(),
+        }
+    }
+
+    /// How many shards this store runs.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard `session` lives in.
+    pub fn shard_index(&self, session: u64) -> usize {
+        // splitmix64 finalizer: session ids are often sequential, and a
+        // plain modulo would put ids 0..k in the first k shards.
+        let mut z = session.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z % self.shards.len() as u64) as usize
+    }
+
+    /// The shard lock owning `session`. All store operations for the
+    /// session run under this one mutex.
+    pub fn shard(&self, session: u64) -> &parking_lot::Mutex<SessionStore> {
+        &self.shards[self.shard_index(session)]
+    }
+
+    /// Store counters summed across shards.
+    pub fn counters(&self) -> StoreCounters {
+        let mut total = StoreCounters::default();
+        for shard in &self.shards {
+            let c = shard.lock().counters();
+            total.created += c.created;
+            total.evictions += c.evictions;
+            total.restores += c.restores;
+            total.parked_drops += c.parked_drops;
+            total.closed += c.closed;
+        }
+        total
+    }
+
+    /// `(live, parked)` occupancy per shard, in shard order.
+    pub fn occupancy(&self) -> Vec<(usize, usize)> {
+        self.shards.iter().map(|s| s.lock().occupancy()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +435,94 @@ mod tests {
         assert!(matches!(store.close(9), Err(StoreError::UnknownSession)));
         store.close(1).unwrap();
         assert!(matches!(store.touch(1), Err(StoreError::UnknownSession)));
+    }
+
+    /// Satellite: the sharded store must be bit-identical to the
+    /// single-lock store for every session's outputs, across all three
+    /// extractors, while both stores churn through evictions.
+    #[test]
+    fn sharded_store_matches_single_lock_store_under_eviction_churn() {
+        const SESSIONS: u64 = 12;
+        const ROUNDS: u64 = 6;
+        // Live capacity small enough that both stores evict constantly;
+        // parked capacity large enough that nothing is dropped (a
+        // dropped session is gone, not comparable).
+        let sharded = ShardedStore::new(4, 4, 64);
+        let mut single = SessionStore::new(4, 64);
+        for id in 1..=SESSIONS {
+            let extractor = WireExtractor::ALL[(id % 3) as usize];
+            sharded.shard(id).lock().open(id, extractor).unwrap();
+            single.open(id, extractor).unwrap();
+        }
+        for round in 0..ROUNDS {
+            for id in 1..=SESSIONS {
+                // Interleave sessions so LRU order differs between the
+                // sharded and single stores — outputs must not care.
+                let seed = id.wrapping_mul(41) + round;
+                let base = 0x2000 + (seed % 5) * 0x21_0000;
+                let events: Vec<BranchEvent> = (0..16)
+                    .map(|j| BranchEvent::new(base + j * 0x40, 25))
+                    .collect();
+                let cpi = 0.9 + ((seed % 9) as f64) * 0.3;
+                let from_sharded = {
+                    let mut shard = sharded.shard(id).lock();
+                    let live = shard.touch(id).unwrap();
+                    live.observe_batch(&events);
+                    live.end_interval(cpi)
+                };
+                let from_single = {
+                    let live = single.touch(id).unwrap();
+                    live.observe(events.iter().copied());
+                    live.end_interval(cpi)
+                };
+                assert_eq!(
+                    from_sharded, from_single,
+                    "session {id} round {round} diverged"
+                );
+                for kind in QueryKind::ALL {
+                    let a = sharded.shard(id).lock().touch(id).unwrap().query(kind);
+                    let b = single.touch(id).unwrap().query(kind);
+                    assert_eq!(a, b, "session {id} round {round} {kind:?} diverged");
+                }
+            }
+        }
+        let totals = sharded.counters();
+        assert!(totals.evictions > 0, "sharded store never evicted");
+        assert!(
+            single.counters().evictions > 0,
+            "single store never evicted"
+        );
+        assert_eq!(totals.created, SESSIONS);
+        // Shard capacity splits evenly and every shard stays bounded.
+        for (live, parked) in sharded.occupancy() {
+            assert!(live <= 1, "per-shard live cap exceeded: {live}");
+            assert!(parked <= 16, "per-shard parked cap exceeded: {parked}");
+        }
+        assert_eq!(totals.parked_drops, 0, "a comparison session was dropped");
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        let store = ShardedStore::new(8, 64, 64);
+        for id in 0..1024u64 {
+            let idx = store.shard_index(id);
+            assert!(idx < 8);
+            assert_eq!(idx, store.shard_index(id), "shard index must be stable");
+        }
+        // The hash must actually spread sequential ids.
+        let hit: std::collections::HashSet<usize> =
+            (0..1024u64).map(|id| store.shard_index(id)).collect();
+        assert_eq!(hit.len(), 8, "sequential ids landed in only {hit:?}");
+    }
+
+    #[test]
+    fn sharded_store_with_one_shard_keeps_full_capacity() {
+        let store = ShardedStore::new(1, 3, 3);
+        for id in 1..=3 {
+            store.shard(id).lock().open(id, WireExtractor::Bbv).unwrap();
+        }
+        assert_eq!(store.counters().evictions, 0);
+        assert_eq!(store.occupancy(), vec![(3, 0)]);
     }
 
     #[test]

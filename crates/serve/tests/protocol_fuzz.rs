@@ -1,0 +1,262 @@
+//! Property fuzz for the serve wire protocol: both request decoders and
+//! the response decoder are fed random bytes, mutated encodings, and
+//! truncations of valid frames. The invariants under fuzz:
+//!
+//! - Neither decoder ever panics — every rejection is a structured error.
+//! - The `count > remaining / 2` guard bounds the event allocation by
+//!   the bytes actually present, so a lying length prefix cannot
+//!   allocate.
+//! - [`Request::decode`] (the allocating client-side view) and
+//!   [`decode_request_into`] (the server's scratch-buffer hot path)
+//!   accept and reject *byte-identical* inputs, agreeing on every
+//!   decoded field and every error's session and code.
+
+use proptest::prelude::*;
+use tpcp_serve::protocol::{
+    decode_request_into, ErrorCode, FastRequest, QueryKind, Request, Response, WireEvent,
+    WireExtractor,
+};
+
+fn arb_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        (1u64..100_000, 0usize..3).prop_map(|(session, e)| Request::Hello {
+            session,
+            extractor: WireExtractor::ALL[e],
+        }),
+        (
+            1u64..100_000,
+            prop::collection::vec((any::<u64>(), 0u64..200_000_000_000), 0..48),
+        )
+            .prop_map(|(session, raw)| Request::Events {
+                session,
+                events: raw
+                    .into_iter()
+                    .map(|(pc, insns)| WireEvent { pc, insns })
+                    .collect(),
+            }),
+        (1u64..100_000, -4.0f64..16.0)
+            .prop_map(|(session, cpi)| Request::EndInterval { session, cpi }),
+        (1u64..100_000, 0usize..3).prop_map(|(session, k)| Request::Query {
+            session,
+            kind: QueryKind::ALL[k],
+        }),
+        (1u64..100_000).prop_map(|session| Request::Close { session }),
+    ]
+    .boxed()
+}
+
+fn arb_response() -> BoxedStrategy<Response> {
+    let codes = [
+        ErrorCode::Malformed,
+        ErrorCode::UnknownSession,
+        ErrorCode::Oversized,
+        ErrorCode::SessionExists,
+        ErrorCode::Draining,
+        ErrorCode::BadTag,
+    ];
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), any::<bool>(), any::<u64>()).prop_map(
+            |(session, phase, transition, intervals)| Response::Classified {
+                session,
+                phase,
+                transition,
+                intervals,
+            }
+        ),
+        (any::<u64>(), 0usize..3, any::<u64>(), any::<bool>()).prop_map(
+            |(session, k, value, confident)| Response::Answer {
+                session,
+                kind: QueryKind::ALL[k],
+                value: (value % 2 == 0).then_some((value, confident)),
+            }
+        ),
+        (any::<u64>()).prop_map(|session| Response::Ok { session }),
+        (0u64..1).prop_map(|_| Response::Draining),
+        (any::<u64>(), 0usize..6, 0usize..24).prop_map(move |(session, c, len)| Response::Error {
+            session,
+            code: codes[c],
+            detail: "x".repeat(len),
+        }),
+    ]
+    .boxed()
+}
+
+/// Runs both request decoders on `payload` and checks every agreement
+/// invariant. Panics (via `prop_assert`-style errors) on divergence.
+fn check_decoders_agree(payload: &[u8]) -> Result<(), proptest::runner::TestCaseError> {
+    let mut scratch = Vec::new();
+    let slow = Request::decode(payload);
+    let fast = decode_request_into(payload, &mut scratch);
+    // The over-allocation guard: at least two payload bytes per decoded
+    // event, no matter what the length prefix claimed.
+    prop_assert!(
+        scratch.len() <= payload.len() / 2,
+        "scratch holds {} events from a {}-byte payload",
+        scratch.len(),
+        payload.len()
+    );
+    match (slow, fast) {
+        (Ok(slow), Ok(fast)) => match (slow, fast) {
+            (
+                Request::Hello {
+                    session: a,
+                    extractor: x,
+                },
+                FastRequest::Hello {
+                    session: b,
+                    extractor: y,
+                },
+            ) => {
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(x, y);
+                prop_assert!(scratch.is_empty());
+            }
+            (Request::Events { session: a, events }, FastRequest::Events { session: b }) => {
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(events.len(), scratch.len());
+                for (wire, batched) in events.iter().zip(&scratch) {
+                    prop_assert_eq!(wire.pc, batched.pc);
+                    // The hot path saturates wire insns into the event
+                    // type's u32 during decode.
+                    prop_assert_eq!(wire.insns.min(u64::from(u32::MAX)) as u32, batched.insns);
+                }
+            }
+            (
+                Request::EndInterval { session: a, cpi: x },
+                FastRequest::EndInterval { session: b, cpi: y },
+            ) => {
+                prop_assert_eq!(a, b);
+                prop_assert!(x.to_bits() == y.to_bits(), "cpi diverged: {x} vs {y}");
+                prop_assert!(scratch.is_empty());
+            }
+            (
+                Request::Query {
+                    session: a,
+                    kind: x,
+                },
+                FastRequest::Query {
+                    session: b,
+                    kind: y,
+                },
+            ) => {
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(x, y);
+                prop_assert!(scratch.is_empty());
+            }
+            (Request::Close { session: a }, FastRequest::Close { session: b }) => {
+                prop_assert_eq!(a, b);
+                prop_assert!(scratch.is_empty());
+            }
+            (slow, fast) => {
+                prop_assert!(false, "decoders disagree on shape: {slow:?} vs {fast:?}");
+            }
+        },
+        (Err(slow), Err(fast)) => {
+            prop_assert_eq!(slow.session, fast.session);
+            prop_assert_eq!(slow.code, fast.code);
+            prop_assert!(
+                scratch.is_empty(),
+                "a rejected frame must not leave events in the scratch buffer"
+            );
+        }
+        (slow, fast) => {
+            prop_assert!(
+                false,
+                "one decoder accepted what the other rejected: {slow:?} vs {fast:?}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Raw random bytes: no panic, no over-allocation, full agreement.
+    #[test]
+    fn random_bytes_never_panic_and_decoders_agree(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        check_decoders_agree(&bytes)?;
+    }
+
+    /// Valid encodings survive the round trip, and remain panic-free
+    /// under byte mutations and truncation at every prefix length.
+    #[test]
+    fn mutated_requests_never_panic_and_decoders_agree(
+        request in arb_request(),
+        flips in prop::collection::vec((any::<usize>(), 1u16..256), 1..4),
+        cut in any::<usize>(),
+    ) {
+        let clean = request.encode();
+        prop_assert_eq!(Request::decode(&clean).expect("round trip"), request);
+        check_decoders_agree(&clean)?;
+
+        let mut mutated = clean.clone();
+        for &(idx, xor) in &flips {
+            let idx = idx % mutated.len().max(1);
+            if let Some(byte) = mutated.get_mut(idx) {
+                *byte ^= xor as u8;
+            }
+        }
+        mutated.truncate(cut % (mutated.len() + 1));
+        check_decoders_agree(&mutated)?;
+    }
+
+    /// An `Events` frame whose varint count wildly exceeds the bytes
+    /// present is rejected by both decoders before allocating.
+    #[test]
+    fn implausible_event_counts_are_rejected(
+        session in 1u64..100_000,
+        claimed in 128u64..u64::MAX / 2,
+        present in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Hand-build the frame: tag 2 (Events), session, lying count,
+        // then fewer payload bytes than two per claimed event.
+        let template = Request::Events { session, events: Vec::new() }.encode();
+        let mut payload = Vec::from(&template[..template.len() - 1]);
+        let mut count = claimed;
+        while count >= 0x80 {
+            payload.push((count as u8 & 0x7f) | 0x80);
+            count >>= 7;
+        }
+        payload.push(count as u8);
+        payload.extend_from_slice(&present);
+
+        let mut scratch = Vec::new();
+        let fast = decode_request_into(&payload, &mut scratch);
+        prop_assert!(fast.is_err(), "a lying count must be rejected");
+        prop_assert!(scratch.is_empty());
+        prop_assert!(scratch.capacity() == 0, "rejected before any allocation");
+        prop_assert!(Request::decode(&payload).is_err());
+    }
+
+    /// The response decoder round-trips valid frames and never panics on
+    /// mutated or truncated ones.
+    #[test]
+    fn mutated_responses_never_panic(
+        response in arb_response(),
+        flips in prop::collection::vec((any::<usize>(), 1u16..256), 1..4),
+        cut in any::<usize>(),
+    ) {
+        let clean = response.encode();
+        prop_assert_eq!(Response::decode(&clean).expect("round trip"), response);
+
+        let mut mutated = clean.clone();
+        for &(idx, xor) in &flips {
+            let idx = idx % mutated.len().max(1);
+            if let Some(byte) = mutated.get_mut(idx) {
+                *byte ^= xor as u8;
+            }
+        }
+        mutated.truncate(cut % (mutated.len() + 1));
+        // Structured result either way — the assertion is "no panic".
+        let _ = Response::decode(&mutated);
+    }
+
+    /// Raw random bytes into the response decoder: never a panic.
+    #[test]
+    fn random_bytes_never_panic_response_decoder(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = Response::decode(&bytes);
+    }
+}

@@ -312,6 +312,196 @@ impl TestClient {
     }
 }
 
+#[test]
+fn invalid_cpi_is_rejected_without_touching_session_state() {
+    let (handle, addr) = spawn(quick_config());
+    let mut client = TestClient::connect(addr);
+
+    client.send(&Request::Hello {
+        session: 5,
+        extractor: WireExtractor::Bbv,
+    });
+    assert!(matches!(client.recv(), Response::Ok { session: 5 }));
+    client.send(&Request::EndInterval {
+        session: 5,
+        cpi: 1.5,
+    });
+    assert!(matches!(
+        client.recv(),
+        Response::Classified {
+            session: 5,
+            intervals: 1,
+            ..
+        }
+    ));
+    client.send(&Request::Query {
+        session: 5,
+        kind: QueryKind::Phase,
+    });
+    let before = client.recv();
+
+    // NaN, infinite, and negative CPIs must each earn a structured
+    // Malformed error — and leave the session exactly as it was.
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.25] {
+        client.send(&Request::EndInterval {
+            session: 5,
+            cpi: bad,
+        });
+        match client.recv() {
+            Response::Error {
+                session: 5, detail, ..
+            } => assert!(detail.contains("CPI"), "detail names the CPI: {detail}"),
+            other => panic!("expected a Malformed error for cpi {bad}, got {other:?}"),
+        }
+    }
+
+    client.send(&Request::Query {
+        session: 5,
+        kind: QueryKind::Phase,
+    });
+    let after = client.recv();
+    assert_eq!(before, after, "rejected CPIs must not move the classifier");
+
+    // The session still advances on the next valid interval — by
+    // exactly one, proving none of the rejects were observed.
+    client.send(&Request::EndInterval {
+        session: 5,
+        cpi: 2.0,
+    });
+    assert!(matches!(
+        client.recv(),
+        Response::Classified {
+            session: 5,
+            intervals: 2,
+            ..
+        }
+    ));
+
+    let telemetry = handle.join();
+    assert_eq!(telemetry.invalid_cpi, 4);
+    assert_eq!(telemetry.intervals, 2);
+}
+
+/// Satellite regression: a failing TCP listener must back off on its own
+/// gate while the Unix listener keeps serving at full speed — and
+/// recover once the fault clears. Exercised in both serve modes, since
+/// the original bug lived in the thread-per-connection accept loop.
+#[test]
+fn tcp_accept_failures_do_not_stall_the_unix_listener() {
+    use tpcp_serve::server::AcceptFaults;
+
+    for workers in [0usize, 4] {
+        let dir = std::env::temp_dir().join(format!(
+            "tpcp-serve-backoff-{}-{workers}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create socket dir");
+        let socket = dir.join("serve.sock");
+        let mut config = quick_config();
+        config.workers = workers;
+        config.unix = Some(socket.clone());
+        config.accept_faults = AcceptFaults { tcp: 4, unix: 0 };
+        let handle = Server::spawn(config).expect("bind tcp + unix");
+        let addr = handle.tcp_addr().expect("tcp listener configured");
+
+        // While the TCP gate is burning through its injected failures,
+        // a Unix client must get served promptly.
+        let started = Instant::now();
+        let stream = std::os::unix::net::UnixStream::connect(&socket).expect("connect unix");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("set read timeout");
+        let write = stream.try_clone().expect("clone unix stream");
+        let mut reader = FrameReader::new(stream);
+        let mut writer = FrameWriter::new(write);
+        writer
+            .write_frame(
+                &Request::Hello {
+                    session: 21,
+                    extractor: WireExtractor::WorkingSet,
+                }
+                .encode(),
+            )
+            .expect("send hello");
+        let payload = reader.read_frame().expect("read").expect("response");
+        assert!(matches!(
+            Response::decode(payload).expect("decode"),
+            Response::Ok { session: 21 }
+        ));
+        writer
+            .write_frame(
+                &Request::EndInterval {
+                    session: 21,
+                    cpi: 1.0,
+                }
+                .encode(),
+            )
+            .expect("send end");
+        let payload = reader.read_frame().expect("read").expect("response");
+        assert!(matches!(
+            Response::decode(payload).expect("decode"),
+            Response::Classified { session: 21, .. }
+        ));
+        let unix_latency = started.elapsed();
+        assert!(
+            unix_latency < Duration::from_millis(500),
+            "unix listener stalled behind tcp backoff: {unix_latency:?} (workers={workers})"
+        );
+
+        // Once the injected failures are exhausted the TCP gate reopens
+        // (worst case: the sum of its doubling backoffs, well under a
+        // second) and a whole TCP session runs clean.
+        let script = SessionScript::for_session(22, 4);
+        let transcript =
+            run_session(addr, &script, &no_faults, STALL_HOLD).expect("tcp recovers after faults");
+        assert!(transcript.completed);
+
+        let telemetry = handle.join();
+        assert_eq!(
+            telemetry.accept_failures_tcp, 4,
+            "every injected tcp fault fires (workers={workers})"
+        );
+        assert_eq!(telemetry.accept_failures_unix, 0);
+        assert_eq!(telemetry.connections, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The sharded worker-pool server and the single-lock
+/// thread-per-connection server must be observably the same protocol
+/// machine: identical scripts, bit-identical transcripts.
+#[test]
+fn pool_mode_matches_thread_per_connection_mode() {
+    let scripts: Vec<SessionScript> = (1..=9).map(|s| SessionScript::for_session(s, 6)).collect();
+
+    let run = |workers: usize, shards: usize| {
+        let mut config = quick_config();
+        config.workers = workers;
+        config.shards = shards;
+        // Eviction churn underneath, same as the chaos suite.
+        config.max_live = 3;
+        let (handle, addr) = spawn(config);
+        let transcripts: Vec<_> = drive_sessions(addr, &scripts, &no_faults, STALL_HOLD)
+            .into_iter()
+            .map(|r| r.expect("fault-free session must succeed"))
+            .collect();
+        let telemetry = handle.join();
+        assert!(telemetry.drained);
+        assert!(telemetry.store.evictions > 0);
+        transcripts
+    };
+
+    let threaded = run(0, 1);
+    let pooled = run(4, 8);
+    for (script, (a, b)) in scripts.iter().zip(threaded.iter().zip(&pooled)) {
+        assert_eq!(
+            a, b,
+            "session {} diverged between serve modes",
+            script.session
+        );
+    }
+}
+
 #[cfg(feature = "fault-inject")]
 mod chaos {
     use super::*;

@@ -219,6 +219,102 @@ impl<W: Write> FrameWriter<W> {
     }
 }
 
+/// An incremental frame decoder for nonblocking streams.
+///
+/// [`FrameReader`] owns a blocking stream and loses partial-frame
+/// progress when a read would block, which makes it unusable under a
+/// readiness loop where every read may return `WouldBlock` mid-frame.
+/// `FrameDecoder` inverts the control flow: the caller reads whatever
+/// bytes the socket has and [`extend`](Self::extend)s the decoder, then
+/// drains complete frames with [`next_frame`](Self::next_frame). Partial
+/// prefixes and payloads persist across calls, so a frame split over any
+/// number of reads reassembles exactly.
+///
+/// The [`FRAME_MAX`] bound is enforced against the declared length
+/// before the payload accumulates, so a garbage prefix cannot balloon
+/// the buffer.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Offset of the first unconsumed byte in `buf`.
+    start: usize,
+}
+
+/// Consumed-prefix size beyond which [`FrameDecoder::extend`] compacts
+/// the buffer instead of growing it.
+const DECODER_COMPACT_AT: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read from the stream, compacting consumed space
+    /// first so the buffer stays bounded by unconsumed data plus one
+    /// compaction hysteresis.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= DECODER_COMPACT_AT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes buffered — `(declared_len, available)` for the
+    /// frame at the head, if its prefix is complete.
+    fn head(&self) -> Option<(usize, usize)> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            return None;
+        }
+        let mut prefix = [0u8; 4];
+        prefix.copy_from_slice(&self.buf[self.start..self.start + 4]);
+        Some((u32::from_le_bytes(prefix) as usize, avail))
+    }
+
+    /// Pops the next complete frame, if one is buffered. `Ok(None)` means
+    /// more bytes are needed; [`FrameError::Oversized`] means the prefix
+    /// declared a length beyond [`FRAME_MAX`] and the stream offset is
+    /// unrecoverable (the error repeats until the decoder is dropped).
+    /// The returned slice is valid until the next `extend`.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, FrameError> {
+        let Some((declared, avail)) = self.head() else {
+            return Ok(None);
+        };
+        if declared > FRAME_MAX {
+            return Err(FrameError::Oversized {
+                declared: declared as u64,
+            });
+        }
+        if avail < 4 + declared {
+            return Ok(None);
+        }
+        let payload = self.start + 4;
+        self.start = payload + declared;
+        Ok(Some(&self.buf[payload..payload + declared]))
+    }
+
+    /// Whether a partial frame (or partial prefix) is pending — an EOF
+    /// now would be a truncation, and a deadline now a stall rather than
+    /// idleness.
+    pub fn mid_frame(&self) -> bool {
+        self.start < self.buf.len()
+    }
+
+    /// Whether `next_frame` would yield without more bytes (a complete
+    /// frame is buffered, or an oversized prefix needs reporting).
+    pub fn frame_ready(&self) -> bool {
+        match self.head() {
+            Some((declared, avail)) => declared > FRAME_MAX || avail >= 4 + declared,
+            None => false,
+        }
+    }
+}
+
 /// Varint/zigzag/f64 primitives for composing frame payloads — the same
 /// encodings the trace codec uses, re-exported for wire use so payload
 /// bytes match trace-file bytes for the same values.
@@ -432,6 +528,102 @@ mod tests {
         let mut r = FrameReader::new(Scripted { steps });
         assert!(matches!(r.read_frame(), Err(FrameError::Idle)));
         assert_eq!(r.read_frame().unwrap(), Some(&b"later"[..]));
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_split_at_every_offset() {
+        let bytes = framed(&[b"hello", b"", b"world"]);
+        for split in 0..=bytes.len() {
+            let mut d = FrameDecoder::new();
+            d.extend(&bytes[..split]);
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            while let Some(p) = d.next_frame().unwrap() {
+                got.push(p.to_vec());
+            }
+            d.extend(&bytes[split..]);
+            while let Some(p) = d.next_frame().unwrap() {
+                got.push(p.to_vec());
+            }
+            assert_eq!(
+                got,
+                vec![b"hello".to_vec(), b"".to_vec(), b"world".to_vec()]
+            );
+            assert!(!d.mid_frame(), "split {split} left residue");
+        }
+    }
+
+    #[test]
+    fn decoder_byte_at_a_time_matches_whole_buffer() {
+        let bytes = framed(&[b"abc", b"defg"]);
+        let mut d = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &bytes {
+            d.extend(std::slice::from_ref(b));
+            while let Some(p) = d.next_frame().unwrap() {
+                got.push(p.to_vec());
+            }
+        }
+        assert_eq!(got, vec![b"abc".to_vec(), b"defg".to_vec()]);
+    }
+
+    #[test]
+    fn decoder_mid_frame_and_ready_track_progress() {
+        let bytes = framed(&[b"hello"]);
+        let mut d = FrameDecoder::new();
+        assert!(!d.mid_frame());
+        assert!(!d.frame_ready());
+        d.extend(&bytes[..2]); // half a prefix
+        assert!(d.mid_frame());
+        assert!(!d.frame_ready());
+        d.extend(&bytes[2..6]); // full prefix + 2 payload bytes
+        assert!(d.mid_frame());
+        assert!(!d.frame_ready());
+        d.extend(&bytes[6..]);
+        assert!(d.frame_ready());
+        assert_eq!(d.next_frame().unwrap(), Some(&b"hello"[..]));
+        assert!(!d.mid_frame());
+        assert!(!d.frame_ready());
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_prefix_before_buffering_payload() {
+        let mut d = FrameDecoder::new();
+        d.extend(&u32::MAX.to_le_bytes());
+        assert!(d.frame_ready(), "oversized prefix is reportable work");
+        match d.next_frame() {
+            Err(FrameError::Oversized { declared }) => {
+                assert_eq!(declared, u64::from(u32::MAX));
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        // The error is sticky: the stream offset is unrecoverable.
+        assert!(matches!(d.next_frame(), Err(FrameError::Oversized { .. })));
+    }
+
+    #[test]
+    fn decoder_accepts_frame_max_boundary() {
+        let payload = vec![0x5Au8; FRAME_MAX];
+        let bytes = framed(&[&payload]);
+        let mut d = FrameDecoder::new();
+        d.extend(&bytes);
+        assert_eq!(d.next_frame().unwrap(), Some(&payload[..]));
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_space() {
+        // Push many frames through one decoder; the buffer must not grow
+        // with total throughput, only with unconsumed backlog.
+        let frame = framed(&[&[0xA5u8; 1024][..]]);
+        let mut d = FrameDecoder::new();
+        for _ in 0..1024 {
+            d.extend(&frame);
+            assert!(d.next_frame().unwrap().is_some());
+        }
+        assert!(
+            d.buf.capacity() < 4 * DECODER_COMPACT_AT,
+            "decoder buffer grew unboundedly: {}",
+            d.buf.capacity()
+        );
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use codec::{
     StreamingDecoder,
 };
 pub use event::BranchEvent;
-pub use frame::{wire, FrameError, FrameReader, FrameWriter, FRAME_MAX};
+pub use frame::{wire, FrameDecoder, FrameError, FrameReader, FrameWriter, FRAME_MAX};
 pub use index::{IndexError, IntervalCheckpoint, PlannedReplay, ReplayPlan, SkipStats, TraceIndex};
 pub use interval::{IntervalCutter, IntervalSource, IntervalSummary, TimedEvent};
 pub use metrics::MetricCounts;
